@@ -1,0 +1,163 @@
+"""E6 — soundness ablation: the Sec. 2 sound vs unsound guides.
+
+The paper motivates guide types with two failure modes (Sec. 2.1):
+
+* **IS with Guide1'** — the guide samples ``@x`` from a Poisson (wrong
+  support) and skips ``@y`` on the wrong branch;
+* **VI with Guide2'** — the guide samples ``@x`` from a Normal, whose
+  support (ℝ) strictly contains the model's (ℝ+), breaking absolute
+  continuity of the posterior w.r.t. the proposal and making the KL
+  divergence ill-defined.
+
+This harness checks that
+
+1. the *static* certificate (guide types) accepts the sound guides and
+   rejects the unsound ones, and
+2. the *empirical* behaviour matches: importance sampling with the unsound
+   IS guide either crashes the coroutine protocol or yields only
+   zero-weight particles, while the sound guide produces healthy weights.
+
+Run with ``pytest benchmarks/test_soundness_ablation.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import absolute_continuity_certificate, empirical_support_check
+from repro.core.parser import parse_program
+from repro.core.semantics import traces as tr
+from repro.errors import ChannelProtocolError, InferenceError
+from repro.inference import importance_sampling
+from repro.models import get_benchmark
+from repro.models.library import (
+    EX1_GUIDE_UNSOUND_IS_SOURCE,
+    EX1_GUIDE_UNSOUND_VI_SOURCE,
+    EX1_GUIDE_VI_SOURCE,
+)
+
+OBS = (tr.ValP(0.8),)
+
+
+def _model():
+    return get_benchmark("ex-1").model_program()
+
+
+def _sound_is_guide():
+    return get_benchmark("ex-1").guide_program(), "Guide1"
+
+
+def _unsound_is_guide():
+    return parse_program(EX1_GUIDE_UNSOUND_IS_SOURCE), "Guide1Bad"
+
+
+def _sound_vi_guide():
+    return parse_program(EX1_GUIDE_VI_SOURCE), "Guide2"
+
+
+def _unsound_vi_guide():
+    return parse_program(EX1_GUIDE_UNSOUND_VI_SOURCE), "Guide2Bad"
+
+
+def test_static_certificate_separates_sound_from_unsound(benchmark):
+    """Guide types accept Guide1/Guide2 and reject Guide1'/Guide2'."""
+    model = _model()
+
+    def check_all():
+        verdicts = {}
+        for label, (guide, entry) in {
+            "Guide1 (sound, IS)": _sound_is_guide(),
+            "Guide1' (unsound, IS)": _unsound_is_guide(),
+            "Guide2 (sound, VI)": _sound_vi_guide(),
+            "Guide2' (unsound, VI)": _unsound_vi_guide(),
+        }.items():
+            report = absolute_continuity_certificate(model, guide, "Model", entry)
+            verdicts[label] = report.certified
+        return verdicts
+
+    verdicts = benchmark(check_all)
+    print("\nStatic absolute-continuity certificates:")
+    for label, certified in verdicts.items():
+        print(f"  {label:<24} -> {'certified' if certified else 'REJECTED'}")
+
+    assert verdicts["Guide1 (sound, IS)"]
+    assert verdicts["Guide2 (sound, VI)"]
+    assert not verdicts["Guide1' (unsound, IS)"]
+    assert not verdicts["Guide2' (unsound, VI)"]
+
+
+def test_sound_guide_produces_healthy_importance_weights(benchmark):
+    model = _model()
+    guide, entry = _sound_is_guide()
+
+    result = benchmark.pedantic(
+        lambda: importance_sampling(
+            model, guide, "Model", entry, obs_trace=OBS, num_samples=400,
+            rng=np.random.default_rng(0),
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    ess = result.effective_sample_size()
+    print(f"\nsound IS guide: effective sample size {ess:.1f} / 400")
+    assert ess > 10.0
+
+
+def test_unsound_is_guide_misses_posterior_mass(benchmark):
+    """Guide1' samples @x from a Poisson: the posterior (over all of ℝ+) is
+    not absolutely continuous with respect to the proposal (supported on ℕ),
+    so the guide can never propose the non-integer @x values that carry
+    almost all of the posterior mass.  Empirically: latent traces drawn from
+    the model's prior have zero density under the guide."""
+    model = _model()
+    guide, entry = _unsound_is_guide()
+
+    result = benchmark.pedantic(
+        lambda: empirical_support_check(
+            model, guide, "Model", entry, obs_trace=OBS, num_draws=60,
+            rng=np.random.default_rng(3),
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    print(
+        f"\nunsound IS guide: {result.num_prior_draws_rejected_by_guide}"
+        f"/{result.num_prior_draws} prior latent traces have zero proposal density"
+    )
+    assert not result.model_covered_by_guide
+    assert result.num_prior_draws_rejected_by_guide == result.num_prior_draws
+
+
+def test_unsound_vi_guide_proposes_outside_model_support(benchmark):
+    """Guide2' samples @x from a Normal, so some proposals have zero model density."""
+    model = _model()
+    guide, entry = _unsound_vi_guide()
+
+    result = benchmark.pedantic(
+        lambda: empirical_support_check(
+            model, guide, "Model", entry, obs_trace=OBS, num_draws=60,
+            rng=np.random.default_rng(1), guide_args=(0.0, 0.5),
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    print(
+        f"\nunsound VI guide: {result.num_guide_draws_rejected_by_model}"
+        f"/{result.num_guide_draws} proposals fall outside the model's support"
+    )
+    assert not result.looks_absolutely_continuous
+
+
+def test_sound_vi_guide_passes_empirical_check(benchmark):
+    model = _model()
+    guide, entry = _sound_vi_guide()
+    result = benchmark.pedantic(
+        lambda: empirical_support_check(
+            model, guide, "Model", entry, obs_trace=OBS, num_draws=60,
+            rng=np.random.default_rng(2), guide_args=(0.0, 0.0, 0.0, 0.0),
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    assert result.looks_absolutely_continuous

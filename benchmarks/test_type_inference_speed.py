@@ -1,0 +1,58 @@
+"""E4 — "type inference completes in several milliseconds on all benchmarks".
+
+The paper reports that guide-type inference finishes in a few milliseconds
+per benchmark.  This harness benchmarks :func:`infer_guide_types` (parsing
+excluded) on every expressible benchmark model and its guide, and asserts a
+generous millisecond-scale bound.
+
+Run with ``pytest benchmarks/test_type_inference_speed.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.typecheck import infer_guide_types
+from repro.models import all_benchmarks
+
+EXPRESSIBLE = [b for b in all_benchmarks() if b.expressible]
+
+
+@pytest.mark.parametrize("bench", EXPRESSIBLE, ids=lambda b: b.name)
+def test_guide_type_inference_speed(benchmark, bench):
+    """Benchmark guide-type inference for one model (paper: a few ms)."""
+    program = bench.model_program()  # parse once, outside the timed region
+    result = benchmark(lambda: infer_guide_types(program))
+    assert bench.model_entry in result.channel_types
+
+
+def test_type_inference_speed_report(benchmark):
+    """Print per-benchmark inference times and check the milliseconds claim."""
+
+    def measure_all():
+        rows = []
+        for bench in EXPRESSIBLE:
+            model = bench.model_program()
+            guide = bench.guide_program() if bench.guide_source else None
+            start = time.perf_counter()
+            infer_guide_types(model)
+            if guide is not None:
+                infer_guide_types(guide)
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            rows.append((bench.name, elapsed_ms))
+        return rows
+
+    rows = benchmark(measure_all)
+
+    lines = ["", "Guide-type inference time per benchmark (model + guide)"]
+    lines.append(f"{'program':<12} {'time (ms)':>10}")
+    for name, elapsed in rows:
+        lines.append(f"{name:<12} {elapsed:>10.3f}")
+    worst = max(elapsed for _, elapsed in rows)
+    lines.append(f"slowest benchmark: {worst:.3f} ms (paper: a few milliseconds)")
+    print("\n".join(lines))
+
+    # Generous bound: every benchmark's inference completes within 100 ms.
+    assert worst < 100.0

@@ -1,0 +1,100 @@
+"""Quickstart: write a model and a guide, check them, and run inference.
+
+This walks through the paper's running example (Fig. 1 / Fig. 5):
+
+1. write the model and the guide as coroutines in the surface syntax;
+2. infer guide types and print the guidance protocols;
+3. verify the absolute-continuity certificate for the pair;
+4. run importance sampling conditioned on @z = 0.8 and report the posterior
+   mean of @x (the quantity plotted in the paper's Fig. 2);
+5. show that an unsound guide (Fig. 3's Guide1') is rejected statically.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import check_model_guide_pair, parse_program
+from repro.core.semantics.traces import ValP
+from repro.core.typecheck import infer_guide_types
+from repro.inference import importance_sampling
+from repro.utils.pretty import pretty_guide_type
+
+MODEL_SOURCE = """
+proc Model() consume latent provide obs {
+  v <- sample.recv{latent}(Gamma(2.0, 1.0));
+  if.send{latent} v < 2.0 {
+    _ <- sample.send{obs}(Normal(-1.0, 1.0));
+    return(v)
+  } else {
+    m <- sample.recv{latent}(Beta(3.0, 1.0));
+    _ <- sample.send{obs}(Normal(m, 1.0));
+    return(v)
+  }
+}
+"""
+
+GUIDE_SOURCE = """
+proc Guide1() provide latent {
+  v <- sample.send{latent}(Gamma(1.0, 1.0));
+  if.recv{latent} {
+    return(v)
+  } else {
+    m <- sample.send{latent}(Unif);
+    return(v)
+  }
+}
+"""
+
+UNSOUND_GUIDE_SOURCE = """
+proc Guide1Bad() provide latent {
+  v <- sample.send{latent}(Pois(4.0));
+  if.recv{latent} {
+    return(v)
+  } else {
+    m <- sample.send{latent}(Unif);
+    return(v)
+  }
+}
+"""
+
+
+def main() -> None:
+    model = parse_program(MODEL_SOURCE)
+    guide = parse_program(GUIDE_SOURCE)
+
+    # -- 1. guide-type inference ------------------------------------------------
+    model_types = infer_guide_types(model)
+    print("Inferred guidance protocols for the model:")
+    print("  latent :", pretty_guide_type(model_types.entry_channel_type("Model", "latent")))
+    print("  obs    :", pretty_guide_type(model_types.entry_channel_type("Model", "obs")))
+
+    guide_types = infer_guide_types(guide)
+    print("Inferred guidance protocol for the guide:")
+    print("  latent :", pretty_guide_type(guide_types.entry_channel_type("Guide1", "latent")))
+
+    # -- 2. the absolute-continuity certificate ----------------------------------
+    pair = check_model_guide_pair(model, guide, "Model", "Guide1")
+    print(f"\nModel/Guide1 compatible (absolute continuity certified): {pair.compatible}")
+
+    bad_guide = parse_program(UNSOUND_GUIDE_SOURCE)
+    bad_pair = check_model_guide_pair(model, bad_guide, "Model", "Guide1Bad")
+    print(f"Model/Guide1' compatible: {bad_pair.compatible}")
+    print(f"  reason: {bad_pair.reason}")
+
+    # -- 3. importance sampling ---------------------------------------------------
+    observation = (ValP(0.8),)
+    result = importance_sampling(
+        model, guide, "Model", "Guide1",
+        obs_trace=observation, num_samples=2000,
+        rng=np.random.default_rng(0),
+    )
+    print("\nImportance sampling with the sound guide (2000 particles, @z = 0.8):")
+    print(f"  log evidence estimate : {result.log_evidence():.3f}")
+    print(f"  effective sample size : {result.effective_sample_size():.1f}")
+    print(f"  posterior mean of @x  : {result.posterior_expectation_of_site(0):.3f}")
+    print("  (the prior mean of @x under Gamma(2,1) is 2.0 — the observation pulls it up)")
+
+
+if __name__ == "__main__":
+    main()

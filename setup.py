@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that ``python setup.py develop`` works in offline environments where the
+``wheel`` package (required by PEP-517 editable installs) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""repro — a reproduction of "Sound Probabilistic Inference via Guide Types" (PLDI 2021).
+
+The package implements a coroutine-based probabilistic programming language
+with *guide types*: a type discipline over the communication between a model
+program and its guide program that certifies absolute continuity (the model
+and guide define distributions with the same support), which is the key
+soundness condition for importance sampling, Markov-chain Monte Carlo, and
+variational inference.
+
+Quickstart
+----------
+
+>>> from repro import parse_program, infer_guide_types, check_model_guide_pair
+>>> model = parse_program('''
+... proc Model() consume latent provide obs {
+...   v <- sample.recv{latent}(Gamma(2.0, 1.0));
+...   if.send{latent} v < 2.0 {
+...     _ <- sample.send{obs}(Normal(-1.0, 1.0));
+...     return(v)
+...   } else {
+...     m <- sample.recv{latent}(Beta(3.0, 1.0));
+...     _ <- sample.send{obs}(Normal(m, 1.0));
+...     return(v)
+...   }
+... }
+... ''')
+>>> result = infer_guide_types(model)
+
+See ``examples/quickstart.py`` for an end-to-end model/guide/inference run.
+"""
+
+from repro.core.ast import Program
+from repro.core.parser import parse_program
+from repro.core.typecheck import check_model_guide_pair, infer_guide_types
+from repro.core.semantics import evaluate_procedure, log_density
+from repro.core.coroutines import run_model_guide, run_prior
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Program",
+    "parse_program",
+    "infer_guide_types",
+    "check_model_guide_pair",
+    "evaluate_procedure",
+    "log_density",
+    "run_model_guide",
+    "run_prior",
+    "__version__",
+]

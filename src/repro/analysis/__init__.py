@@ -1,0 +1,15 @@
+"""Support and absolute-continuity analyses built on guide types."""
+
+from repro.analysis.support import (
+    AbsoluteContinuityReport,
+    absolute_continuity_certificate,
+    empirical_support_check,
+    enumerate_trace_shapes,
+)
+
+__all__ = [
+    "AbsoluteContinuityReport",
+    "absolute_continuity_certificate",
+    "empirical_support_check",
+    "enumerate_trace_shapes",
+]

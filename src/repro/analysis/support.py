@@ -1,0 +1,220 @@
+"""Support analysis and absolute-continuity checking.
+
+Two complementary views are provided:
+
+* the **static certificate** (:func:`absolute_continuity_certificate`):
+  guide-type inference plus the model/guide protocol-equality check of
+  Thm. 5.2 — this is the paper's contribution and the tool a user runs
+  before trusting an inference result;
+* an **empirical check** (:func:`empirical_support_check`): sample traces
+  from the guide (jointly with the model, so branch selections are
+  exchanged) and verify that the model assigns them non-zero density, and
+  symmetrically sample from the model's prior and verify the guide covers
+  them.  The empirical check cannot prove soundness, but it is how an
+  *unsound* pair typically reveals itself at run time; the benchmark
+  ``benchmarks/test_soundness_ablation.py`` uses it to contrast the sound
+  and unsound guides of the paper's Sec. 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import ast
+from repro.core import types as ty
+from repro.core.coroutines import run_model_guide, run_prior
+from repro.core.semantics import traces as tr
+from repro.core.semantics.evaluate import log_density
+from repro.core.typecheck.guide_infer import PairCheckResult, check_model_guide_pair
+from repro.errors import ChannelProtocolError, EvaluationError, TraceTypeMismatch
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class AbsoluteContinuityReport:
+    """The static certificate plus human-readable protocol descriptions."""
+
+    compatible: bool
+    model_latent_type: ty.GuideType
+    guide_latent_type: ty.GuideType
+    reason: Optional[str]
+
+    @property
+    def certified(self) -> bool:
+        return self.compatible
+
+
+def absolute_continuity_certificate(
+    model_program: ast.Program,
+    guide_program: ast.Program,
+    model_entry: str,
+    guide_entry: str,
+    latent_channel: str = "latent",
+    obs_channel: str = "obs",
+) -> AbsoluteContinuityReport:
+    """Run the static absolute-continuity check of Thm. 5.2."""
+    result: PairCheckResult = check_model_guide_pair(
+        model_program,
+        guide_program,
+        model_entry,
+        guide_entry,
+        latent_channel=latent_channel,
+        obs_channel=obs_channel,
+    )
+    return AbsoluteContinuityReport(
+        compatible=result.compatible,
+        model_latent_type=result.latent_type_model,
+        guide_latent_type=result.latent_type_guide,
+        reason=result.reason,
+    )
+
+
+@dataclass
+class EmpiricalSupportResult:
+    """Outcome of the sampling-based support check."""
+
+    num_guide_draws: int
+    num_guide_draws_rejected_by_model: int
+    num_prior_draws: int
+    num_prior_draws_rejected_by_guide: int
+    protocol_errors: int
+
+    @property
+    def guide_covered_by_model(self) -> bool:
+        return self.num_guide_draws_rejected_by_model == 0 and self.protocol_errors == 0
+
+    @property
+    def model_covered_by_guide(self) -> bool:
+        return self.num_prior_draws_rejected_by_guide == 0 and self.protocol_errors == 0
+
+    @property
+    def looks_absolutely_continuous(self) -> bool:
+        return self.guide_covered_by_model and self.model_covered_by_guide
+
+
+def empirical_support_check(
+    model_program: ast.Program,
+    guide_program: ast.Program,
+    model_entry: str,
+    guide_entry: str,
+    obs_trace: Optional[Sequence[tr.Message]] = None,
+    num_draws: int = 50,
+    rng=None,
+    model_args: Tuple[object, ...] = (),
+    guide_args: Tuple[object, ...] = (),
+    latent_channel: str = "latent",
+    obs_channel: str = "obs",
+) -> EmpiricalSupportResult:
+    """Sample-based two-sided support comparison of a model/guide pair."""
+    rng = ensure_rng(rng)
+    protocol_errors = 0
+
+    guide_rejected = 0
+    guide_draws = 0
+    for _ in range(num_draws):
+        try:
+            joint = run_model_guide(
+                model_program,
+                guide_program,
+                model_entry,
+                guide_entry,
+                obs_trace=obs_trace,
+                rng=rng,
+                model_args=model_args,
+                guide_args=guide_args,
+                latent_channel=latent_channel,
+                obs_channel=obs_channel,
+            )
+        except (ChannelProtocolError, TraceTypeMismatch, EvaluationError):
+            protocol_errors += 1
+            continue
+        guide_draws += 1
+        if joint.log_weights["model"] == -math.inf:
+            guide_rejected += 1
+
+    prior_rejected = 0
+    prior_draws = 0
+    for _ in range(num_draws):
+        try:
+            prior = run_prior(
+                model_program, model_entry, rng=rng, model_args=model_args,
+                latent_channel=latent_channel, obs_channel=obs_channel,
+            )
+            latent = prior.traces[latent_channel]
+            guide_ld = log_density(
+                guide_program, guide_entry, {latent_channel: latent}, args=guide_args
+            )
+        except (ChannelProtocolError, TraceTypeMismatch, EvaluationError):
+            protocol_errors += 1
+            continue
+        prior_draws += 1
+        if guide_ld == -math.inf:
+            prior_rejected += 1
+
+    return EmpiricalSupportResult(
+        num_guide_draws=guide_draws,
+        num_guide_draws_rejected_by_model=guide_rejected,
+        num_prior_draws=prior_draws,
+        num_prior_draws_rejected_by_guide=prior_rejected,
+        protocol_errors=protocol_errors,
+    )
+
+
+def enumerate_trace_shapes(
+    guide_type: ty.GuideType,
+    table: Optional[ty.TypeTable] = None,
+    max_depth: int = 6,
+    max_shapes: int = 64,
+) -> List[Tuple[str, ...]]:
+    """Enumerate the *shapes* of traces permitted by a guide type.
+
+    A shape is a tuple of strings like ``("valP:preal", "dirC:T", "valP:ureal")``
+    describing the message kinds and payload types along one resolution of
+    all branch selections.  Recursive operators are unfolded up to
+    ``max_depth``; unfinished unfoldings are marked with ``"..."``.  The
+    function is used by documentation examples and by tests that compare a
+    type's shape set with the support equation (1)/(2) of the paper.
+    """
+    shapes: List[Tuple[str, ...]] = []
+
+    def go(t: ty.GuideType, prefix: Tuple[str, ...], depth: int) -> None:
+        if len(shapes) >= max_shapes:
+            return
+        if depth > max_depth:
+            shapes.append(prefix + ("...",))
+            return
+        if isinstance(t, ty.End):
+            shapes.append(prefix)
+            return
+        if isinstance(t, ty.TyVar):
+            shapes.append(prefix + (f"var:{t.name}",))
+            return
+        if isinstance(t, ty.SendVal):
+            go(t.cont, prefix + (f"valP:{t.payload}",), depth)
+            return
+        if isinstance(t, ty.RecvVal):
+            go(t.cont, prefix + (f"valC:{t.payload}",), depth)
+            return
+        if isinstance(t, ty.Offer):
+            go(t.then, prefix + ("dirP:T",), depth)
+            go(t.orelse, prefix + ("dirP:F",), depth)
+            return
+        if isinstance(t, ty.Choose):
+            go(t.then, prefix + ("dirC:T",), depth)
+            go(t.orelse, prefix + ("dirC:F",), depth)
+            return
+        if isinstance(t, ty.OpApp):
+            if table is None:
+                shapes.append(prefix + (f"op:{t.operator}",))
+                return
+            unfolded = table.lookup(t.operator).instantiate(t.arg)
+            go(unfolded, prefix + ("fold",), depth + 1)
+            return
+        raise TypeError(f"unknown guide type node {t!r}")
+
+    go(guide_type, (), 0)
+    return shapes

@@ -1,0 +1,18 @@
+"""Baselines the paper compares against.
+
+``trace_types``
+    A simplified checker in the style of Lew et al. [40]'s *trace types*:
+    it assigns each program a static list of sample sites and their types,
+    and accepts a model/guide pair only when the two lists agree.  It
+    rejects general recursion and conditionals whose branches sample
+    different sets of latent variables — the restrictions the paper's
+    Table 1 comparison hinges on.
+"""
+
+from repro.baselines.trace_types import (
+    TraceTypeResult,
+    trace_type_check,
+    trace_types_compatible,
+)
+
+__all__ = ["TraceTypeResult", "trace_type_check", "trace_types_compatible"]

@@ -1,0 +1,192 @@
+"""A simplified *trace-types* checker (baseline for the Table 1 comparison).
+
+Lew et al. [40] type probabilistic programs with **trace types**: a record of
+the sample sites a program draws, with their value types.  Their system
+supports straight-line models, plates, and three restricted loop forms, but —
+as discussed in the paper's related-work section — it cannot type:
+
+* conditionals whose branches draw *different* sets of latent variables
+  (the branch predicate's value is unknown statically, so the trace type
+  would have to be a union); and
+* general (non-tail, unbounded) recursion.
+
+This module reproduces those restrictions over our core calculus so the
+expressiveness comparison of Table 1 can be regenerated: for each benchmark
+we ask whether this baseline accepts the model, and whether our guide-type
+system does.
+
+The checker works bottom-up over commands, producing a
+:class:`TraceTypeResult` whose ``trace_type`` is the static tuple of
+``(channel, direction, payload type)`` triples the program performs, or a
+rejection reason when the program falls outside the supported fragment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import ast
+from repro.core import types as ty
+from repro.core.typecheck import basic
+from repro.errors import UnsupportedModelError
+
+#: One element of a trace type: (channel, "sample"/"branch", payload type or None).
+TraceSiteType = Tuple[str, str, Optional[ty.BaseType]]
+
+
+@dataclass(frozen=True)
+class TraceTypeResult:
+    """Outcome of running the trace-types baseline on one program."""
+
+    supported: bool
+    trace_type: Tuple[TraceSiteType, ...]
+    reason: Optional[str] = None
+
+    @property
+    def num_sample_sites(self) -> int:
+        return sum(1 for site in self.trace_type if site[1] == "sample")
+
+
+class _TraceTypeChecker:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.basic_signatures = basic.check_program_basic(program)
+        self._call_stack: List[str] = []
+
+    # -- call graph -------------------------------------------------------------
+
+    def _check_no_recursion(self, entry: str) -> None:
+        """Reject programs whose call graph (from the entry) contains a cycle."""
+        visiting: List[str] = []
+
+        def visit(name: str) -> None:
+            if name in visiting:
+                cycle = " -> ".join(visiting[visiting.index(name):] + [name])
+                raise UnsupportedModelError(
+                    f"trace types do not support general recursion (call cycle {cycle})"
+                )
+            visiting.append(name)
+            try:
+                proc = self.program.procedure(name)
+            except KeyError as exc:
+                raise UnsupportedModelError(f"unknown procedure {name!r}") from exc
+            for callee in sorted(ast.calls_in(proc.body)):
+                visit(callee)
+            visiting.pop()
+
+        visit(entry)
+
+    # -- per-command analysis ------------------------------------------------------
+
+    def analyze_command(
+        self, ctx: Dict[str, ty.BaseType], cmd: ast.Command
+    ) -> Tuple[ty.BaseType, Tuple[TraceSiteType, ...]]:
+        if isinstance(cmd, ast.Ret):
+            return basic.infer_expr_type(ctx, cmd.expr, self.basic_signatures), ()
+
+        if isinstance(cmd, ast.Bnd):
+            first_ty, first_sites = self.analyze_command(ctx, cmd.first)
+            inner = dict(ctx)
+            inner[cmd.var] = first_ty
+            second_ty, second_sites = self.analyze_command(inner, cmd.second)
+            return second_ty, first_sites + second_sites
+
+        if isinstance(cmd, (ast.SampleRecv, ast.SampleSend)):
+            dist_ty = basic.infer_expr_type(ctx, cmd.dist, self.basic_signatures)
+            assert isinstance(dist_ty, ty.DistTy)
+            return dist_ty.support, ((cmd.channel, "sample", dist_ty.support),)
+
+        if isinstance(cmd, ast.Observe):
+            return ty.UNIT, ()
+
+        if isinstance(cmd, (ast.CondSend, ast.CondRecv, ast.CondPure)):
+            then_ty, then_sites = self.analyze_command(ctx, cmd.then)
+            else_ty, else_sites = self.analyze_command(ctx, cmd.orelse)
+            if then_sites != else_sites:
+                raise UnsupportedModelError(
+                    "trace types do not support conditionals whose branches draw "
+                    "different sets of random variables: "
+                    f"then-branch {_describe(then_sites)} vs else-branch {_describe(else_sites)}"
+                )
+            joined = ty.join(then_ty, else_ty) or then_ty
+            branch_site: Tuple[TraceSiteType, ...] = ()
+            if isinstance(cmd, (ast.CondSend, ast.CondRecv)):
+                branch_site = ((cmd.channel, "branch", None),)
+            return joined, branch_site + then_sites
+
+        if isinstance(cmd, ast.Call):
+            proc = self.program.procedure(cmd.proc)
+            sig = self.basic_signatures[cmd.proc]
+            call_ctx = dict(zip(proc.params, sig.param_types))
+            result_ty, sites = self.analyze_command(call_ctx, proc.body)
+            return result_ty, sites
+
+        raise UnsupportedModelError(f"trace types cannot analyse command {cmd!r}")
+
+    def check(self, entry: str) -> TraceTypeResult:
+        self._check_no_recursion(entry)
+        proc = self.program.procedure(entry)
+        ctx = dict(zip(proc.params, self.basic_signatures[entry].param_types))
+        _, sites = self.analyze_command(ctx, proc.body)
+        return TraceTypeResult(supported=True, trace_type=sites)
+
+
+def _describe(sites: Tuple[TraceSiteType, ...]) -> str:
+    if not sites:
+        return "{}"
+    return "{" + ", ".join(f"{c}:{d}" for c, d, _ in sites) + "}"
+
+
+def trace_type_check(program: ast.Program, entry: str) -> TraceTypeResult:
+    """Run the trace-types baseline on ``entry``.
+
+    Returns a :class:`TraceTypeResult` whose ``supported`` flag is False
+    (with a reason) when the program uses recursion or branch-dependent
+    sample sets.
+    """
+    checker = _TraceTypeChecker(program)
+    try:
+        return checker.check(entry)
+    except UnsupportedModelError as exc:
+        return TraceTypeResult(supported=False, trace_type=(), reason=str(exc))
+
+
+def trace_types_compatible(
+    model_program: ast.Program,
+    guide_program: ast.Program,
+    model_entry: str,
+    guide_entry: str,
+    latent_channel: str = "latent",
+) -> TraceTypeResult:
+    """Check a model/guide pair under the trace-types baseline.
+
+    The pair is compatible when both programs are supported and their latent
+    sample-site type lists coincide (observation sites are excluded, as
+    trace types compare the *latent* trace spaces).
+    """
+    model_result = trace_type_check(model_program, model_entry)
+    if not model_result.supported:
+        return model_result
+    guide_result = trace_type_check(guide_program, guide_entry)
+    if not guide_result.supported:
+        return guide_result
+
+    def latent_samples(result: TraceTypeResult) -> Tuple[TraceSiteType, ...]:
+        return tuple(
+            site for site in result.trace_type
+            if site[0] == latent_channel and site[1] == "sample"
+        )
+
+    model_latents = latent_samples(model_result)
+    guide_latents = latent_samples(guide_result)
+    if model_latents != guide_latents:
+        return TraceTypeResult(
+            supported=False,
+            trace_type=(),
+            reason=(
+                "model and guide disagree on the latent trace type: "
+                f"{_describe(model_latents)} vs {_describe(guide_latents)}"
+            ),
+        )
+    return TraceTypeResult(supported=True, trace_type=model_latents)

@@ -1,0 +1,194 @@
+"""Command-line interface for the guide-types reproduction.
+
+Usage (after ``python setup.py develop`` / ``pip install -e .``)::
+
+    python -m repro.cli infer-types  MODEL.gt            # print inferred guide types
+    python -m repro.cli check        MODEL.gt GUIDE.gt   # absolute-continuity certificate
+    python -m repro.cli compile      MODEL.gt GUIDE.gt   # emit mini-Pyro Python code
+    python -m repro.cli run-is       MODEL.gt GUIDE.gt --obs 0.8 --samples 1000
+    python -m repro.cli benchmarks                       # list the bundled benchmarks
+
+Model/guide entry procedures default to the first procedure that consumes /
+provides the ``latent`` channel respectively; override with ``--model-entry``
+and ``--guide-entry``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.compiler import compile_pair
+from repro.core.ast import Program
+from repro.core.parser import parse_program
+from repro.core.semantics.traces import ValP
+from repro.core.typecheck import check_model_guide_pair, infer_guide_types
+from repro.errors import ReproError
+from repro.inference import importance_sampling
+from repro.models import all_benchmarks
+from repro.utils.pretty import pretty_guide_type, pretty_type_table
+
+
+def _load_program(path: str) -> Program:
+    source = Path(path).read_text(encoding="utf-8")
+    return parse_program(source)
+
+
+def _default_model_entry(program: Program, latent: str) -> str:
+    for proc in program.procedures:
+        if proc.consumes == latent:
+            return proc.name
+    return program.procedures[0].name
+
+
+def _default_guide_entry(program: Program, latent: str) -> str:
+    for proc in program.procedures:
+        if proc.provides == latent:
+            return proc.name
+    return program.procedures[0].name
+
+
+def cmd_infer_types(args: argparse.Namespace) -> int:
+    program = _load_program(args.model)
+    result = infer_guide_types(program)
+    print(pretty_type_table(result.table))
+    print()
+    for proc, channels in result.channel_types.items():
+        for channel, guide_type in channels.items():
+            print(f"{proc} / {channel}: {pretty_guide_type(guide_type)}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    model = _load_program(args.model)
+    guide = _load_program(args.guide)
+    model_entry = args.model_entry or _default_model_entry(model, args.latent)
+    guide_entry = args.guide_entry or _default_guide_entry(guide, args.latent)
+    result = check_model_guide_pair(
+        model, guide, model_entry, guide_entry, latent_channel=args.latent
+    )
+    print(f"model latent protocol : {pretty_guide_type(result.latent_type_model)}")
+    print(f"guide latent protocol : {pretty_guide_type(result.latent_type_guide)}")
+    if result.compatible:
+        print("RESULT: compatible — absolute continuity certified")
+        return 0
+    print(f"RESULT: INCOMPATIBLE — {result.reason}")
+    return 1
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    model = _load_program(args.model)
+    guide = _load_program(args.guide)
+    model_entry = args.model_entry or _default_model_entry(model, args.latent)
+    guide_entry = args.guide_entry or _default_guide_entry(guide, args.latent)
+    source = compile_pair(model, guide, model_entry, guide_entry)
+    if args.output:
+        Path(args.output).write_text(source, encoding="utf-8")
+        print(f"wrote {len(source.splitlines())} lines to {args.output}")
+    else:
+        print(source)
+    return 0
+
+
+def cmd_run_is(args: argparse.Namespace) -> int:
+    model = _load_program(args.model)
+    guide = _load_program(args.guide)
+    model_entry = args.model_entry or _default_model_entry(model, args.latent)
+    guide_entry = args.guide_entry or _default_guide_entry(guide, args.latent)
+
+    pair = check_model_guide_pair(
+        model, guide, model_entry, guide_entry, latent_channel=args.latent
+    )
+    if not pair.compatible and not args.force:
+        print(f"refusing to run: {pair.reason}")
+        print("(pass --force to run anyway)")
+        return 1
+
+    obs_trace = tuple(ValP(v) for v in args.obs) if args.obs else None
+    result = importance_sampling(
+        model, guide, model_entry, guide_entry,
+        obs_trace=obs_trace, num_samples=args.samples,
+        rng=np.random.default_rng(args.seed),
+    )
+    print(f"particles               : {result.num_samples}")
+    print(f"log evidence estimate   : {result.log_evidence():.4f}")
+    print(f"effective sample size   : {result.effective_sample_size():.1f}")
+    try:
+        print(f"posterior mean (site 0) : {result.posterior_expectation_of_site(0):.4f}")
+    except ReproError:
+        pass
+    return 0
+
+
+def cmd_benchmarks(_args: argparse.Namespace) -> int:
+    print(f"{'name':<12} {'selected':<9} {'inference':<9} {'LOC':>4}  description")
+    for bench in all_benchmarks():
+        loc = bench.model_loc if bench.expressible else 0
+        print(
+            f"{bench.name:<12} {'yes' if bench.selected else 'no':<9} "
+            f"{bench.inference or '-':<9} {loc:>4}  {bench.description}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Guide-types PPL command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_infer = sub.add_parser("infer-types", help="infer guide types for a program")
+    p_infer.add_argument("model", help="path to a .gt source file")
+    p_infer.set_defaults(func=cmd_infer_types)
+
+    def add_pair_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("model", help="path to the model source file")
+        p.add_argument("guide", help="path to the guide source file")
+        p.add_argument("--model-entry", default=None)
+        p.add_argument("--guide-entry", default=None)
+        p.add_argument("--latent", default="latent", help="latent channel name")
+
+    p_check = sub.add_parser("check", help="check model/guide absolute continuity")
+    add_pair_arguments(p_check)
+    p_check.set_defaults(func=cmd_check)
+
+    p_compile = sub.add_parser("compile", help="compile a pair to mini-Pyro Python")
+    add_pair_arguments(p_compile)
+    p_compile.add_argument("--output", "-o", default=None)
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_is = sub.add_parser("run-is", help="run importance sampling on a pair")
+    add_pair_arguments(p_is)
+    p_is.add_argument("--obs", type=float, nargs="*", default=None,
+                      help="observed values for the obs channel, in order")
+    p_is.add_argument("--samples", type=int, default=1000)
+    p_is.add_argument("--seed", type=int, default=0)
+    p_is.add_argument("--force", action="store_true",
+                      help="run even if the pair is not certified")
+    p_is.set_defaults(func=cmd_run_is)
+
+    p_bench = sub.add_parser("benchmarks", help="list the bundled benchmark programs")
+    p_bench.set_defaults(func=cmd_benchmarks)
+
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

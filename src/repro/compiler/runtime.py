@@ -1,0 +1,346 @@
+"""Runtime support for compiled model/guide pairs.
+
+The compiler emits generator functions that yield op tuples; this module
+schedules a (model, guide) pair of those generators, routing messages over
+the latent channel, replaying observation values into the model's obs sends,
+and scoring every sample site through :func:`repro.minipyro.sample` so the
+mini-Pyro tracing machinery is exercised exactly as by handwritten code.
+
+Op tuple vocabulary (produced by :mod:`repro.compiler.codegen`)::
+
+    ("recv_sample", channel, dist)
+    ("send_sample", channel, dist)
+    ("send_branch", channel, bool_value)
+    ("recv_branch", channel)
+    ("fold", channel)
+    ("observe", "", dist, value)
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ChannelProtocolError, InferenceError
+from repro.minipyro import handlers, primitives
+from repro.minipyro.primitives import sample as minipyro_sample
+from repro.minipyro.trace_struct import Trace
+from repro.utils.numerics import (
+    effective_sample_size,
+    log_mean_exp,
+    normalize_log_weights,
+)
+from repro.utils.rng import ensure_rng
+
+GeneratorFactory = Callable[[], object]
+
+
+@dataclass
+class PairRun:
+    """The outcome of one joint execution of a compiled model/guide pair."""
+
+    model_log_weight: float
+    guide_log_weight: float
+    model_trace: Trace
+    guide_trace: Trace
+    latent_values: List[object]
+    model_value: object
+    guide_value: object
+
+    @property
+    def log_weight(self) -> float:
+        if self.guide_log_weight == -math.inf:
+            return -math.inf
+        return self.model_log_weight - self.guide_log_weight
+
+
+@dataclass
+class _Coroutine:
+    name: str
+    generator: object
+    tracer: handlers.trace = field(default_factory=handlers.trace)
+    started: bool = False
+    finished: bool = False
+    value: object = None
+    pending_op: Optional[tuple] = None
+    pending_send: Optional[object] = None
+    site_counter: int = 0
+
+    def next_site(self, channel: str) -> str:
+        name = f"{self.name}/{channel}_{self.site_counter}"
+        self.site_counter += 1
+        return name
+
+
+def run_compiled_pair(
+    model_factory: GeneratorFactory,
+    guide_factory: GeneratorFactory,
+    obs_values: Optional[Sequence[object]] = None,
+    rng: Optional[np.random.Generator] = None,
+    latent_channel: str = "latent",
+    obs_channel: str = "obs",
+) -> PairRun:
+    """Jointly execute compiled model and guide coroutines once."""
+    rng = ensure_rng(rng)
+    obs_queue = deque(obs_values or [])
+
+    model = _Coroutine(name="model", generator=model_factory())
+    guide = _Coroutine(name="guide", generator=guide_factory())
+
+    # Directional message queues on the latent channel.
+    guide_to_model: deque = deque()
+    model_to_guide: deque = deque()
+    latent_values: List[object] = []
+    extra_log_weight = {"model": 0.0, "guide": 0.0}
+
+    def scored_sample(coroutine: _Coroutine, channel: str, dist, value=None):
+        site = coroutine.next_site(channel)
+        with handlers.seed(rng), coroutine.tracer:
+            return minipyro_sample(site, dist, obs=value)
+
+    def handle(coroutine: _Coroutine, op: tuple):
+        """Returns (ready, value_to_send)."""
+        kind = op[0]
+        if kind == "observe":
+            _, _, dist, value = op
+            extra_log_weight[coroutine.name] += dist.log_prob(value)
+            return True, None
+        if kind == "fold":
+            return True, None
+
+        channel = op[1]
+        is_model = coroutine is model
+
+        if kind == "send_sample":
+            dist = op[2]
+            if is_model and channel == obs_channel:
+                observed = obs_queue.popleft() if obs_queue else None
+                value = scored_sample(coroutine, channel, dist, value=observed)
+                return True, value
+            value = scored_sample(coroutine, channel, dist)
+            if not is_model and channel == latent_channel:
+                guide_to_model.append(("val", value))
+                latent_values.append(value)
+            elif is_model and channel == latent_channel:
+                model_to_guide.append(("val", value))
+            return True, value
+
+        if kind == "recv_sample":
+            dist = op[2]
+            incoming = guide_to_model if is_model else model_to_guide
+            if not incoming:
+                return False, None
+            tag, value = incoming.popleft()
+            if tag != "val":
+                raise ChannelProtocolError(
+                    f"{coroutine.name} expected a sample on {channel!r} but received a {tag}"
+                )
+            scored_sample(coroutine, channel, dist, value=value)
+            return True, value
+
+        if kind == "send_branch":
+            selection = bool(op[2])
+            outgoing = model_to_guide if is_model else guide_to_model
+            outgoing.append(("dir", selection))
+            return True, selection
+
+        if kind == "recv_branch":
+            incoming = guide_to_model if is_model else model_to_guide
+            if not incoming:
+                return False, None
+            tag, selection = incoming.popleft()
+            if tag != "dir":
+                raise ChannelProtocolError(
+                    f"{coroutine.name} expected a branch selection on {channel!r} but received a {tag}"
+                )
+            return True, selection
+
+        raise ChannelProtocolError(f"unknown compiled op {op!r}")
+
+    def step(coroutine: _Coroutine) -> bool:
+        progressed = False
+        while not coroutine.finished:
+            try:
+                if not coroutine.started:
+                    coroutine.started = True
+                    op = next(coroutine.generator)
+                elif coroutine.pending_op is not None:
+                    op = coroutine.pending_op
+                    coroutine.pending_op = None
+                else:
+                    op = coroutine.generator.send(coroutine.pending_send)
+                    coroutine.pending_send = None
+            except StopIteration as stop:
+                coroutine.finished = True
+                coroutine.value = stop.value
+                return True
+            ready, value = handle(coroutine, op)
+            if not ready:
+                coroutine.pending_op = op
+                return progressed
+            coroutine.pending_send = value
+            progressed = True
+        return progressed
+
+    while not (model.finished and guide.finished):
+        progressed = False
+        for coroutine in (guide, model):
+            if not coroutine.finished and step(coroutine):
+                progressed = True
+        if not progressed:
+            raise ChannelProtocolError(
+                "deadlock while running compiled model/guide coroutines: "
+                "the two programs do not follow the same guidance protocol"
+            )
+
+    return PairRun(
+        model_log_weight=model.tracer.trace.log_prob_sum() + extra_log_weight["model"],
+        guide_log_weight=guide.tracer.trace.log_prob_sum() + extra_log_weight["guide"],
+        model_trace=model.tracer.trace,
+        guide_trace=guide.tracer.trace,
+        latent_values=latent_values,
+        model_value=model.value,
+        guide_value=guide.value,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Inference wrappers for compiled pairs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CompiledImportanceResults:
+    """Importance-sampling output for a compiled pair."""
+
+    runs: List[PairRun]
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.runs)
+
+    @property
+    def log_weights(self) -> List[float]:
+        return [run.log_weight for run in self.runs]
+
+    def log_evidence(self) -> float:
+        return log_mean_exp(self.log_weights)
+
+    def effective_sample_size(self) -> float:
+        return effective_sample_size(self.log_weights)
+
+    def posterior_mean_of_latent(self, index: int) -> float:
+        pairs = [
+            (float(run.latent_values[index]), run.log_weight)
+            for run in self.runs
+            if len(run.latent_values) > index
+            and isinstance(run.latent_values[index], (int, float))
+        ]
+        if not pairs:
+            raise InferenceError(f"no run produced a latent value at index {index}")
+        values, weights = zip(*pairs)
+        normalized = normalize_log_weights(list(weights))
+        return float(np.dot(np.asarray(values), normalized))
+
+
+def compiled_importance_sampling(
+    model_factory: GeneratorFactory,
+    guide_factory: GeneratorFactory,
+    obs_values: Optional[Sequence[object]] = None,
+    num_samples: int = 100,
+    seed: int = 0,
+    latent_channel: str = "latent",
+    obs_channel: str = "obs",
+) -> CompiledImportanceResults:
+    """Self-normalised importance sampling with the compiled pair."""
+    rng = ensure_rng(seed)
+    runs = [
+        run_compiled_pair(
+            model_factory,
+            guide_factory,
+            obs_values=obs_values,
+            rng=rng,
+            latent_channel=latent_channel,
+            obs_channel=obs_channel,
+        )
+        for _ in range(num_samples)
+    ]
+    return CompiledImportanceResults(runs)
+
+
+@dataclass
+class CompiledSVIResults:
+    """SVI output for a compiled pair."""
+
+    elbo_history: List[float]
+    params: Dict[str, float]
+
+    @property
+    def final_elbo(self) -> float:
+        if not self.elbo_history:
+            raise InferenceError("SVI took no steps")
+        return self.elbo_history[-1]
+
+
+def compiled_svi(
+    model_factory: GeneratorFactory,
+    guide_factory: GeneratorFactory,
+    obs_values: Optional[Sequence[object]] = None,
+    num_steps: int = 50,
+    num_particles: int = 2,
+    learning_rate: float = 0.05,
+    fd_epsilon: float = 1e-3,
+    seed: int = 0,
+    param_inits: Optional[Dict[str, float]] = None,
+    latent_channel: str = "latent",
+    obs_channel: str = "obs",
+) -> CompiledSVIResults:
+    """Finite-difference SVI over the compiled pair's parameter store."""
+    rng = ensure_rng(seed)
+    store = primitives.get_param_store()
+    for name, init in (param_inits or {}).items():
+        store.setdefault(name, float(init))
+
+    def elbo(seed_value: int) -> float:
+        local_rng = np.random.default_rng(seed_value)
+        terms = []
+        for _ in range(num_particles):
+            run = run_compiled_pair(
+                model_factory,
+                guide_factory,
+                obs_values=obs_values,
+                rng=local_rng,
+                latent_channel=latent_channel,
+                obs_channel=obs_channel,
+            )
+            if run.model_log_weight == -math.inf:
+                return -math.inf
+            terms.append(run.model_log_weight - run.guide_log_weight)
+        return float(np.mean(terms))
+
+    history: List[float] = []
+    for _ in range(num_steps):
+        seed_value = int(rng.integers(0, 2**31 - 1))
+        base = elbo(seed_value)
+        history.append(base)
+        param_names = sorted((param_inits or store).keys())
+        grads: Dict[str, float] = {}
+        for name in param_names:
+            original = store[name]
+            store[name] = original + fd_epsilon
+            up = elbo(seed_value)
+            store[name] = original - fd_epsilon
+            down = elbo(seed_value)
+            store[name] = original
+            if math.isfinite(up) and math.isfinite(down):
+                grads[name] = (up - down) / (2.0 * fd_epsilon)
+            else:
+                grads[name] = 0.0
+        for name, grad in grads.items():
+            store[name] = store[name] + learning_rate * grad
+
+    return CompiledSVIResults(elbo_history=history, params=dict(store))

@@ -1,0 +1,22 @@
+"""Core calculus of the coroutine-based PPL.
+
+Subpackages
+-----------
+``repro.core.ast``
+    Abstract syntax of expressions, commands, procedures, and programs
+    (paper Fig. 7).
+``repro.core.types``
+    Basic types, distribution types, guide types, type operators, and
+    procedure signatures (paper Sec. 3 and 4).
+``repro.core.parser``
+    Lexer and recursive-descent parser for the surface syntax.
+``repro.core.typecheck``
+    Basic (simply-typed) checking and guide-type inference.
+``repro.core.semantics``
+    Guidance traces, big-step weighted evaluation, and the probability-erased
+    reduction relation.
+``repro.core.coroutines``
+    Channel/scheduler machinery for joint model–guide execution.
+"""
+
+from repro.core import ast, types  # noqa: F401

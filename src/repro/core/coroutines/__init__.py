@@ -1,0 +1,51 @@
+"""Coroutine runtime: channels, generator-based interpretation, and scheduling.
+
+The paper's key operational idea is that the model and the guide run as
+*coroutines* that exchange sample values and branch selections over named
+channels.  This package implements that idea with standard Python
+generators (substituting for the paper's ``greenlet``):
+
+``ops``
+    The channel-operation vocabulary yielded by interpreted commands.
+``interp``
+    A generator-based interpreter: a command becomes a generator that yields
+    channel operations and receives resolved values.
+``runner``
+    The scheduler that connects coroutines over channels, draws samples,
+    replays conditioning traces, records per-channel guidance traces, and
+    accumulates per-coroutine log weights.
+"""
+
+from repro.core.coroutines.ops import (
+    OpFold,
+    OpObserve,
+    OpRecvBranch,
+    OpRecvSample,
+    OpSendBranch,
+    OpSendSample,
+)
+from repro.core.coroutines.interp import interpret_procedure
+from repro.core.coroutines.runner import (
+    ChannelSpec,
+    CoroutineSpec,
+    JointResult,
+    run_joint,
+    run_model_guide,
+    run_prior,
+)
+
+__all__ = [
+    "OpSendSample",
+    "OpRecvSample",
+    "OpSendBranch",
+    "OpRecvBranch",
+    "OpFold",
+    "OpObserve",
+    "interpret_procedure",
+    "CoroutineSpec",
+    "ChannelSpec",
+    "JointResult",
+    "run_joint",
+    "run_model_guide",
+    "run_prior",
+]

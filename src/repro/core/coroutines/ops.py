@@ -1,0 +1,69 @@
+"""Channel operations yielded by interpreted commands.
+
+Each operation names the channel it acts on and carries the data the
+scheduler needs to resolve it (the distribution for sampling/scoring, the
+predicate value for a sent branch selection).  The scheduler responds with
+the *resolved* value — the sample actually used, or the branch actually
+taken — which may differ from what the coroutine proposed when the channel
+is bound to a replay (conditioning) trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dists.base import Distribution
+
+
+@dataclass(frozen=True)
+class Op:
+    """Base class of channel operations."""
+
+    channel: str
+
+
+@dataclass(frozen=True)
+class OpSendSample(Op):
+    """Draw a value from ``dist`` and send it on the channel.
+
+    The scheduler resolves the value (sampling fresh, or replaying the bound
+    trace) and scores it against ``dist`` in the issuing coroutine's weight.
+    """
+
+    dist: Distribution
+
+
+@dataclass(frozen=True)
+class OpRecvSample(Op):
+    """Receive a value on the channel and score it against ``dist``."""
+
+    dist: Distribution
+
+
+@dataclass(frozen=True)
+class OpSendBranch(Op):
+    """Send the Boolean branch selection ``value`` on the channel."""
+
+    value: bool
+
+
+@dataclass(frozen=True)
+class OpRecvBranch(Op):
+    """Receive a branch selection on the channel."""
+
+
+@dataclass(frozen=True)
+class OpFold(Op):
+    """Record a procedure-call marker on the channel."""
+
+
+@dataclass(frozen=True)
+class OpObserve(Op):
+    """Score ``value`` against ``dist`` without any communication.
+
+    The ``channel`` field is the empty string; ``OpObserve`` exists so the
+    interpreter never needs direct access to the weight accumulator.
+    """
+
+    dist: Distribution
+    value: object

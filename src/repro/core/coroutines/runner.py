@@ -1,0 +1,450 @@
+"""The coroutine scheduler: joint execution of model/guide pairs.
+
+The scheduler owns a set of coroutines (interpreted procedure bodies) and a
+set of channels.  Each channel has an optional provider coroutine, an
+optional consumer coroutine, and an optional *replay* trace:
+
+* when both endpoints are live coroutines, messages flow through a FIFO
+  queue from the sender to the receiver;
+* when an endpoint is external and a replay trace is supplied, sends are
+  *conditioned* on the trace (the trace's value is used and scored; branch
+  selections that contradict the predicate force the weight to zero) and
+  receives read from the trace;
+* when an endpoint is external and no replay trace is supplied, the channel
+  is in *generate* mode: sends draw fresh values, receives draw from the
+  receiving operation's own distribution (prior simulation).
+
+Every resolved message is recorded in the channel's guidance trace with the
+correct polarity (``ValP``/``DirP`` when the provider sent it, ``ValC``/
+``DirC`` otherwise), so the recorded traces can be fed back into the
+big-step evaluator or validated against inferred guide types.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import ast
+from repro.core.coroutines import ops
+from repro.core.coroutines.interp import CommandGenerator, interpret_procedure
+from repro.core.semantics import traces as tr
+from repro.errors import ChannelProtocolError
+from repro.utils.recursion import deep_recursion
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class CoroutineSpec:
+    """One coroutine to run: a named entry procedure with arguments."""
+
+    name: str
+    program: ast.Program
+    entry: str
+    args: Tuple[object, ...] = ()
+
+
+@dataclass
+class ChannelSpec:
+    """One channel: its provider/consumer coroutine names and optional replay trace."""
+
+    name: str
+    provider: Optional[str] = None
+    consumer: Optional[str] = None
+    replay: Optional[Sequence[tr.Message]] = None
+
+
+@dataclass
+class JointResult:
+    """Result of a joint execution.
+
+    Attributes
+    ----------
+    values:
+        Return value of each coroutine, keyed by coroutine name.
+    log_weights:
+        Accumulated log weight of each coroutine (its density contribution).
+    traces:
+        The recorded guidance trace of each channel.
+    """
+
+    values: Dict[str, object]
+    log_weights: Dict[str, float]
+    traces: Dict[str, tr.Trace]
+
+    def total_log_weight(self) -> float:
+        """Sum of all coroutine log weights (the joint density of the run)."""
+        return sum(self.log_weights.values())
+
+
+# ---------------------------------------------------------------------------
+# Internal task / channel state
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Task:
+    name: str
+    generator: CommandGenerator
+    log_weight: float = 0.0
+    finished: bool = False
+    value: object = None
+    started: bool = False
+    pending_op: Optional[ops.Op] = None
+    pending_send: Optional[object] = None  # value to send into the generator
+
+
+@dataclass
+class _ChannelState:
+    spec: ChannelSpec
+    #: Messages in flight from the provider to the consumer.
+    to_consumer: Deque[Tuple[str, object]] = field(default_factory=deque)
+    #: Messages in flight from the consumer to the provider.
+    to_provider: Deque[Tuple[str, object]] = field(default_factory=deque)
+    recorded: List[tr.Message] = field(default_factory=list)
+    replay_cursor: Optional[tr.TraceCursor] = None
+    #: Name of the coroutine currently waiting at a fold rendezvous, if any.
+    fold_waiting: Optional[str] = None
+    #: Coroutines released from a completed fold rendezvous that have not
+    #: yet re-issued their pending fold operation.
+    fold_passes: set = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.spec.replay is not None:
+            self.replay_cursor = tr.TraceCursor(self.spec.replay)
+
+    def outgoing(self, sender_is_provider: bool) -> Deque[Tuple[str, object]]:
+        """The queue a sender pushes to."""
+        return self.to_consumer if sender_is_provider else self.to_provider
+
+    def incoming(self, receiver_is_provider: bool) -> Deque[Tuple[str, object]]:
+        """The queue a receiver pops from."""
+        return self.to_provider if receiver_is_provider else self.to_consumer
+
+
+#: Default cap on the number of channel operations in one joint execution.
+#: Recursive models whose branching process is (super)critical can generate
+#: unboundedly large traces; the cap turns such runaway executions into an
+#: error instead of an apparent hang.
+DEFAULT_MAX_OPS = 10_000
+
+
+class _Scheduler:
+    """Cooperative round-robin scheduler over the coroutine tasks."""
+
+    def __init__(
+        self,
+        coroutines: Sequence[CoroutineSpec],
+        channels: Sequence[ChannelSpec],
+        rng: np.random.Generator,
+        max_ops: int = DEFAULT_MAX_OPS,
+    ):
+        self.rng = rng
+        self.max_ops = max_ops
+        self.ops_handled = 0
+        self.tasks: Dict[str, _Task] = {}
+        for spec in coroutines:
+            generator = interpret_procedure(spec.program, spec.entry, spec.args)
+            self.tasks[spec.name] = _Task(name=spec.name, generator=generator)
+        self.channels: Dict[str, _ChannelState] = {
+            spec.name: _ChannelState(spec) for spec in channels
+        }
+
+    # -- channel helpers ----------------------------------------------------------
+
+    def _channel(self, name: str) -> _ChannelState:
+        if name not in self.channels:
+            raise ChannelProtocolError(
+                f"coroutine communicates on undeclared channel {name!r}"
+            )
+        return self.channels[name]
+
+    def _is_provider(self, task: _Task, channel: _ChannelState) -> bool:
+        return channel.spec.provider == task.name
+
+    def _partner_is_live(self, task: _Task, channel: _ChannelState) -> bool:
+        partner = (
+            channel.spec.consumer
+            if self._is_provider(task, channel)
+            else channel.spec.provider
+        )
+        return partner is not None and partner in self.tasks
+
+    def _replay_value(self, channel: _ChannelState, what: str) -> object:
+        assert channel.replay_cursor is not None
+        message = channel.replay_cursor.take(tr.Message, what)
+        if not isinstance(message, (tr.ValP, tr.ValC)):
+            raise ChannelProtocolError(
+                f"{what}: replay trace provides {message}, expected a sample value"
+            )
+        return message.value
+
+    def _replay_branch(self, channel: _ChannelState, what: str) -> bool:
+        assert channel.replay_cursor is not None
+        message = channel.replay_cursor.take(tr.Message, what)
+        if not isinstance(message, (tr.DirP, tr.DirC)):
+            raise ChannelProtocolError(
+                f"{what}: replay trace provides {message}, expected a branch selection"
+            )
+        return bool(message.value)
+
+    def _record(self, channel: _ChannelState, message: tr.Message) -> None:
+        channel.recorded.append(message)
+
+    # -- op handlers -------------------------------------------------------------
+
+    def _handle(self, task: _Task, op: ops.Op) -> Tuple[bool, object]:
+        """Handle one op.
+
+        Returns ``(ready, value)``: when ``ready`` is False the coroutine is
+        blocked waiting for its partner and must be retried later.
+        """
+        self.ops_handled += 1
+        if self.ops_handled > self.max_ops:
+            raise ChannelProtocolError(
+                f"joint execution exceeded the operation budget ({self.max_ops}); "
+                "the model/guide recursion appears not to terminate"
+            )
+        if isinstance(op, ops.OpObserve):
+            task.log_weight += op.dist.log_prob(op.value)
+            return True, None
+
+        channel = self._channel(op.channel)
+        provider = self._is_provider(task, channel)
+
+        if isinstance(op, ops.OpSendSample):
+            if channel.replay_cursor is not None:
+                value = self._replay_value(channel, f"send on {op.channel}")
+            else:
+                value = op.dist.sample(self.rng)
+            task.log_weight += op.dist.log_prob(value)
+            self._record(channel, tr.ValP(value) if provider else tr.ValC(value))
+            if self._partner_is_live(task, channel):
+                channel.outgoing(provider).append(("val", value))
+            return True, value
+
+        if isinstance(op, ops.OpRecvSample):
+            if self._partner_is_live(task, channel):
+                incoming = channel.incoming(provider)
+                if not incoming:
+                    return False, None
+                kind, value = incoming.popleft()
+                if kind != "val":
+                    raise ChannelProtocolError(
+                        f"receive on {op.channel}: expected a sample value, got a {kind} message"
+                    )
+            elif channel.replay_cursor is not None:
+                value = self._replay_value(channel, f"receive on {op.channel}")
+                self._record(channel, tr.ValC(value) if provider else tr.ValP(value))
+            else:
+                # Generate mode: the external partner "samples" from the
+                # receiving operation's own distribution (prior simulation).
+                value = op.dist.sample(self.rng)
+                self._record(channel, tr.ValC(value) if provider else tr.ValP(value))
+            task.log_weight += op.dist.log_prob(value)
+            return True, value
+
+        if isinstance(op, ops.OpSendBranch):
+            if channel.replay_cursor is not None:
+                selection = self._replay_branch(channel, f"branch on {op.channel}")
+                if selection != op.value:
+                    task.log_weight = -math.inf
+            else:
+                selection = op.value
+            self._record(channel, tr.DirP(selection) if provider else tr.DirC(selection))
+            if self._partner_is_live(task, channel):
+                channel.outgoing(provider).append(("dir", selection))
+            return True, selection
+
+        if isinstance(op, ops.OpRecvBranch):
+            if self._partner_is_live(task, channel):
+                incoming = channel.incoming(provider)
+                if not incoming:
+                    return False, None
+                kind, selection = incoming.popleft()
+                if kind != "dir":
+                    raise ChannelProtocolError(
+                        f"receive on {op.channel}: expected a branch selection, got a {kind} message"
+                    )
+            elif channel.replay_cursor is not None:
+                selection = self._replay_branch(channel, f"branch on {op.channel}")
+                self._record(
+                    channel, tr.DirC(selection) if provider else tr.DirP(selection)
+                )
+            else:
+                raise ChannelProtocolError(
+                    f"receive of a branch selection on {op.channel!r} with no partner "
+                    "and no replay trace"
+                )
+            return True, selection
+
+        if isinstance(op, ops.OpFold):
+            if not self._partner_is_live(task, channel):
+                if channel.replay_cursor is not None:
+                    channel.replay_cursor.take(tr.Fold, f"call marker on {op.channel}")
+                if provider:
+                    self._record(channel, tr.Fold())
+                return True, None
+            # Fold markers on a live channel synchronise the two coroutines:
+            # the first arrival waits; the second arrival records the marker
+            # (at its correct protocol position) and releases the first.
+            if task.name in channel.fold_passes:
+                channel.fold_passes.discard(task.name)
+                return True, None
+            if channel.fold_waiting is None:
+                channel.fold_waiting = task.name
+                return False, None
+            if channel.fold_waiting == task.name:
+                return False, None
+            other = channel.fold_waiting
+            channel.fold_waiting = None
+            channel.fold_passes.add(other)
+            self._record(channel, tr.Fold())
+            return True, None
+
+        raise ChannelProtocolError(f"unknown channel operation {op!r}")
+
+    # -- the scheduling loop ----------------------------------------------------------
+
+    def _step(self, task: _Task) -> bool:
+        """Advance one coroutine until it blocks or finishes.
+
+        Returns True when the coroutine made progress.
+        """
+        progressed = False
+        while not task.finished:
+            try:
+                if not task.started:
+                    task.started = True
+                    op = next(task.generator)
+                elif task.pending_op is not None:
+                    op = task.pending_op
+                    task.pending_op = None
+                else:
+                    op = task.generator.send(task.pending_send)
+                    task.pending_send = None
+            except StopIteration as stop:
+                task.finished = True
+                task.value = stop.value
+                return True
+
+            ready, value = self._handle(task, op)
+            if not ready:
+                task.pending_op = op
+                return progressed
+            task.pending_send = value
+            progressed = True
+        return progressed
+
+    def run(self) -> JointResult:
+        with deep_recursion():
+            return self._run_loop()
+
+    def _run_loop(self) -> JointResult:
+        pending = deque(self.tasks.values())
+        while any(not task.finished for task in self.tasks.values()):
+            progressed_any = False
+            for _ in range(len(pending)):
+                task = pending.popleft()
+                pending.append(task)
+                if task.finished:
+                    continue
+                if self._step(task):
+                    progressed_any = True
+            if not progressed_any:
+                blocked = [t.name for t in self.tasks.values() if not t.finished]
+                raise ChannelProtocolError(
+                    "deadlock: coroutines "
+                    + ", ".join(blocked)
+                    + " are all blocked waiting for messages; the model and guide "
+                    "do not follow the same guidance protocol"
+                )
+
+        return JointResult(
+            values={name: task.value for name, task in self.tasks.items()},
+            log_weights={name: task.log_weight for name, task in self.tasks.items()},
+            traces={name: tuple(state.recorded) for name, state in self.channels.items()},
+        )
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def run_joint(
+    coroutines: Sequence[CoroutineSpec],
+    channels: Sequence[ChannelSpec],
+    rng: Optional[np.random.Generator] = None,
+    max_ops: int = DEFAULT_MAX_OPS,
+) -> JointResult:
+    """Run a set of coroutines to completion over the given channels.
+
+    ``max_ops`` bounds the total number of channel operations; exceeding it
+    raises :class:`ChannelProtocolError` (used to cut off recursive models
+    whose branching process fails to terminate).
+    """
+    return _Scheduler(coroutines, channels, ensure_rng(rng), max_ops=max_ops).run()
+
+
+def run_model_guide(
+    model_program: ast.Program,
+    guide_program: ast.Program,
+    model_entry: str,
+    guide_entry: str,
+    obs_trace: Optional[Sequence[tr.Message]] = None,
+    rng: Optional[np.random.Generator] = None,
+    model_args: Tuple[object, ...] = (),
+    guide_args: Tuple[object, ...] = (),
+    latent_channel: str = "latent",
+    obs_channel: str = "obs",
+) -> JointResult:
+    """Jointly execute a model and a guide, conditioning on ``obs_trace``.
+
+    The guide provides the latent channel and the model consumes it; the
+    model provides the observation channel, which is conditioned on
+    ``obs_trace`` when supplied and sampled freely otherwise (prior
+    predictive).  Returns per-coroutine log weights (``w_g`` and ``w_m``)
+    and the recorded latent/observation traces.
+    """
+    model_proc = model_program.procedure(model_entry)
+    channels = [
+        ChannelSpec(name=latent_channel, provider="guide", consumer="model"),
+    ]
+    if model_proc.provides == obs_channel:
+        channels.append(
+            ChannelSpec(name=obs_channel, provider="model", consumer=None, replay=obs_trace)
+        )
+    coroutines = [
+        CoroutineSpec(name="model", program=model_program, entry=model_entry, args=model_args),
+        CoroutineSpec(name="guide", program=guide_program, entry=guide_entry, args=guide_args),
+    ]
+    return run_joint(coroutines, channels, rng)
+
+
+def run_prior(
+    model_program: ast.Program,
+    model_entry: str,
+    rng: Optional[np.random.Generator] = None,
+    model_args: Tuple[object, ...] = (),
+    latent_channel: str = "latent",
+    obs_channel: str = "obs",
+) -> JointResult:
+    """Simulate the model alone (prior + prior predictive).
+
+    Both channels run in generate mode: every latent the model *receives* is
+    drawn from the model's own (prior) distribution at that site, and every
+    observation the model *sends* is drawn from its likelihood.
+    """
+    model_proc = model_program.procedure(model_entry)
+    channels = [ChannelSpec(name=latent_channel, provider=None, consumer="model")]
+    if model_proc.provides == obs_channel:
+        channels.append(ChannelSpec(name=obs_channel, provider="model", consumer=None))
+    coroutines = [
+        CoroutineSpec(name="model", program=model_program, entry=model_entry, args=model_args)
+    ]
+    return run_joint(coroutines, channels, rng)

@@ -1,0 +1,31 @@
+"""Surface syntax for the coroutine-based PPL.
+
+The concrete syntax mirrors the paper's notation::
+
+    proc Model() consume latent provide obs {
+      v <- sample.recv{latent}(Gamma(2.0, 1.0));
+      if.send{latent} v < 2.0 {
+        _ <- sample.send{obs}(Normal(-1.0, 1.0));
+        return(v)
+      } else {
+        m <- sample.recv{latent}(Beta(3.0, 1.0));
+        _ <- sample.send{obs}(Normal(m, 1.0));
+        return(v)
+      }
+    }
+
+Use :func:`parse_program` to turn source text into a
+:class:`repro.core.ast.Program`.
+"""
+
+from repro.core.parser.lexer import Token, TokenKind, tokenize
+from repro.core.parser.parser import parse_command, parse_expression, parse_program
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse_program",
+    "parse_command",
+    "parse_expression",
+]

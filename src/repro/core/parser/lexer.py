@@ -1,0 +1,256 @@
+"""Lexer for the surface syntax of the coroutine-based PPL.
+
+The lexer produces a flat list of :class:`Token` values.  It supports
+line comments introduced by ``#`` or ``//``, decimal integer and float
+literals (including scientific notation), identifiers, keywords, and the
+punctuation used by the grammar.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import LexError
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories."""
+
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    FLOAT = "float"
+    # punctuation / operators
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMI = ";"
+    COLON = ":"
+    DOT = "."
+    LARROW = "<-"
+    ARROW = "->"
+    DARROW = "=>"
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+    ASSIGN = "="
+    ANDAND = "&&"
+    OROR = "||"
+    BANG = "!"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "proc",
+        "consume",
+        "provide",
+        "sample",
+        "recv",
+        "send",
+        "if",
+        "else",
+        "then",
+        "return",
+        "call",
+        "observe",
+        "let",
+        "in",
+        "fun",
+        "true",
+        "false",
+        # distribution constructors are keywords so `Unif` (nullary) lexes cleanly
+        "Ber",
+        "Unif",
+        "Beta",
+        "Gamma",
+        "Normal",
+        "Cat",
+        "Geo",
+        "Pois",
+        # unary math builtins
+        "exp",
+        "log",
+        "sqrt",
+        # type names (used in parameter annotations)
+        "unit",
+        "bool",
+        "ureal",
+        "preal",
+        "real",
+        "nat",
+        "dist",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position (1-based)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind.name}({self.text!r})@{self.line}:{self.column}"
+
+
+_TWO_CHAR = {
+    "<-": TokenKind.LARROW,
+    "->": TokenKind.ARROW,
+    "=>": TokenKind.DARROW,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NE,
+    "&&": TokenKind.ANDAND,
+    "||": TokenKind.OROR,
+}
+
+_ONE_CHAR = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMI,
+    ":": TokenKind.COLON,
+    ".": TokenKind.DOT,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "=": TokenKind.ASSIGN,
+    "!": TokenKind.BANG,
+}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``, returning a list terminated by an EOF token.
+
+    Raises
+    ------
+    LexError
+        On any character that cannot start a token, or on malformed numeric
+        literals such as ``1.2.3``.
+    """
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+
+    def error(message: str) -> LexError:
+        return LexError(message, line=line, column=column)
+
+    while i < n:
+        ch = source[i]
+
+        # -- whitespace -----------------------------------------------------
+        if ch == "\n":
+            i += 1
+            line += 1
+            column = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+
+        # -- comments -------------------------------------------------------
+        if ch == "#" or source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+
+        start_line, start_col = line, column
+
+        # -- two-character operators -----------------------------------------
+        two = source[i : i + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token(_TWO_CHAR[two], two, start_line, start_col))
+            i += 2
+            column += 2
+            continue
+
+        # -- numbers ----------------------------------------------------------
+        # Numeric literals must start with a digit; a leading "." is always a
+        # projection or field access (e.g. ``(x, y).1``), never a float.
+        if ch.isdigit():
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = source[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    # A dot followed by a non-digit is a projection, not a float.
+                    if j + 1 < n and source[j + 1].isdigit():
+                        seen_dot = True
+                        j += 1
+                    else:
+                        break
+                elif c in "eE" and not seen_exp and j + 1 < n and (
+                    source[j + 1].isdigit() or source[j + 1] in "+-"
+                ):
+                    seen_exp = True
+                    j += 2 if source[j + 1] in "+-" else 1
+                else:
+                    break
+            text = source[i:j]
+            kind = TokenKind.FLOAT if ("." in text or "e" in text or "E" in text) else TokenKind.INT
+            try:
+                float(text)
+            except ValueError as exc:  # pragma: no cover - defensive
+                raise error(f"malformed numeric literal {text!r}") from exc
+            tokens.append(Token(kind, text, start_line, start_col))
+            column += j - i
+            i = j
+            continue
+
+        # -- identifiers / keywords -------------------------------------------
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, start_line, start_col))
+            column += j - i
+            i = j
+            continue
+
+        # -- single-character operators ----------------------------------------
+        if ch in _ONE_CHAR:
+            tokens.append(Token(_ONE_CHAR[ch], ch, start_line, start_col))
+            i += 1
+            column += 1
+            continue
+
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

@@ -1,0 +1,579 @@
+"""Recursive-descent parser for the surface syntax.
+
+The parser produces :mod:`repro.core.ast` nodes.  Blocks of statements are
+desugared into nested ``bnd`` commands::
+
+    { x <- m1; m2 }        ==>   bnd(m1; x. m2)
+    { m1; m2 }             ==>   bnd(m1; _. m2)
+    { return(e) }          ==>   ret(e)
+
+Parameter type annotations use the concrete names ``unit``, ``bool``,
+``ureal`` (ℝ(0,1)), ``preal`` (ℝ+), ``real``, ``nat``, ``nat[n]``,
+``dist(τ)``, tuples ``(τ1 * τ2)``, and arrows ``τ1 -> τ2``.  Unannotated
+parameters default to ``real``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core import ast
+from repro.core import types as ty
+from repro.core.parser.lexer import Token, TokenKind, tokenize
+from repro.errors import ParseError
+
+_DIST_KEYWORDS = {
+    "Ber": ast.DistKind.BER,
+    "Unif": ast.DistKind.UNIF,
+    "Beta": ast.DistKind.BETA,
+    "Gamma": ast.DistKind.GAMMA,
+    "Normal": ast.DistKind.NORMAL,
+    "Cat": ast.DistKind.CAT,
+    "Geo": ast.DistKind.GEO,
+    "Pois": ast.DistKind.POIS,
+}
+
+_UNARY_FUN_KEYWORDS = {
+    "exp": ast.UnOp.EXP,
+    "log": ast.UnOp.LOG,
+    "sqrt": ast.UnOp.SQRT,
+}
+
+_CMP_OPS = {
+    TokenKind.LT: ast.BinOp.LT,
+    TokenKind.LE: ast.BinOp.LE,
+    TokenKind.GT: ast.BinOp.GT,
+    TokenKind.GE: ast.BinOp.GE,
+    TokenKind.EQ: ast.BinOp.EQ,
+    TokenKind.NE: ast.BinOp.NE,
+}
+
+
+class _Parser:
+    """Stateful token-stream parser.  One instance per parse call."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self._fresh_counter = 0
+
+    # -- token-stream helpers -------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def check(self, kind: TokenKind, text: Optional[str] = None) -> bool:
+        token = self.peek()
+        if token.kind is not kind:
+            return False
+        return text is None or token.text == text
+
+    def check_keyword(self, word: str) -> bool:
+        return self.check(TokenKind.KEYWORD, word)
+
+    def match(self, kind: TokenKind, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: TokenKind, text: Optional[str] = None) -> Token:
+        token = self.peek()
+        if self.check(kind, text):
+            return self.advance()
+        expected = text or kind.value
+        raise ParseError(
+            f"expected {expected!r} but found {token.text!r}",
+            line=token.line,
+            column=token.column,
+        )
+
+    def expect_keyword(self, word: str) -> Token:
+        return self.expect(TokenKind.KEYWORD, word)
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(message, line=token.line, column=token.column)
+
+    def fresh_name(self) -> str:
+        self._fresh_counter += 1
+        return f"_ignore{self._fresh_counter}"
+
+    # -- program / procedures -------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        procedures = []
+        while not self.check(TokenKind.EOF):
+            procedures.append(self.parse_procedure())
+        if not procedures:
+            raise self.error("a program must contain at least one procedure")
+        return ast.Program(tuple(procedures))
+
+    def parse_procedure(self) -> ast.Procedure:
+        start = self.expect_keyword("proc")
+        name = self.expect(TokenKind.IDENT).text
+        self.expect(TokenKind.LPAREN)
+        params: List[Tuple[str, ty.BaseType]] = []
+        if not self.check(TokenKind.RPAREN):
+            params.append(self.parse_param())
+            while self.match(TokenKind.COMMA):
+                params.append(self.parse_param())
+        self.expect(TokenKind.RPAREN)
+
+        consumes: Optional[str] = None
+        provides: Optional[str] = None
+        while True:
+            if self.check_keyword("consume"):
+                self.advance()
+                if consumes is not None:
+                    raise self.error("a procedure may consume at most one channel")
+                consumes = self.expect(TokenKind.IDENT).text
+            elif self.check_keyword("provide"):
+                self.advance()
+                if provides is not None:
+                    raise self.error("a procedure may provide at most one channel")
+                provides = self.expect(TokenKind.IDENT).text
+            else:
+                break
+        if consumes is not None and consumes == provides:
+            raise self.error("a procedure cannot consume and provide the same channel")
+
+        body = self.parse_block()
+        proc = ast.Procedure(
+            name=name,
+            params=tuple(p for p, _ in params),
+            consumes=consumes,
+            provides=provides,
+            body=body,
+            loc=(start.line, start.column),
+        )
+        # Parameter types are attached out-of-band (see parse_program_with_types).
+        object.__setattr__(proc, "_param_types", tuple(t for _, t in params))
+        return proc
+
+    def parse_param(self) -> Tuple[str, ty.BaseType]:
+        name = self.expect(TokenKind.IDENT).text
+        if self.match(TokenKind.COLON):
+            return name, self.parse_type()
+        return name, ty.REAL
+
+    # -- types -----------------------------------------------------------------
+
+    def parse_type(self) -> ty.BaseType:
+        left = self.parse_atom_type()
+        if self.match(TokenKind.ARROW):
+            right = self.parse_type()
+            return ty.FunTy(left, right)
+        return left
+
+    def parse_atom_type(self) -> ty.BaseType:
+        token = self.peek()
+        if token.kind is TokenKind.KEYWORD:
+            if token.text == "unit":
+                self.advance()
+                return ty.UNIT
+            if token.text == "bool":
+                self.advance()
+                return ty.BOOL
+            if token.text == "ureal":
+                self.advance()
+                return ty.UREAL
+            if token.text == "preal":
+                self.advance()
+                return ty.PREAL
+            if token.text == "real":
+                self.advance()
+                return ty.REAL
+            if token.text == "nat":
+                self.advance()
+                if self.match(TokenKind.LBRACKET):
+                    size = int(self.expect(TokenKind.INT).text)
+                    self.expect(TokenKind.RBRACKET)
+                    return ty.FinNatTy(size)
+                return ty.NAT
+            if token.text == "dist":
+                self.advance()
+                self.expect(TokenKind.LPAREN)
+                inner = self.parse_type()
+                self.expect(TokenKind.RPAREN)
+                return ty.DistTy(inner)
+        if token.kind is TokenKind.LPAREN:
+            self.advance()
+            first = self.parse_type()
+            if self.check(TokenKind.STAR):
+                items = [first]
+                while self.match(TokenKind.STAR):
+                    items.append(self.parse_type())
+                self.expect(TokenKind.RPAREN)
+                return ty.TupleTy(tuple(items))
+            self.expect(TokenKind.RPAREN)
+            return first
+        raise self.error(f"expected a type but found {token.text!r}")
+
+    # -- commands / blocks -------------------------------------------------------
+
+    def parse_block(self) -> ast.Command:
+        self.expect(TokenKind.LBRACE)
+        command = self.parse_statement_sequence()
+        self.expect(TokenKind.RBRACE)
+        return command
+
+    def parse_statement_sequence(self) -> ast.Command:
+        if self.check(TokenKind.RBRACE):
+            raise self.error("blocks must contain at least one command")
+        var, command = self.parse_statement()
+        if self.match(TokenKind.SEMI):
+            if self.check(TokenKind.RBRACE):
+                # Trailing semicolon: the statement is the tail of the block.
+                return self._finish_tail(var, command)
+            rest = self.parse_statement_sequence()
+            binder = var if var is not None else self.fresh_name()
+            return ast.Bnd(first=command, var=binder, second=rest, loc=command.loc)
+        return self._finish_tail(var, command)
+
+    def _finish_tail(self, var: Optional[str], command: ast.Command) -> ast.Command:
+        if var is None:
+            return command
+        # `x <- m` in tail position desugars to `bnd(m; x. ret(x))`.
+        return ast.Bnd(
+            first=command,
+            var=var,
+            second=ast.Ret(ast.Var(var), loc=command.loc),
+            loc=command.loc,
+        )
+
+    def parse_statement(self) -> Tuple[Optional[str], ast.Command]:
+        # lookahead for `IDENT <-`
+        if self.peek().kind is TokenKind.IDENT and self.peek(1).kind is TokenKind.LARROW:
+            var = self.advance().text
+            self.advance()  # <-
+            return var, self.parse_command()
+        return None, self.parse_command()
+
+    def parse_command(self) -> ast.Command:
+        token = self.peek()
+        loc = (token.line, token.column)
+
+        if self.check_keyword("return"):
+            self.advance()
+            self.expect(TokenKind.LPAREN)
+            if self.check(TokenKind.RPAREN):
+                expr: ast.Expr = ast.Triv(loc=loc)
+            else:
+                expr = self.parse_expression()
+            self.expect(TokenKind.RPAREN)
+            return ast.Ret(expr, loc=loc)
+
+        if self.check_keyword("sample"):
+            return self.parse_sample(loc)
+
+        if self.check_keyword("observe"):
+            self.advance()
+            self.expect(TokenKind.LPAREN)
+            dist = self.parse_expression()
+            self.expect(TokenKind.COMMA)
+            value = self.parse_expression()
+            self.expect(TokenKind.RPAREN)
+            return ast.Observe(dist=dist, value=value, loc=loc)
+
+        if self.check_keyword("call"):
+            self.advance()
+            name = self.expect(TokenKind.IDENT).text
+            self.expect(TokenKind.LPAREN)
+            args: List[ast.Expr] = []
+            if not self.check(TokenKind.RPAREN):
+                args.append(self.parse_expression())
+                while self.match(TokenKind.COMMA):
+                    args.append(self.parse_expression())
+            self.expect(TokenKind.RPAREN)
+            if len(args) == 0:
+                arg: ast.Expr = ast.Triv(loc=loc)
+            elif len(args) == 1:
+                arg = args[0]
+            else:
+                arg = ast.Tuple_(tuple(args), loc=loc)
+            return ast.Call(proc=name, arg=arg, loc=loc)
+
+        if self.check_keyword("if"):
+            return self.parse_conditional(loc)
+
+        if self.check(TokenKind.LBRACE):
+            return self.parse_block()
+
+        raise self.error(f"expected a command but found {token.text!r}")
+
+    def parse_sample(self, loc: ast.Loc) -> ast.Command:
+        self.expect_keyword("sample")
+        self.expect(TokenKind.DOT)
+        if self.check_keyword("recv"):
+            self.advance()
+            direction = "recv"
+        elif self.check_keyword("send"):
+            self.advance()
+            direction = "send"
+        else:
+            raise self.error("expected 'recv' or 'send' after 'sample.'")
+        self.expect(TokenKind.LBRACE)
+        channel = self.expect(TokenKind.IDENT).text
+        self.expect(TokenKind.RBRACE)
+        self.expect(TokenKind.LPAREN)
+        dist = self.parse_expression()
+        self.expect(TokenKind.RPAREN)
+        if direction == "recv":
+            return ast.SampleRecv(channel=channel, dist=dist, loc=loc)
+        return ast.SampleSend(channel=channel, dist=dist, loc=loc)
+
+    def parse_conditional(self, loc: ast.Loc) -> ast.Command:
+        self.expect_keyword("if")
+        direction: Optional[str] = None
+        channel: Optional[str] = None
+        if self.match(TokenKind.DOT):
+            if self.check_keyword("send"):
+                self.advance()
+                direction = "send"
+            elif self.check_keyword("recv"):
+                self.advance()
+                direction = "recv"
+            else:
+                raise self.error("expected 'send' or 'recv' after 'if.'")
+            self.expect(TokenKind.LBRACE)
+            channel = self.expect(TokenKind.IDENT).text
+            self.expect(TokenKind.RBRACE)
+
+        if direction == "recv":
+            then = self.parse_block()
+            self.expect_keyword("else")
+            orelse = self.parse_block()
+            assert channel is not None
+            return ast.CondRecv(channel=channel, then=then, orelse=orelse, loc=loc)
+
+        cond = self.parse_expression()
+        then = self.parse_block()
+        self.expect_keyword("else")
+        orelse = self.parse_block()
+        if direction == "send":
+            assert channel is not None
+            return ast.CondSend(channel=channel, cond=cond, then=then, orelse=orelse, loc=loc)
+        return ast.CondPure(cond=cond, then=then, orelse=orelse, loc=loc)
+
+    # -- expressions ------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        while self.check(TokenKind.OROR):
+            token = self.advance()
+            right = self.parse_and()
+            left = ast.PrimOp(ast.BinOp.OR, left, right, loc=(token.line, token.column))
+        return left
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_comparison()
+        while self.check(TokenKind.ANDAND):
+            token = self.advance()
+            right = self.parse_comparison()
+            left = ast.PrimOp(ast.BinOp.AND, left, right, loc=(token.line, token.column))
+        return left
+
+    def parse_comparison(self) -> ast.Expr:
+        left = self.parse_additive()
+        if self.peek().kind in _CMP_OPS:
+            token = self.advance()
+            right = self.parse_additive()
+            return ast.PrimOp(_CMP_OPS[token.kind], left, right, loc=(token.line, token.column))
+        return left
+
+    def parse_additive(self) -> ast.Expr:
+        left = self.parse_multiplicative()
+        while self.peek().kind in (TokenKind.PLUS, TokenKind.MINUS):
+            token = self.advance()
+            op = ast.BinOp.ADD if token.kind is TokenKind.PLUS else ast.BinOp.SUB
+            right = self.parse_multiplicative()
+            left = ast.PrimOp(op, left, right, loc=(token.line, token.column))
+        return left
+
+    def parse_multiplicative(self) -> ast.Expr:
+        left = self.parse_unary()
+        while self.peek().kind in (TokenKind.STAR, TokenKind.SLASH):
+            token = self.advance()
+            op = ast.BinOp.MUL if token.kind is TokenKind.STAR else ast.BinOp.DIV
+            right = self.parse_unary()
+            left = ast.PrimOp(op, left, right, loc=(token.line, token.column))
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind is TokenKind.MINUS:
+            self.advance()
+            operand = self.parse_unary()
+            return ast.PrimUnOp(ast.UnOp.NEG, operand, loc=(token.line, token.column))
+        if token.kind is TokenKind.BANG:
+            self.advance()
+            operand = self.parse_unary()
+            return ast.PrimUnOp(ast.UnOp.NOT, operand, loc=(token.line, token.column))
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_atom()
+        while True:
+            if self.check(TokenKind.DOT) and self.peek(1).kind is TokenKind.INT:
+                token = self.advance()  # .
+                index = int(self.advance().text)
+                expr = ast.Proj(expr, index, loc=(token.line, token.column))
+            elif self.check(TokenKind.LPAREN) and isinstance(expr, (ast.Var, ast.App, ast.Lam)):
+                token = self.advance()
+                args = []
+                if not self.check(TokenKind.RPAREN):
+                    args.append(self.parse_expression())
+                    while self.match(TokenKind.COMMA):
+                        args.append(self.parse_expression())
+                self.expect(TokenKind.RPAREN)
+                for arg in args or [ast.Triv()]:
+                    expr = ast.App(expr, arg, loc=(token.line, token.column))
+            else:
+                return expr
+
+    def parse_atom(self) -> ast.Expr:
+        token = self.peek()
+        loc = (token.line, token.column)
+
+        if token.kind is TokenKind.FLOAT:
+            self.advance()
+            return ast.RealLit(float(token.text), loc=loc)
+        if token.kind is TokenKind.INT:
+            self.advance()
+            return ast.NatLit(int(token.text), loc=loc)
+        if token.kind is TokenKind.IDENT:
+            self.advance()
+            return ast.Var(token.text, loc=loc)
+
+        if token.kind is TokenKind.KEYWORD:
+            if token.text == "true":
+                self.advance()
+                return ast.BoolLit(True, loc=loc)
+            if token.text == "false":
+                self.advance()
+                return ast.BoolLit(False, loc=loc)
+            if token.text in _DIST_KEYWORDS:
+                return self.parse_dist_expr(loc)
+            if token.text in _UNARY_FUN_KEYWORDS:
+                self.advance()
+                self.expect(TokenKind.LPAREN)
+                operand = self.parse_expression()
+                self.expect(TokenKind.RPAREN)
+                return ast.PrimUnOp(_UNARY_FUN_KEYWORDS[token.text], operand, loc=loc)
+            if token.text == "let":
+                self.advance()
+                name = self.expect(TokenKind.IDENT).text
+                self.expect(TokenKind.ASSIGN)
+                bound = self.parse_expression()
+                self.expect_keyword("in")
+                body = self.parse_expression()
+                return ast.Let(bound, name, body, loc=loc)
+            if token.text == "fun":
+                self.advance()
+                self.expect(TokenKind.LPAREN)
+                param = self.expect(TokenKind.IDENT).text
+                self.expect(TokenKind.RPAREN)
+                body = self.parse_expression()
+                return ast.Lam(param, body, loc=loc)
+            if token.text == "if":
+                self.advance()
+                cond = self.parse_expression()
+                self.expect_keyword("then")
+                then = self.parse_expression()
+                self.expect_keyword("else")
+                orelse = self.parse_expression()
+                return ast.IfExpr(cond, then, orelse, loc=loc)
+
+        if token.kind is TokenKind.LPAREN:
+            self.advance()
+            if self.check(TokenKind.RPAREN):
+                self.advance()
+                return ast.Triv(loc=loc)
+            first = self.parse_expression()
+            if self.check(TokenKind.COMMA):
+                items = [first]
+                while self.match(TokenKind.COMMA):
+                    items.append(self.parse_expression())
+                self.expect(TokenKind.RPAREN)
+                return ast.Tuple_(tuple(items), loc=loc)
+            self.expect(TokenKind.RPAREN)
+            return first
+
+        raise self.error(f"expected an expression but found {token.text!r}")
+
+    def parse_dist_expr(self, loc: ast.Loc) -> ast.Expr:
+        token = self.advance()
+        kind = _DIST_KEYWORDS[token.text]
+        args: List[ast.Expr] = []
+        if self.check(TokenKind.LPAREN):
+            self.advance()
+            if not self.check(TokenKind.RPAREN):
+                args.append(self.parse_expression())
+                while self.match(TokenKind.COMMA):
+                    args.append(self.parse_expression())
+            self.expect(TokenKind.RPAREN)
+        arity = ast.DIST_ARITY[kind]
+        if arity is not None and len(args) != arity:
+            raise ParseError(
+                f"distribution {kind.value} expects {arity} argument(s), got {len(args)}",
+                line=loc[0] if loc else None,
+                column=loc[1] if loc else None,
+            )
+        if arity is None and len(args) == 0:
+            raise ParseError(
+                f"distribution {kind.value} expects at least one argument",
+                line=loc[0] if loc else None,
+                column=loc[1] if loc else None,
+            )
+        return ast.DistExpr(kind, tuple(args), loc=loc)
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse a full program (one or more procedures) from source text."""
+    parser = _Parser(tokenize(source))
+    program = parser.parse_program()
+    parser.expect(TokenKind.EOF)
+    return program
+
+
+def param_types_of(procedure: ast.Procedure) -> Tuple[ty.BaseType, ...]:
+    """Return the parameter types recorded by the parser for ``procedure``.
+
+    Procedures constructed directly (not via the parser) default to ``real``
+    for every parameter.
+    """
+    recorded = getattr(procedure, "_param_types", None)
+    if recorded is not None and len(recorded) == len(procedure.params):
+        return recorded
+    return tuple(ty.REAL for _ in procedure.params)
+
+
+def parse_command(source: str) -> ast.Command:
+    """Parse a single block (``{ ... }``) into a command.  Testing helper."""
+    parser = _Parser(tokenize(source))
+    command = parser.parse_block()
+    parser.expect(TokenKind.EOF)
+    return command
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Parse a single expression.  Testing helper."""
+    parser = _Parser(tokenize(source))
+    expr = parser.parse_expression()
+    parser.expect(TokenKind.EOF)
+    return expr

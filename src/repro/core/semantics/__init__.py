@@ -1,0 +1,57 @@
+"""Trace-based operational semantics of the core calculus.
+
+``traces``
+    Guidance messages, guidance traces, trace cursors, and the trace
+    well-formedness judgment ``σ : A`` (paper Fig. 13).
+``values``
+    Runtime values (closures) and the pure-expression evaluator
+    (paper Fig. 11, expression rules).
+``evaluate``
+    Big-step weighted evaluation ``V | (a:σa);(b:σb) ⊢ m ⇓w v``
+    (paper Fig. 8/11) and density functions P_m.
+``reduction``
+    The probability-erased reduction relation (paper Fig. 14) and the
+    "possible trace" predicate used by Lemma 5.1.
+"""
+
+from repro.core.semantics.traces import (
+    DirC,
+    DirP,
+    Fold,
+    Message,
+    Trace,
+    TraceCursor,
+    ValC,
+    ValP,
+    check_trace,
+    trace_conforms,
+)
+from repro.core.semantics.values import Closure, eval_expr
+from repro.core.semantics.evaluate import (
+    EvalResult,
+    evaluate_command,
+    evaluate_procedure,
+    log_density,
+)
+from repro.core.semantics.reduction import is_possible_combination, reduce_procedure
+
+__all__ = [
+    "Message",
+    "ValP",
+    "ValC",
+    "DirP",
+    "DirC",
+    "Fold",
+    "Trace",
+    "TraceCursor",
+    "trace_conforms",
+    "check_trace",
+    "Closure",
+    "eval_expr",
+    "EvalResult",
+    "evaluate_command",
+    "evaluate_procedure",
+    "log_density",
+    "reduce_procedure",
+    "is_possible_combination",
+]

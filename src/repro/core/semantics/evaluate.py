@@ -1,0 +1,303 @@
+"""Big-step weighted evaluation of commands over given guidance traces.
+
+This module implements the judgment (paper Fig. 8/11)::
+
+    V | (a : σa); (b : σb) ⊢ m ⇓w v
+
+as a function from an environment, a command, and per-channel guidance
+traces to a value and a *log* weight.  Weights are kept in log space to
+avoid underflow on long traces; a weight of zero is represented by
+``-inf``.
+
+The evaluator is also the density function of a program (paper Sec. 5.1):
+``P_m(σa, σb) = w`` when evaluation succeeds and ``0`` otherwise —
+see :func:`log_density`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.core import ast
+from repro.core.semantics import traces as tr
+from repro.core.semantics.values import Environment, eval_expr
+from repro.dists.base import Distribution
+from repro.errors import EvaluationError, TraceTypeMismatch
+from repro.utils.recursion import deep_recursion
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Result of evaluating a command: the value and the log weight."""
+
+    value: object
+    log_weight: float
+
+    @property
+    def weight(self) -> float:
+        """The weight on the linear scale (may underflow for long traces)."""
+        return math.exp(self.log_weight) if self.log_weight > -math.inf else 0.0
+
+    @property
+    def possible(self) -> bool:
+        """True when the trace combination has non-zero density."""
+        return self.log_weight > -math.inf
+
+
+class _Evaluator:
+    """Recursive big-step evaluator with per-channel trace cursors."""
+
+    def __init__(self, program: ast.Program, score: bool = True):
+        self.program = program
+        self.score = score
+        self.log_weight = 0.0
+
+    # -- scoring helpers ---------------------------------------------------------
+
+    def _score_sample(self, dist: Distribution, value: object) -> None:
+        if not dist.in_support(value):
+            self.log_weight = -math.inf
+            return
+        if self.score:
+            self.log_weight += dist.log_prob(value)
+
+    def _score_branch(self, expected: bool, actual: bool) -> None:
+        if expected != actual:
+            self.log_weight = -math.inf
+
+    # -- the evaluator ---------------------------------------------------------
+
+    def eval_command(
+        self,
+        env: Dict[str, object],
+        cmd: ast.Command,
+        cursors: Mapping[str, tr.TraceCursor],
+    ) -> object:
+        """Evaluate ``cmd``; mutate ``self.log_weight``; return the value."""
+        if isinstance(cmd, ast.Ret):
+            return eval_expr(env, cmd.expr)
+
+        if isinstance(cmd, ast.Bnd):
+            first = self.eval_command(env, cmd.first, cursors)
+            inner = dict(env)
+            inner[cmd.var] = first
+            return self.eval_command(inner, cmd.second, cursors)
+
+        if isinstance(cmd, ast.SampleRecv):
+            dist = self._eval_dist(env, cmd.dist)
+            cursor = self._cursor(cursors, cmd.channel)
+            message = cursor.take(tr.Message, f"sample.recv on {cmd.channel}")
+            if not isinstance(message, (tr.ValP, tr.ValC)):
+                raise TraceTypeMismatch(
+                    f"sample.recv on {cmd.channel}: expected a sample message, found {message}"
+                )
+            self._score_sample(dist, message.value)
+            return message.value
+
+        if isinstance(cmd, ast.SampleSend):
+            dist = self._eval_dist(env, cmd.dist)
+            cursor = self._cursor(cursors, cmd.channel)
+            message = cursor.take(tr.Message, f"sample.send on {cmd.channel}")
+            if not isinstance(message, (tr.ValP, tr.ValC)):
+                raise TraceTypeMismatch(
+                    f"sample.send on {cmd.channel}: expected a sample message, found {message}"
+                )
+            self._score_sample(dist, message.value)
+            return message.value
+
+        if isinstance(cmd, ast.CondSend):
+            predicate = eval_expr(env, cmd.cond)
+            if not isinstance(predicate, bool):
+                raise EvaluationError(
+                    f"branch predicate evaluated to a non-Boolean {predicate!r}"
+                )
+            cursor = self._cursor(cursors, cmd.channel)
+            message = cursor.take(tr.Message, f"cond.send on {cmd.channel}")
+            if not isinstance(message, (tr.DirP, tr.DirC)):
+                raise TraceTypeMismatch(
+                    f"cond.send on {cmd.channel}: expected a branch selection, found {message}"
+                )
+            selection = message.value
+            self._score_branch(expected=selection, actual=predicate)
+            branch = cmd.then if selection else cmd.orelse
+            return self.eval_command(env, branch, cursors)
+
+        if isinstance(cmd, ast.CondRecv):
+            cursor = self._cursor(cursors, cmd.channel)
+            message = cursor.take(tr.Message, f"cond.recv on {cmd.channel}")
+            if not isinstance(message, (tr.DirP, tr.DirC)):
+                raise TraceTypeMismatch(
+                    f"cond.recv on {cmd.channel}: expected a branch selection, found {message}"
+                )
+            branch = cmd.then if message.value else cmd.orelse
+            return self.eval_command(env, branch, cursors)
+
+        if isinstance(cmd, ast.CondPure):
+            predicate = eval_expr(env, cmd.cond)
+            if not isinstance(predicate, bool):
+                raise EvaluationError(
+                    f"branch predicate evaluated to a non-Boolean {predicate!r}"
+                )
+            branch = cmd.then if predicate else cmd.orelse
+            return self.eval_command(env, branch, cursors)
+
+        if isinstance(cmd, ast.Call):
+            return self._eval_call(env, cmd, cursors)
+
+        if isinstance(cmd, ast.Observe):
+            dist = self._eval_dist(env, cmd.dist)
+            value = eval_expr(env, cmd.value)
+            self._score_sample(dist, value)
+            return None
+
+        raise EvaluationError(f"unknown command node {cmd!r}")
+
+    def _eval_call(
+        self,
+        env: Dict[str, object],
+        cmd: ast.Call,
+        cursors: Mapping[str, tr.TraceCursor],
+    ) -> object:
+        try:
+            callee = self.program.procedure(cmd.proc)
+        except KeyError as exc:
+            raise EvaluationError(f"call to unknown procedure {cmd.proc!r}") from exc
+
+        argument = eval_expr(env, cmd.arg)
+        call_env = _bind_arguments(callee, argument)
+
+        for channel in (callee.consumes, callee.provides):
+            if channel is not None:
+                cursor = self._cursor(cursors, channel)
+                cursor.take(tr.Fold, f"call {cmd.proc} on channel {channel}")
+
+        return self.eval_command(call_env, callee.body, cursors)
+
+    # -- small helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _cursor(cursors: Mapping[str, tr.TraceCursor], channel: str) -> tr.TraceCursor:
+        if channel not in cursors:
+            raise EvaluationError(
+                f"command communicates on channel {channel!r} but no trace was supplied for it"
+            )
+        return cursors[channel]
+
+    @staticmethod
+    def _eval_dist(env: Environment, expr: ast.Expr) -> Distribution:
+        value = eval_expr(env, expr)
+        if not isinstance(value, Distribution):
+            raise EvaluationError(
+                f"sample command expects a distribution, got {value!r}"
+            )
+        return value
+
+
+def _bind_arguments(procedure: ast.Procedure, argument: object) -> Dict[str, object]:
+    """Bind a call argument to a procedure's parameters.
+
+    Multi-parameter procedures receive a tuple, mirroring how the parser
+    packs call arguments.
+    """
+    params = procedure.params
+    if len(params) == 0:
+        return {}
+    if len(params) == 1:
+        return {params[0]: argument}
+    if not isinstance(argument, tuple) or len(argument) != len(params):
+        raise EvaluationError(
+            f"{procedure.name} expects {len(params)} arguments, got {argument!r}"
+        )
+    return dict(zip(params, argument))
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def evaluate_command(
+    program: ast.Program,
+    command: ast.Command,
+    env: Optional[Mapping[str, object]] = None,
+    traces: Optional[Mapping[str, Sequence[tr.Message]]] = None,
+    score: bool = True,
+    require_exhausted: bool = True,
+) -> EvalResult:
+    """Evaluate a command against per-channel guidance traces.
+
+    Parameters
+    ----------
+    program:
+        Procedure table used to resolve calls.
+    command:
+        The command to evaluate.
+    env:
+        Initial environment (defaults to empty).
+    traces:
+        Mapping from channel name to guidance trace.
+    score:
+        When False, run the probability-erased reduction relation instead:
+        the returned log weight is 0 when the combination is possible and
+        ``-inf`` when a value falls outside a distribution's support or a
+        branch selection contradicts its predicate.
+    require_exhausted:
+        When True (the default), every supplied trace must be consumed
+        exactly, matching the paper's judgment; a leftover suffix raises
+        :class:`TraceTypeMismatch`.
+    """
+    evaluator = _Evaluator(program, score=score)
+    cursors = {name: tr.TraceCursor(trace) for name, trace in (traces or {}).items()}
+    with deep_recursion():
+        value = evaluator.eval_command(dict(env or {}), command, cursors)
+    if require_exhausted:
+        for name, cursor in cursors.items():
+            if not cursor.exhausted():
+                raise TraceTypeMismatch(
+                    f"trace on channel {name!r} has unconsumed messages: "
+                    f"{tr.format_trace(cursor.remaining())}"
+                )
+    return EvalResult(value=value, log_weight=evaluator.log_weight)
+
+
+def evaluate_procedure(
+    program: ast.Program,
+    entry: str,
+    args: Sequence[object] = (),
+    traces: Optional[Mapping[str, Sequence[tr.Message]]] = None,
+    score: bool = True,
+) -> EvalResult:
+    """Evaluate an entry procedure's *body* against guidance traces.
+
+    Note: following the paper's Sec. 5 usage, the entry procedure itself is
+    evaluated as a command body — its traces do **not** begin with a ``fold``
+    marker; only nested calls do.
+    """
+    procedure = program.procedure(entry)
+    if len(args) != len(procedure.params):
+        raise EvaluationError(
+            f"{entry} expects {len(procedure.params)} arguments, got {len(args)}"
+        )
+    env = dict(zip(procedure.params, args))
+    return evaluate_command(program, procedure.body, env=env, traces=traces, score=score)
+
+
+def log_density(
+    program: ast.Program,
+    entry: str,
+    traces: Mapping[str, Sequence[tr.Message]],
+    args: Sequence[object] = (),
+) -> float:
+    """The log density ``log P_m(σa, σb)`` of an entry procedure.
+
+    Returns ``-inf`` when evaluation gets stuck (the traces do not have the
+    shape the program expects) or assigns zero weight, matching the paper's
+    definition ``P_m(σa, σb) = 0`` for non-derivable judgments.
+    """
+    try:
+        result = evaluate_procedure(program, entry, args=args, traces=traces, score=True)
+    except (TraceTypeMismatch, EvaluationError):
+        return -math.inf
+    return result.log_weight

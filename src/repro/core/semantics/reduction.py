@@ -1,0 +1,87 @@
+"""The probability-erased reduction relation (paper Fig. 14).
+
+Reduction is evaluation without probabilities: it only checks that every
+sample value lies in the support of its distribution and that every branch
+selection equals its predicate.  The agreement theorem (Thm. B.8) states
+that, for well-typed commands, reduction succeeds exactly when evaluation
+yields a strictly positive weight; the property-based tests in
+``tests/test_semantics_agreement.py`` exercise this correspondence.
+
+The "possible combination" predicate of Lemma 5.1 — a latent/observation
+trace pair is possible for a model and a guide iff both programs reduce
+under it — is provided by :func:`is_possible_combination`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Sequence
+
+from repro.core import ast
+from repro.core.semantics import traces as tr
+from repro.core.semantics.evaluate import EvalResult, evaluate_procedure
+from repro.errors import EvaluationError, TraceTypeMismatch
+
+
+def reduce_procedure(
+    program: ast.Program,
+    entry: str,
+    args: Sequence[object] = (),
+    traces: Optional[Mapping[str, Sequence[tr.Message]]] = None,
+) -> Optional[object]:
+    """Run the reduction relation on an entry procedure.
+
+    Returns the reduced value when the judgment
+    ``V | (a:σa);(b:σb) ⊢red m ⇓ v`` is derivable, and ``None`` otherwise.
+    """
+    try:
+        result: EvalResult = evaluate_procedure(
+            program, entry, args=args, traces=traces, score=False
+        )
+    except (TraceTypeMismatch, EvaluationError):
+        return None
+    if result.log_weight <= -math.inf:
+        return None
+    return result.value if result.value is not None else ()
+
+
+def reduces(
+    program: ast.Program,
+    entry: str,
+    args: Sequence[object] = (),
+    traces: Optional[Mapping[str, Sequence[tr.Message]]] = None,
+) -> bool:
+    """Boolean form of :func:`reduce_procedure`."""
+    return reduce_procedure(program, entry, args=args, traces=traces) is not None
+
+
+def is_possible_combination(
+    model_program: ast.Program,
+    guide_program: ast.Program,
+    model_entry: str,
+    guide_entry: str,
+    latent_trace: Sequence[tr.Message],
+    obs_trace: Sequence[tr.Message],
+    latent_channel: str = "latent",
+    obs_channel: str = "obs",
+    model_args: Sequence[object] = (),
+    guide_args: Sequence[object] = (),
+) -> bool:
+    """Is ``(latent_trace, obs_trace)`` possible for the model/guide pair?
+
+    Mirrors the paper's definition: the model must reduce under
+    ``(latent : σℓ); (obs : σo)`` and the guide must reduce under
+    ``(latent : σℓ)``.
+    """
+    model_traces = {latent_channel: latent_trace, obs_channel: obs_trace}
+    model_proc = model_program.procedure(model_entry)
+    if model_proc.provides != obs_channel:
+        model_traces = {latent_channel: latent_trace}
+    if not reduces(model_program, model_entry, args=model_args, traces=model_traces):
+        return False
+    return reduces(
+        guide_program,
+        guide_entry,
+        args=guide_args,
+        traces={latent_channel: latent_trace},
+    )

@@ -1,0 +1,121 @@
+"""Structural equality of guide types.
+
+Guide types produced by backward inference are compared *structurally*;
+type-operator applications are compared nominally (same operator name and
+equal arguments).  The paper avoids a nontrivial equivalence check (no
+sequencing type ``A # B``), so plain structural equality is exactly the
+relation the typing rules need: the two branches of a conditional must
+induce literally the same protocol on the non-subject channel, and a model
+and guide must have literally the same guide type on the ``latent`` channel
+(up to unfolding the operators they both reference).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core import types as ty
+from repro.errors import GuideTypeError
+
+
+def guide_types_equal(a: ty.GuideType, b: ty.GuideType) -> bool:
+    """Structural equality of two guide types."""
+    return a == b
+
+
+def first_difference(
+    a: ty.GuideType, b: ty.GuideType, path: str = ""
+) -> Optional[Tuple[str, ty.GuideType, ty.GuideType]]:
+    """Locate the first structural difference between two guide types.
+
+    Returns ``None`` when the types are equal, otherwise a triple of a
+    human-readable path (e.g. ``".cont.then"``) and the differing subterms.
+    Used to produce actionable error messages for model/guide mismatches.
+    """
+    if type(a) is not type(b):
+        return (path or ".", a, b)
+    if isinstance(a, ty.End):
+        return None
+    if isinstance(a, ty.TyVar):
+        return None if a.name == b.name else (path or ".", a, b)  # type: ignore[union-attr]
+    if isinstance(a, ty.OpApp) and isinstance(b, ty.OpApp):
+        if a.operator != b.operator:
+            return (path or ".", a, b)
+        return first_difference(a.arg, b.arg, path + ".arg")
+    if isinstance(a, ty.SendVal) and isinstance(b, ty.SendVal):
+        if a.payload != b.payload:
+            return (path + ".payload", a, b)
+        return first_difference(a.cont, b.cont, path + ".cont")
+    if isinstance(a, ty.RecvVal) and isinstance(b, ty.RecvVal):
+        if a.payload != b.payload:
+            return (path + ".payload", a, b)
+        return first_difference(a.cont, b.cont, path + ".cont")
+    if isinstance(a, (ty.Offer, ty.Choose)) and isinstance(b, (ty.Offer, ty.Choose)):
+        diff = first_difference(a.then, b.then, path + ".then")  # type: ignore[union-attr]
+        if diff is not None:
+            return diff
+        return first_difference(a.orelse, b.orelse, path + ".orelse")  # type: ignore[union-attr]
+    return (path or ".", a, b)
+
+
+def require_equal(a: ty.GuideType, b: ty.GuideType, context: str) -> None:
+    """Raise :class:`GuideTypeError` with a located message unless ``a == b``."""
+    if a == b:
+        return
+    diff = first_difference(a, b)
+    assert diff is not None
+    where, left, right = diff
+    raise GuideTypeError(
+        f"{context}: guidance protocols disagree at {where}: {left} vs {right}"
+    )
+
+
+def types_equal_up_to_unfolding(
+    a: ty.GuideType,
+    b: ty.GuideType,
+    table_a: ty.TypeTable,
+    table_b: ty.TypeTable,
+    max_depth: int = 64,
+) -> bool:
+    """Equality of guide types drawn from two different type tables.
+
+    A model program and a guide program are inferred independently, so their
+    ``latent`` protocols mention different operator names (e.g. ``Model.latent``
+    vs ``Guide.latent``).  This routine decides equality by co-inductively
+    unfolding operator applications from each side's own table, memoising the
+    pairs of operator instantiations it has already assumed equal.  The
+    ``max_depth`` bound guards against pathological non-contractive
+    definitions (which inference never produces).
+    """
+    assumed: set[Tuple[str, str]] = set()
+
+    def go(x: ty.GuideType, y: ty.GuideType, depth: int) -> bool:
+        if depth > max_depth:
+            raise GuideTypeError(
+                "guide-type equality exceeded the unfolding depth limit; "
+                "the type operators appear to be non-contractive"
+            )
+        if isinstance(x, ty.OpApp) or isinstance(y, ty.OpApp):
+            if isinstance(x, ty.OpApp) and isinstance(y, ty.OpApp):
+                key = (x.operator, y.operator)
+                if key in assumed:
+                    # Coinductive hypothesis: the operators were already
+                    # assumed equal; it remains to compare the arguments.
+                    return go(x.arg, y.arg, depth + 1)
+                assumed.add(key)
+            x2 = table_a.unfold(x) if isinstance(x, ty.OpApp) else x
+            y2 = table_b.unfold(y) if isinstance(y, ty.OpApp) else y
+            return go(x2, y2, depth + 1)
+        if type(x) is not type(y):
+            return False
+        if isinstance(x, ty.End):
+            return True
+        if isinstance(x, ty.TyVar):
+            return x.name == y.name  # type: ignore[union-attr]
+        if isinstance(x, (ty.SendVal, ty.RecvVal)):
+            return x.payload == y.payload and go(x.cont, y.cont, depth + 1)  # type: ignore[union-attr]
+        if isinstance(x, (ty.Offer, ty.Choose)):
+            return go(x.then, y.then, depth + 1) and go(x.orelse, y.orelse, depth + 1)  # type: ignore[union-attr]
+        raise GuideTypeError(f"unknown guide type node: {x!r}")
+
+    return go(a, b, 0)

@@ -1,0 +1,485 @@
+"""Guide-type inference (paper Fig. 9 turned into a backward algorithm).
+
+The typing rules for commands are syntax-directed, so they can be read as a
+function from a command, a typing context, and *continuation* guide types
+(the protocols that remain on each channel after the command) to the guide
+types that hold *before* the command.  Per the paper's Sec. 4
+"Type-inference algorithm":
+
+1. every procedure ``fix{a;b}(f. x. m)`` receives two fresh type operators
+   ``T_a``, ``T_b`` and the signature ``τ1 ↝ τ2 | (a : T_a); (b : T_b)``;
+2. for each procedure, fresh continuation variables ``X_a``, ``X_b`` are
+   introduced and the body is typed backward from them, producing guide
+   types ``A`` and ``B``;
+3. the definitions ``typedef(T_a. X_a. A)`` and ``typedef(T_b. X_b. B)`` are
+   recorded.
+
+The entry points are :func:`infer_guide_types` for a single program and
+:func:`check_model_guide_pair` for verifying that a model and a guide agree
+on the ``latent`` channel (the absolute-continuity certificate of
+Thm. 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core import ast
+from repro.core import types as ty
+from repro.core.typecheck import basic
+from repro.core.typecheck.equality import require_equal, types_equal_up_to_unfolding
+from repro.errors import GuideTypeError
+
+
+@dataclass
+class InferenceResult:
+    """Everything guide-type inference learns about a program.
+
+    Attributes
+    ----------
+    table:
+        Type-operator definitions and procedure signatures.
+    basic_signatures:
+        Parameter/result basic types per procedure.
+    channel_types:
+        For each procedure, the closed guide type of its consumed and
+        provided channels when the procedure is run as an entry point (the
+        continuation instantiated with ``End``).
+    """
+
+    table: ty.TypeTable
+    basic_signatures: Dict[str, basic.BasicSignature]
+    channel_types: Dict[str, Dict[str, ty.GuideType]]
+
+    def entry_channel_type(self, proc: str, channel: str) -> ty.GuideType:
+        """Guide type of ``channel`` when ``proc`` is executed as an entry point."""
+        try:
+            return self.channel_types[proc][channel]
+        except KeyError as exc:
+            raise GuideTypeError(
+                f"procedure {proc!r} does not communicate on channel {channel!r}"
+            ) from exc
+
+
+# ---------------------------------------------------------------------------
+# Per-command backward inference
+# ---------------------------------------------------------------------------
+
+
+class _Inferencer:
+    """Backward guide-type inference over a single program."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        basic_signatures: Mapping[str, basic.BasicSignature],
+    ):
+        self.program = program
+        self.basic_signatures = dict(basic_signatures)
+        self.table = ty.TypeTable()
+        # Pre-register a signature (with operator names) for every procedure
+        # so that mutually recursive calls can be typed before their callee's
+        # typedefs exist.
+        for proc in program.procedures:
+            consume_op = f"{proc.name}.{proc.consumes}" if proc.consumes else None
+            provide_op = f"{proc.name}.{proc.provides}" if proc.provides else None
+            sig = ty.ProcSignature(
+                param_types=self.basic_signatures[proc.name].param_types,
+                result_type=self.basic_signatures[proc.name].result_type or ty.UNIT,
+                consume_channel=proc.consumes,
+                consume_op=consume_op,
+                provide_channel=proc.provides,
+                provide_op=provide_op,
+            )
+            self.table.signatures[proc.name] = sig
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _dist_payload(self, ctx: basic.Context, expr: ast.Expr) -> ty.BaseType:
+        dist_ty = basic.infer_expr_type(ctx, expr, self.basic_signatures)
+        if not isinstance(dist_ty, ty.DistTy):
+            raise GuideTypeError(
+                f"sample command expects an expression of type dist(τ), got {dist_ty}"
+            )
+        return dist_ty.support
+
+    def _result_type(self, ctx: basic.Context, cmd: ast.Command) -> ty.BaseType:
+        result = basic.command_result_type(ctx, cmd, self.basic_signatures)
+        return result if result is not None else ty.UNIT
+
+    # -- the backward pass ------------------------------------------------------
+
+    def infer_command(
+        self,
+        ctx: Dict[str, ty.BaseType],
+        cmd: ast.Command,
+        proc: ast.Procedure,
+        consume_after: Optional[ty.GuideType],
+        provide_after: Optional[ty.GuideType],
+    ) -> Tuple[ty.BaseType, Optional[ty.GuideType], Optional[ty.GuideType]]:
+        """Return ``(result_type, consume_before, provide_before)``.
+
+        ``consume_after`` / ``provide_after`` are the protocols that remain on
+        the procedure's consumed / provided channel *after* ``cmd`` runs
+        (``None`` when the procedure does not declare that channel).
+        """
+        if isinstance(cmd, ast.Ret):
+            result = basic.infer_expr_type(ctx, cmd.expr, self.basic_signatures)
+            return result, consume_after, provide_after
+
+        if isinstance(cmd, ast.Bnd):
+            first_ty = self._result_type(ctx, cmd.first)
+            inner_ctx = dict(ctx)
+            inner_ctx[cmd.var] = first_ty
+            second_ty, consume_mid, provide_mid = self.infer_command(
+                inner_ctx, cmd.second, proc, consume_after, provide_after
+            )
+            _, consume_before, provide_before = self.infer_command(
+                ctx, cmd.first, proc, consume_mid, provide_mid
+            )
+            return second_ty, consume_before, provide_before
+
+        if isinstance(cmd, ast.SampleRecv):
+            payload = self._dist_payload(ctx, cmd.dist)
+            if cmd.channel == proc.consumes:
+                self._require_channel(consume_after, proc, cmd)
+                return payload, ty.SendVal(payload, consume_after), provide_after
+            if cmd.channel == proc.provides:
+                self._require_channel(provide_after, proc, cmd)
+                return payload, consume_after, ty.RecvVal(payload, provide_after)
+            raise self._unknown_channel(proc, cmd)
+
+        if isinstance(cmd, ast.SampleSend):
+            payload = self._dist_payload(ctx, cmd.dist)
+            if cmd.channel == proc.consumes:
+                self._require_channel(consume_after, proc, cmd)
+                return payload, ty.RecvVal(payload, consume_after), provide_after
+            if cmd.channel == proc.provides:
+                self._require_channel(provide_after, proc, cmd)
+                return payload, consume_after, ty.SendVal(payload, provide_after)
+            raise self._unknown_channel(proc, cmd)
+
+        if isinstance(cmd, ast.CondSend):
+            cond_ty = basic.infer_expr_type(ctx, cmd.cond, self.basic_signatures)
+            if not ty.is_subtype(cond_ty, ty.BOOL):
+                raise GuideTypeError(
+                    f"branch predicate must be Boolean, got {cond_ty}"
+                )
+            return self._infer_branching(
+                ctx, cmd, proc, consume_after, provide_after, direction="send"
+            )
+
+        if isinstance(cmd, ast.CondRecv):
+            return self._infer_branching(
+                ctx, cmd, proc, consume_after, provide_after, direction="recv"
+            )
+
+        if isinstance(cmd, ast.CondPure):
+            cond_ty = basic.infer_expr_type(ctx, cmd.cond, self.basic_signatures)
+            if not ty.is_subtype(cond_ty, ty.BOOL):
+                raise GuideTypeError(
+                    f"branch predicate must be Boolean, got {cond_ty}"
+                )
+            then_ty, c1, p1 = self.infer_command(ctx, cmd.then, proc, consume_after, provide_after)
+            else_ty, c2, p2 = self.infer_command(ctx, cmd.orelse, proc, consume_after, provide_after)
+            self._require_branch_agreement(c1, c2, "consumed", "uncommunicated conditional")
+            self._require_branch_agreement(p1, p2, "provided", "uncommunicated conditional")
+            _join_or_raise(then_ty, else_ty)
+            return then_ty, c1, p1
+
+        if isinstance(cmd, ast.Call):
+            return self._infer_call(ctx, cmd, proc, consume_after, provide_after)
+
+        if isinstance(cmd, ast.Observe):
+            # Pure scoring: no channel communication.
+            basic.command_result_type(ctx, cmd, self.basic_signatures)
+            return ty.UNIT, consume_after, provide_after
+
+        raise GuideTypeError(f"unknown command node {cmd!r}")
+
+    def _infer_branching(
+        self,
+        ctx: Dict[str, ty.BaseType],
+        cmd,
+        proc: ast.Procedure,
+        consume_after: Optional[ty.GuideType],
+        provide_after: Optional[ty.GuideType],
+        direction: str,
+    ) -> Tuple[ty.BaseType, Optional[ty.GuideType], Optional[ty.GuideType]]:
+        then_ty, c1, p1 = self.infer_command(ctx, cmd.then, proc, consume_after, provide_after)
+        else_ty, c2, p2 = self.infer_command(ctx, cmd.orelse, proc, consume_after, provide_after)
+        _join_or_raise(then_ty, else_ty)
+
+        if cmd.channel == proc.consumes:
+            self._require_channel(consume_after, proc, cmd)
+            self._require_branch_agreement(p1, p2, "provided", "conditional on the consumed channel")
+            assert c1 is not None and c2 is not None
+            # The consumer of channel `a` sends the selection with `cond.send`
+            # (type A1 & A2, paper's N) and receives it with `cond.recv`
+            # (type A1 ⊕ A2).
+            combined: ty.GuideType = (
+                ty.Choose(c1, c2) if direction == "send" else ty.Offer(c1, c2)
+            )
+            return then_ty, combined, p1
+
+        if cmd.channel == proc.provides:
+            self._require_channel(provide_after, proc, cmd)
+            self._require_branch_agreement(c1, c2, "consumed", "conditional on the provided channel")
+            assert p1 is not None and p2 is not None
+            # The provider of channel `b` sends the selection with `cond.send`
+            # (type B1 ⊕ B2) and receives it with `cond.recv` (type B1 & B2).
+            combined = ty.Offer(p1, p2) if direction == "send" else ty.Choose(p1, p2)
+            return then_ty, c1, combined
+
+        raise self._unknown_channel(proc, cmd)
+
+    def _infer_call(
+        self,
+        ctx: Dict[str, ty.BaseType],
+        cmd: ast.Call,
+        proc: ast.Procedure,
+        consume_after: Optional[ty.GuideType],
+        provide_after: Optional[ty.GuideType],
+    ) -> Tuple[ty.BaseType, Optional[ty.GuideType], Optional[ty.GuideType]]:
+        if cmd.proc not in self.table.signatures:
+            raise GuideTypeError(f"call to unknown procedure {cmd.proc!r}")
+        sig = self.table.signatures[cmd.proc]
+        basic._check_call_argument(  # noqa: SLF001 - shared helper
+            ctx, cmd, self.basic_signatures[cmd.proc], self.basic_signatures
+        )
+
+        consume_before = consume_after
+        provide_before = provide_after
+
+        if sig.consume_channel is not None:
+            if sig.consume_channel != proc.consumes:
+                raise GuideTypeError(
+                    f"{proc.name} calls {cmd.proc}, which consumes channel "
+                    f"{sig.consume_channel!r}, but {proc.name} consumes "
+                    f"{proc.consumes!r}"
+                )
+            self._require_channel(consume_after, proc, cmd)
+            assert sig.consume_op is not None and consume_after is not None
+            consume_before = ty.OpApp(sig.consume_op, consume_after)
+
+        if sig.provide_channel is not None:
+            if sig.provide_channel != proc.provides:
+                raise GuideTypeError(
+                    f"{proc.name} calls {cmd.proc}, which provides channel "
+                    f"{sig.provide_channel!r}, but {proc.name} provides "
+                    f"{proc.provides!r}"
+                )
+            self._require_channel(provide_after, proc, cmd)
+            assert sig.provide_op is not None and provide_after is not None
+            provide_before = ty.OpApp(sig.provide_op, provide_after)
+
+        return sig.result_type, consume_before, provide_before
+
+    # -- error helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _require_channel(after: Optional[ty.GuideType], proc: ast.Procedure, cmd) -> None:
+        if after is None:
+            raise GuideTypeError(
+                f"{proc.name}: command at {cmd.loc} communicates on channel "
+                f"{getattr(cmd, 'channel', '?')!r}, which the procedure does not declare"
+            )
+
+    @staticmethod
+    def _unknown_channel(proc: ast.Procedure, cmd) -> GuideTypeError:
+        return GuideTypeError(
+            f"{proc.name}: channel {cmd.channel!r} is neither consumed "
+            f"({proc.consumes!r}) nor provided ({proc.provides!r})"
+        )
+
+    @staticmethod
+    def _require_branch_agreement(
+        left: Optional[ty.GuideType],
+        right: Optional[ty.GuideType],
+        which: str,
+        context: str,
+    ) -> None:
+        if left is None and right is None:
+            return
+        if left is None or right is None:
+            raise GuideTypeError(
+                f"{context}: branches disagree on whether the {which} channel is used"
+            )
+        require_equal(left, right, f"{context}: {which} channel")
+
+    # -- per-procedure driver -------------------------------------------------------
+
+    def infer_procedure(self, proc: ast.Procedure) -> None:
+        sig = self.table.signatures[proc.name]
+        ctx = dict(zip(proc.params, sig.param_types))
+
+        consume_var = ty.TyVar(f"X<{proc.name}.{proc.consumes}>") if proc.consumes else None
+        provide_var = ty.TyVar(f"X<{proc.name}.{proc.provides}>") if proc.provides else None
+
+        result_ty, consume_before, provide_before = self.infer_command(
+            ctx, proc.body, proc, consume_var, provide_var
+        )
+
+        expected_result = self.basic_signatures[proc.name].result_type
+        if expected_result is not None and not ty.is_subtype(result_ty, expected_result) \
+                and ty.join(result_ty, expected_result) != expected_result:
+            # Result types can legitimately widen during the basic fixed point;
+            # only flag genuinely incompatible results.
+            if ty.join(result_ty, expected_result) is None:
+                raise GuideTypeError(
+                    f"{proc.name}: body has result type {result_ty}, "
+                    f"signature says {expected_result}"
+                )
+
+        if proc.consumes:
+            assert consume_var is not None and consume_before is not None
+            assert sig.consume_op is not None
+            self.table.define(ty.TypeDef(sig.consume_op, consume_var.name, consume_before))
+        if proc.provides:
+            assert provide_var is not None and provide_before is not None
+            assert sig.provide_op is not None
+            self.table.define(ty.TypeDef(sig.provide_op, provide_var.name, provide_before))
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def infer_guide_types(
+    program: ast.Program,
+    param_types: Optional[Mapping[str, Tuple[ty.BaseType, ...]]] = None,
+) -> InferenceResult:
+    """Infer guide types for every procedure of ``program``.
+
+    Returns an :class:`InferenceResult` whose table holds one typedef per
+    declared channel per procedure and a signature per procedure.  The
+    ``channel_types`` map additionally exposes, for every procedure, the
+    *closed* guide type of each of its channels when the procedure is the
+    entry point (continuation = ``End``), which is the form used for
+    model/guide compatibility checking and trace validation.
+    """
+    basic_signatures = basic.check_program_basic(program, param_types)
+    inferencer = _Inferencer(program, basic_signatures)
+    for proc in program.procedures:
+        inferencer.infer_procedure(proc)
+
+    channel_types: Dict[str, Dict[str, ty.GuideType]] = {}
+    for proc in program.procedures:
+        sig = inferencer.table.signatures[proc.name]
+        per_proc: Dict[str, ty.GuideType] = {}
+        if proc.consumes:
+            assert sig.consume_op is not None
+            per_proc[proc.consumes] = inferencer.table.lookup(sig.consume_op).instantiate(ty.End())
+        if proc.provides:
+            assert sig.provide_op is not None
+            per_proc[proc.provides] = inferencer.table.lookup(sig.provide_op).instantiate(ty.End())
+        channel_types[proc.name] = per_proc
+
+    return InferenceResult(
+        table=inferencer.table,
+        basic_signatures=basic_signatures,
+        channel_types=channel_types,
+    )
+
+
+@dataclass(frozen=True)
+class PairCheckResult:
+    """Outcome of a model/guide compatibility check."""
+
+    compatible: bool
+    latent_type_model: ty.GuideType
+    latent_type_guide: ty.GuideType
+    reason: Optional[str] = None
+
+
+def check_model_guide_pair(
+    model_program: ast.Program,
+    guide_program: ast.Program,
+    model_entry: str,
+    guide_entry: str,
+    latent_channel: str = "latent",
+    obs_channel: str = "obs",
+) -> PairCheckResult:
+    """Verify the absolute-continuity certificate for a model/guide pair.
+
+    Checks (paper Thm. 5.2 side-conditions):
+
+    1. the model consumes ``latent_channel`` and (optionally) provides
+       ``obs_channel``; the guide provides ``latent_channel``;
+    2. both programs infer guide types successfully;
+    3. the model's consumed ``latent`` type is &-free and its provided
+       ``obs`` type is ⊕-free (the model never *receives* branch selections);
+    4. the model and guide agree on the ``latent`` protocol (equality up to
+       unfolding their respective type operators).
+
+    Returns a :class:`PairCheckResult`; raises :class:`GuideTypeError` only
+    for structural errors (missing channels, inference failure), while a
+    protocol mismatch is reported via ``compatible=False`` so callers can
+    present the reason.
+    """
+    model_result = infer_guide_types(model_program)
+    guide_result = infer_guide_types(guide_program)
+
+    model_proc = model_program.procedure(model_entry)
+    guide_proc = guide_program.procedure(guide_entry)
+
+    if model_proc.consumes != latent_channel:
+        raise GuideTypeError(
+            f"model entry {model_entry!r} must consume channel {latent_channel!r}"
+        )
+    if guide_proc.provides != latent_channel:
+        raise GuideTypeError(
+            f"guide entry {guide_entry!r} must provide channel {latent_channel!r}"
+        )
+
+    model_latent = model_result.entry_channel_type(model_entry, latent_channel)
+    guide_latent = guide_result.entry_channel_type(guide_entry, latent_channel)
+
+    # Thm. 5.2 side-condition: the model never *receives* branch selections,
+    # i.e. its consumed latent type is ⊕-free and its provided obs type is
+    # &-free (a `cond.recv` on a consumed channel introduces ⊕; on a provided
+    # channel it introduces &).
+    if not ty.is_offer_free(model_latent, model_result.table):
+        return PairCheckResult(
+            False,
+            model_latent,
+            guide_latent,
+            reason="the model receives branch selections on the latent channel "
+            "(its latent guide type is not ⊕-free)",
+        )
+    if model_proc.provides == obs_channel:
+        model_obs = model_result.entry_channel_type(model_entry, obs_channel)
+        if not ty.is_choose_free(model_obs, model_result.table):
+            return PairCheckResult(
+                False,
+                model_latent,
+                guide_latent,
+                reason="the model receives branch selections on the obs channel "
+                "(its obs guide type is not &-free)",
+            )
+
+    if types_equal_up_to_unfolding(
+        model_latent, guide_latent, model_result.table, guide_result.table
+    ):
+        return PairCheckResult(True, model_latent, guide_latent)
+
+    return PairCheckResult(
+        False,
+        model_latent,
+        guide_latent,
+        reason=(
+            "model and guide disagree on the latent protocol: "
+            f"model expects {model_latent}, guide provides {guide_latent}"
+        ),
+    )
+
+
+def _join_or_raise(a: ty.BaseType, b: ty.BaseType) -> ty.BaseType:
+    joined = ty.join(a, b)
+    if joined is None and a != b:
+        raise GuideTypeError(
+            f"conditional branches have incompatible result types {a} and {b}"
+        )
+    return joined if joined is not None else a

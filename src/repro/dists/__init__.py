@@ -1,0 +1,37 @@
+"""Primitive probability distributions with exact supports and densities.
+
+Every distribution exposes:
+
+``sample(rng)``
+    Draw one value using a ``numpy.random.Generator``.
+``log_prob(value)``
+    Log density (continuous) or log mass (discrete) of ``value``; ``-inf``
+    outside the support.
+``prob(value)``
+    ``exp(log_prob(value))`` — the paper's ``d.density``.
+``in_support(value)``
+    Exact support membership — the paper's ``v ∈ d.support``.
+``support_type``
+    The basic type τ such that the distribution has type ``dist(τ)``.
+
+The families match the core calculus: Bernoulli, Uniform(0,1), Beta, Gamma,
+Normal, Categorical, Geometric, Poisson.
+"""
+
+from repro.dists.base import Distribution
+from repro.dists.continuous import Beta, Gamma, Normal, Uniform01
+from repro.dists.discrete import Bernoulli, Categorical, Geometric, Poisson
+from repro.dists.factory import make_distribution
+
+__all__ = [
+    "Distribution",
+    "Normal",
+    "Gamma",
+    "Beta",
+    "Uniform01",
+    "Bernoulli",
+    "Categorical",
+    "Geometric",
+    "Poisson",
+    "make_distribution",
+]

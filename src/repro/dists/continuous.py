@@ -1,0 +1,217 @@
+"""Continuous primitive distributions: Normal, Gamma, Beta, Uniform(0,1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import stats
+
+from repro.core import types as ty
+from repro.dists.base import (
+    Distribution,
+    is_real_number,
+    require_positive,
+    require_real,
+)
+
+
+class Normal(Distribution):
+    """Normal distribution ``Normal(mean; stddev)`` with support ℝ."""
+
+    name = "Normal"
+
+    def __init__(self, mean: float, stddev: float):
+        self.mean = require_real("mean", mean)
+        self.stddev = require_positive("stddev", stddev)
+
+    @property
+    def params(self) -> tuple:
+        return (self.mean, self.stddev)
+
+    @property
+    def support_type(self) -> ty.BaseType:
+        return ty.REAL
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.normal(self.mean, self.stddev))
+
+    def log_prob(self, value) -> float:
+        if not self.in_support(value):
+            return -math.inf
+        z = (float(value) - self.mean) / self.stddev
+        return -0.5 * z * z - math.log(self.stddev) - 0.5 * math.log(2.0 * math.pi)
+
+    def in_support(self, value) -> bool:
+        return is_real_number(value) and math.isfinite(float(value))
+
+    def expected_value(self) -> float:
+        return self.mean
+
+
+class Gamma(Distribution):
+    """Gamma distribution ``Gamma(shape; rate)`` with support ℝ+.
+
+    Parameterised by *shape* and *rate* (inverse scale), matching the paper's
+    ``Gamma(2; 1)`` examples.
+    """
+
+    name = "Gamma"
+
+    def __init__(self, shape: float, rate: float):
+        self.shape = require_positive("shape", shape)
+        self.rate = require_positive("rate", rate)
+
+    @property
+    def params(self) -> tuple:
+        return (self.shape, self.rate)
+
+    @property
+    def support_type(self) -> ty.BaseType:
+        return ty.PREAL
+
+    def sample(self, rng: np.random.Generator) -> float:
+        value = float(rng.gamma(self.shape, 1.0 / self.rate))
+        # Guard against underflow to exactly 0.0, which lies outside ℝ+.
+        return value if value > 0.0 else math.ulp(0.0)
+
+    def log_prob(self, value) -> float:
+        if not self.in_support(value):
+            return -math.inf
+        x = float(value)
+        return (
+            self.shape * math.log(self.rate)
+            - math.lgamma(self.shape)
+            + (self.shape - 1.0) * math.log(x)
+            - self.rate * x
+        )
+
+    def in_support(self, value) -> bool:
+        return is_real_number(value) and float(value) > 0.0 and math.isfinite(float(value))
+
+    def expected_value(self) -> float:
+        return self.shape / self.rate
+
+
+class Beta(Distribution):
+    """Beta distribution ``Beta(alpha; beta)`` with support ℝ(0,1)."""
+
+    name = "Beta"
+
+    def __init__(self, alpha: float, beta: float):
+        self.alpha = require_positive("alpha", alpha)
+        self.beta = require_positive("beta", beta)
+
+    @property
+    def params(self) -> tuple:
+        return (self.alpha, self.beta)
+
+    @property
+    def support_type(self) -> ty.BaseType:
+        return ty.UREAL
+
+    def sample(self, rng: np.random.Generator) -> float:
+        value = float(rng.beta(self.alpha, self.beta))
+        # Clamp away from the closed endpoints, which are outside ℝ(0,1).
+        eps = 1e-12
+        return min(max(value, eps), 1.0 - eps)
+
+    def log_prob(self, value) -> float:
+        if not self.in_support(value):
+            return -math.inf
+        x = float(value)
+        log_beta_fn = math.lgamma(self.alpha) + math.lgamma(self.beta) - math.lgamma(
+            self.alpha + self.beta
+        )
+        return (self.alpha - 1.0) * math.log(x) + (self.beta - 1.0) * math.log1p(-x) - log_beta_fn
+
+    def in_support(self, value) -> bool:
+        return is_real_number(value) and 0.0 < float(value) < 1.0
+
+    def expected_value(self) -> float:
+        return self.alpha / (self.alpha + self.beta)
+
+
+class Uniform01(Distribution):
+    """The uniform distribution on the open unit interval (paper's ``Unif``)."""
+
+    name = "Unif"
+
+    def __init__(self) -> None:
+        pass
+
+    @property
+    def params(self) -> tuple:
+        return ()
+
+    @property
+    def support_type(self) -> ty.BaseType:
+        return ty.UREAL
+
+    def sample(self, rng: np.random.Generator) -> float:
+        value = float(rng.random())
+        eps = 1e-12
+        return min(max(value, eps), 1.0 - eps)
+
+    def log_prob(self, value) -> float:
+        return 0.0 if self.in_support(value) else -math.inf
+
+    def in_support(self, value) -> bool:
+        return is_real_number(value) and 0.0 < float(value) < 1.0
+
+    def expected_value(self) -> float:
+        return 0.5
+
+
+class TruncatedNormal(Distribution):
+    """Normal distribution truncated to an interval.
+
+    Not part of the core calculus; used by a few handwritten mini-Pyro
+    baselines (e.g. proposing positive-valued latents) and exposed here for
+    completeness of the substrate.
+    """
+
+    name = "TruncatedNormal"
+
+    def __init__(self, mean: float, stddev: float, low: float, high: float):
+        self.mean = require_real("mean", mean)
+        self.stddev = require_positive("stddev", stddev)
+        if not low < high:
+            raise ValueError(f"low must be < high, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+        self._a = (self.low - self.mean) / self.stddev
+        self._b = (self.high - self.mean) / self.stddev
+
+    @property
+    def params(self) -> tuple:
+        return (self.mean, self.stddev, self.low, self.high)
+
+    @property
+    def support_type(self) -> ty.BaseType:
+        if self.low >= 0.0:
+            return ty.PREAL
+        return ty.REAL
+
+    def sample(self, rng: np.random.Generator) -> float:
+        u = rng.random()
+        return float(
+            stats.truncnorm.ppf(u, self._a, self._b, loc=self.mean, scale=self.stddev)
+        )
+
+    def log_prob(self, value) -> float:
+        if not self.in_support(value):
+            return -math.inf
+        return float(
+            stats.truncnorm.logpdf(
+                float(value), self._a, self._b, loc=self.mean, scale=self.stddev
+            )
+        )
+
+    def in_support(self, value) -> bool:
+        return is_real_number(value) and self.low < float(value) < self.high
+
+    def expected_value(self) -> float:
+        return float(
+            stats.truncnorm.mean(self._a, self._b, loc=self.mean, scale=self.stddev)
+        )

@@ -1,0 +1,193 @@
+"""Discrete primitive distributions: Bernoulli, Categorical, Geometric, Poisson."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core import types as ty
+from repro.dists.base import (
+    Distribution,
+    is_integer_number,
+    require_positive,
+    require_unit_interval,
+)
+
+
+class Bernoulli(Distribution):
+    """Bernoulli distribution ``Ber(p)`` with support 𝟚 = {true, false}."""
+
+    name = "Ber"
+
+    def __init__(self, p: float):
+        self.p = require_unit_interval("p", p)
+
+    @property
+    def params(self) -> tuple:
+        return (self.p,)
+
+    @property
+    def support_type(self) -> ty.BaseType:
+        return ty.BOOL
+
+    def sample(self, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self.p)
+
+    def log_prob(self, value) -> float:
+        if not self.in_support(value):
+            return -math.inf
+        return math.log(self.p) if value else math.log1p(-self.p)
+
+    def in_support(self, value) -> bool:
+        return isinstance(value, (bool, np.bool_))
+
+    def expected_value(self) -> float:
+        return self.p
+
+
+class Categorical(Distribution):
+    """Categorical distribution ``Cat(w_0, ..., w_{n-1})`` with support ℕn.
+
+    The weights need not be normalised; they must be strictly positive.
+    """
+
+    name = "Cat"
+
+    def __init__(self, weights: Sequence[float]):
+        if len(weights) < 1:
+            raise ValueError("Cat requires at least one weight")
+        ws = [require_positive(f"weight #{i}", w) for i, w in enumerate(weights)]
+        total = sum(ws)
+        self.weights = tuple(ws)
+        self.probs = tuple(w / total for w in ws)
+
+    @property
+    def params(self) -> tuple:
+        return self.weights
+
+    @property
+    def support_type(self) -> ty.BaseType:
+        return ty.FinNatTy(len(self.weights))
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.choice(len(self.probs), p=self.probs))
+
+    def log_prob(self, value) -> float:
+        if not self.in_support(value):
+            return -math.inf
+        return math.log(self.probs[int(value)])
+
+    def in_support(self, value) -> bool:
+        return is_integer_number(value) and 0 <= int(value) < len(self.weights)
+
+    def expected_value(self) -> float:
+        return sum(i * p for i, p in enumerate(self.probs))
+
+
+class Geometric(Distribution):
+    """Geometric distribution ``Geo(p)`` with support ℕ = {0, 1, 2, ...}.
+
+    ``Geo(p)`` counts the number of failures before the first success, so
+    ``P(k) = (1-p)^k p``.
+    """
+
+    name = "Geo"
+
+    def __init__(self, p: float):
+        self.p = require_unit_interval("p", p)
+
+    @property
+    def params(self) -> tuple:
+        return (self.p,)
+
+    @property
+    def support_type(self) -> ty.BaseType:
+        return ty.NAT
+
+    def sample(self, rng: np.random.Generator) -> int:
+        # numpy's geometric counts trials (>= 1); shift to count failures.
+        return int(rng.geometric(self.p)) - 1
+
+    def log_prob(self, value) -> float:
+        if not self.in_support(value):
+            return -math.inf
+        k = int(value)
+        return k * math.log1p(-self.p) + math.log(self.p)
+
+    def in_support(self, value) -> bool:
+        return is_integer_number(value) and int(value) >= 0
+
+    def expected_value(self) -> float:
+        return (1.0 - self.p) / self.p
+
+
+class Poisson(Distribution):
+    """Poisson distribution ``Pois(rate)`` with support ℕ."""
+
+    name = "Pois"
+
+    def __init__(self, rate: float):
+        self.rate = require_positive("rate", rate)
+
+    @property
+    def params(self) -> tuple:
+        return (self.rate,)
+
+    @property
+    def support_type(self) -> ty.BaseType:
+        return ty.NAT
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.poisson(self.rate))
+
+    def log_prob(self, value) -> float:
+        if not self.in_support(value):
+            return -math.inf
+        k = int(value)
+        return k * math.log(self.rate) - self.rate - math.lgamma(k + 1.0)
+
+    def in_support(self, value) -> bool:
+        return is_integer_number(value) and int(value) >= 0
+
+    def expected_value(self) -> float:
+        return self.rate
+
+
+class Delta(Distribution):
+    """A point mass at a fixed value.
+
+    Not part of the core calculus; used by the mini-Pyro substrate for
+    deterministic sites and by MCMC proposals that keep a coordinate fixed.
+    The density is 1 at the point and 0 elsewhere (counting-measure style).
+    """
+
+    name = "Delta"
+
+    def __init__(self, value):
+        self.value = value
+
+    @property
+    def params(self) -> tuple:
+        return (self.value,)
+
+    @property
+    def support_type(self) -> ty.BaseType:
+        if isinstance(self.value, bool):
+            return ty.BOOL
+        if isinstance(self.value, int):
+            return ty.NAT
+        return ty.REAL
+
+    def sample(self, rng: np.random.Generator):
+        return self.value
+
+    def log_prob(self, value) -> float:
+        return 0.0 if self.in_support(value) else -math.inf
+
+    def in_support(self, value) -> bool:
+        return value == self.value
+
+    def expected_value(self) -> float:
+        return float(self.value)

@@ -1,0 +1,51 @@
+"""Factory mapping core-calculus distribution expressions to distribution objects."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core import ast
+from repro.dists.base import Distribution
+from repro.dists.continuous import Beta, Gamma, Normal, Uniform01
+from repro.dists.discrete import Bernoulli, Categorical, Geometric, Poisson
+from repro.errors import EvaluationError
+
+
+def make_distribution(kind: ast.DistKind, args: Sequence[float]) -> Distribution:
+    """Build a :class:`Distribution` from a family tag and evaluated parameters.
+
+    Raises :class:`EvaluationError` when the parameter count or values are
+    invalid (the basic type checker rules most of these out statically, but
+    run-time values can still stray — e.g. a guide parameter optimised to a
+    non-positive stddev).
+    """
+    try:
+        if kind is ast.DistKind.BER:
+            (p,) = args
+            return Bernoulli(p)
+        if kind is ast.DistKind.UNIF:
+            if args:
+                raise ValueError("Unif takes no parameters")
+            return Uniform01()
+        if kind is ast.DistKind.BETA:
+            alpha, beta = args
+            return Beta(alpha, beta)
+        if kind is ast.DistKind.GAMMA:
+            shape, rate = args
+            return Gamma(shape, rate)
+        if kind is ast.DistKind.NORMAL:
+            mean, stddev = args
+            return Normal(mean, stddev)
+        if kind is ast.DistKind.CAT:
+            return Categorical(list(args))
+        if kind is ast.DistKind.GEO:
+            (p,) = args
+            return Geometric(p)
+        if kind is ast.DistKind.POIS:
+            (rate,) = args
+            return Poisson(rate)
+    except (ValueError, TypeError) as exc:
+        raise EvaluationError(
+            f"invalid parameters for {kind.value}: {list(args)!r} ({exc})"
+        ) from exc
+    raise EvaluationError(f"unknown distribution family {kind!r}")

@@ -1,0 +1,39 @@
+"""Inference engines operating directly on the coroutine-based core calculus.
+
+These implement the operational rules of paper Sec. 5.2:
+
+``importance``
+    Self-normalised importance sampling with a guide program as the proposal.
+``mcmc``
+    Metropolis–Hastings with a (possibly trace-dependent) proposal program.
+``vi``
+    Variational inference: ELBO estimation over a parameterised guide and a
+    derivative-free / finite-difference optimiser.
+``diagnostics``
+    Posterior summaries shared by the engines (weighted histograms, ESS,
+    running means).
+"""
+
+from repro.inference.importance import ImportanceResult, ImportanceSample, importance_sampling
+from repro.inference.mcmc import MHResult, metropolis_hastings
+from repro.inference.vi import ELBOEstimate, SVIResult, estimate_elbo, svi
+from repro.inference.diagnostics import (
+    posterior_histogram,
+    posterior_mean,
+    weight_diagnostics,
+)
+
+__all__ = [
+    "ImportanceSample",
+    "ImportanceResult",
+    "importance_sampling",
+    "MHResult",
+    "metropolis_hastings",
+    "ELBOEstimate",
+    "SVIResult",
+    "estimate_elbo",
+    "svi",
+    "posterior_histogram",
+    "posterior_mean",
+    "weight_diagnostics",
+]

@@ -1,0 +1,108 @@
+"""Posterior summaries and weight diagnostics shared by the inference engines."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InferenceError
+from repro.utils.numerics import effective_sample_size, normalize_log_weights
+
+
+@dataclass(frozen=True)
+class WeightDiagnostics:
+    """Summary statistics of a set of importance weights."""
+
+    num_samples: int
+    num_zero_weight: int
+    effective_sample_size: float
+    max_normalized_weight: float
+
+    @property
+    def zero_weight_fraction(self) -> float:
+        if self.num_samples == 0:
+            return 0.0
+        return self.num_zero_weight / self.num_samples
+
+    @property
+    def degenerate(self) -> bool:
+        """True when a single particle dominates or most particles are impossible."""
+        return self.max_normalized_weight > 0.99 or self.zero_weight_fraction > 0.9
+
+
+def weight_diagnostics(log_weights: Sequence[float]) -> WeightDiagnostics:
+    """Compute :class:`WeightDiagnostics` for a weight vector."""
+    log_weights = list(log_weights)
+    normalized = normalize_log_weights(log_weights)
+    return WeightDiagnostics(
+        num_samples=len(log_weights),
+        num_zero_weight=sum(1 for w in log_weights if w == -math.inf),
+        effective_sample_size=effective_sample_size(log_weights),
+        max_normalized_weight=float(np.max(normalized)) if len(log_weights) else 0.0,
+    )
+
+
+def posterior_mean(values: Sequence[float], log_weights: Sequence[float]) -> float:
+    """Self-normalised posterior mean of scalar values."""
+    if len(values) != len(log_weights):
+        raise InferenceError("values and log_weights must have the same length")
+    if not values:
+        raise InferenceError("cannot summarise an empty sample set")
+    weights = normalize_log_weights(list(log_weights))
+    return float(np.dot(np.asarray(values, dtype=float), weights))
+
+
+def posterior_histogram(
+    values: Sequence[float],
+    log_weights: Optional[Sequence[float]] = None,
+    bins: int = 40,
+    value_range: Optional[Tuple[float, float]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Weighted, density-normalised histogram of posterior samples.
+
+    Returns ``(bin_centers, density)``.  Used to regenerate Figure 2's
+    prior-vs-posterior density plot as a table of (grid point, density)
+    pairs.
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise InferenceError("cannot build a histogram from an empty sample set")
+    if log_weights is None:
+        weights = np.full(array.shape, 1.0 / array.size)
+    else:
+        weights = normalize_log_weights(list(log_weights))
+    counts, edges = np.histogram(array, bins=bins, range=value_range, weights=weights)
+    widths = np.diff(edges)
+    density = counts / np.where(widths > 0, widths, 1.0)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    return centers, density
+
+
+def running_mean(values: Sequence[float]) -> List[float]:
+    """Running (cumulative) mean of a chain; used for MCMC convergence checks."""
+    means: List[float] = []
+    total = 0.0
+    for i, v in enumerate(values, start=1):
+        total += v
+        means.append(total / i)
+    return means
+
+
+def autocorrelation(values: Sequence[float], max_lag: int = 50) -> List[float]:
+    """Autocorrelation function of a scalar chain up to ``max_lag``."""
+    array = np.asarray(list(values), dtype=float)
+    n = array.size
+    if n < 2:
+        return [1.0]
+    centered = array - array.mean()
+    variance = float(np.dot(centered, centered) / n)
+    if variance == 0.0:
+        return [1.0] + [0.0] * min(max_lag, n - 1)
+    acf = []
+    for lag in range(0, min(max_lag, n - 1) + 1):
+        cov = float(np.dot(centered[: n - lag], centered[lag:]) / n)
+        acf.append(cov / variance)
+    return acf

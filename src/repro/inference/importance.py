@@ -1,0 +1,182 @@
+"""Importance sampling with a guide program as the proposal (paper Sec. 5.2).
+
+A single importance-sampling step jointly executes the guide and the model
+conditioned on a concrete observation trace::
+
+    ∅ | ∅; (latent : σℓ) ⊢ m_g ⇓w_g _
+    ∅ | (latent : σℓ); (obs : σo) ⊢ m_m ⇓w_m _
+    -------------------------------------------
+    m_g; m_m; σo ⊢ ⟨σℓ, w_m / w_g⟩
+
+The guide draws the latent trace σℓ (and receives the model's branch
+selections); the model scores it against the prior and the likelihood of the
+observations.  The importance weight of the particle is ``w_m / w_g``
+(``log_weight`` below is its logarithm).  If the model and guide are
+well-typed against the same latent protocol, Thm. 5.2 guarantees that every
+trace with posterior mass is reachable, so the self-normalised estimator is
+consistent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import ast
+from repro.core.coroutines import run_model_guide
+from repro.core.semantics import traces as tr
+from repro.errors import InferenceError
+from repro.utils.numerics import (
+    effective_sample_size,
+    log_mean_exp,
+    normalize_log_weights,
+)
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class ImportanceSample:
+    """One importance-sampling particle."""
+
+    latent_trace: tr.Trace
+    log_weight: float
+    model_log_weight: float
+    guide_log_weight: float
+    model_value: object
+    guide_value: object
+
+    @property
+    def latent_values(self) -> List[object]:
+        """The sampled latent values, in protocol order."""
+        return tr.sample_values(self.latent_trace)
+
+
+@dataclass
+class ImportanceResult:
+    """A batch of importance-sampling particles plus summary statistics."""
+
+    samples: List[ImportanceSample]
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.samples)
+
+    @property
+    def log_weights(self) -> List[float]:
+        return [s.log_weight for s in self.samples]
+
+    def log_evidence(self) -> float:
+        """Estimate of ``log p(σo)`` via the mean importance weight."""
+        return log_mean_exp(self.log_weights)
+
+    def effective_sample_size(self) -> float:
+        return effective_sample_size(self.log_weights)
+
+    def normalized_weights(self) -> np.ndarray:
+        return normalize_log_weights(self.log_weights)
+
+    def posterior_expectation(
+        self, statistic: Callable[[ImportanceSample], float]
+    ) -> float:
+        """Self-normalised estimate of ``E[statistic | observations]``."""
+        if not self.samples:
+            raise InferenceError("no importance samples were drawn")
+        values = np.array([statistic(s) for s in self.samples], dtype=float)
+        weights = self.normalized_weights()
+        return float(np.dot(values, weights))
+
+    def posterior_expectation_of_site(self, index: int) -> float:
+        """Posterior mean of the ``index``-th latent value in protocol order.
+
+        Particles that do not have that many latent values (e.g. a branch was
+        not taken) are excluded, with their weight renormalised over the rest.
+        """
+        pairs = [
+            (float(s.latent_values[index]), s.log_weight)
+            for s in self.samples
+            if len(s.latent_values) > index
+            and isinstance(s.latent_values[index], (int, float))
+        ]
+        if not pairs:
+            raise InferenceError(f"no particle has a latent value at index {index}")
+        values, log_weights = zip(*pairs)
+        weights = normalize_log_weights(list(log_weights))
+        return float(np.dot(np.asarray(values), weights))
+
+    def resample(self, rng: Optional[np.random.Generator] = None, size: Optional[int] = None) -> List[ImportanceSample]:
+        """Multinomial resampling according to the normalised weights."""
+        rng = ensure_rng(rng)
+        size = size if size is not None else self.num_samples
+        weights = self.normalized_weights()
+        indices = rng.choice(self.num_samples, size=size, p=weights)
+        return [self.samples[i] for i in indices]
+
+
+def importance_sampling(
+    model_program: ast.Program,
+    guide_program: ast.Program,
+    model_entry: str,
+    guide_entry: str,
+    obs_trace: Optional[Sequence[tr.Message]],
+    num_samples: int,
+    rng: Optional[np.random.Generator] = None,
+    model_args: Tuple[object, ...] = (),
+    guide_args: Tuple[object, ...] = (),
+    latent_channel: str = "latent",
+    obs_channel: str = "obs",
+    raise_on_all_zero: bool = True,
+) -> ImportanceResult:
+    """Run ``num_samples`` importance-sampling particles.
+
+    Parameters mirror :func:`repro.core.coroutines.run_model_guide`.  When
+    every particle has zero weight (the guide never proposes a trace the
+    model can accept) an :class:`InferenceError` is raised unless
+    ``raise_on_all_zero`` is False; unsound guides typically manifest this
+    way at run time, which is exactly the failure mode guide types rule out
+    statically.
+    """
+    if num_samples <= 0:
+        raise InferenceError("num_samples must be positive")
+    rng = ensure_rng(rng)
+
+    samples: List[ImportanceSample] = []
+    for _ in range(num_samples):
+        joint = run_model_guide(
+            model_program,
+            guide_program,
+            model_entry,
+            guide_entry,
+            obs_trace=obs_trace,
+            rng=rng,
+            model_args=model_args,
+            guide_args=guide_args,
+            latent_channel=latent_channel,
+            obs_channel=obs_channel,
+        )
+        model_lw = joint.log_weights["model"]
+        guide_lw = joint.log_weights["guide"]
+        if guide_lw == -math.inf:
+            log_weight = -math.inf
+        else:
+            log_weight = model_lw - guide_lw
+        samples.append(
+            ImportanceSample(
+                latent_trace=joint.traces[latent_channel],
+                log_weight=log_weight,
+                model_log_weight=model_lw,
+                guide_log_weight=guide_lw,
+                model_value=joint.values["model"],
+                guide_value=joint.values["guide"],
+            )
+        )
+
+    result = ImportanceResult(samples)
+    if raise_on_all_zero and all(lw == -math.inf for lw in result.log_weights):
+        raise InferenceError(
+            "all importance weights are zero: the guide's proposals never land "
+            "in the model's support (the model/guide pair is not absolutely continuous)"
+        )
+    return result

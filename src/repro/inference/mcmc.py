@@ -1,0 +1,251 @@
+"""Metropolis–Hastings MCMC with proposal programs (paper Sec. 5.2).
+
+One MH step, given a proposal program ``g``, a model ``m_m``, an observation
+trace ``σo``, and the current latent trace ``σℓ``:
+
+1. jointly execute ``g`` (seeded with the old trace) and the conditioned
+   model to draw a new latent trace ``σ'ℓ`` with forward density ``w_fwd``
+   and model density ``w'_m``;
+2. evaluate the proposal *backwards* — the density of proposing the old
+   trace from the new one — giving ``w_bwd``, and the model on the old trace
+   giving ``w_m``;
+3. accept ``σ'ℓ`` with probability ``min(1, (w'_m · w_bwd) / (w_m · w_fwd))``.
+
+Proposal programs are ordinary guide programs; dependence on the previous
+sample is passed through the procedure's parameters via ``proposal_args``
+(a function from the previous latent trace to the argument tuple), mirroring
+the paper's treatment of traces as first-class proposal inputs.  The default
+``proposal_args`` ignores the old trace (independence MH).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import ast
+from repro.core.coroutines import run_model_guide, run_prior
+from repro.core.semantics import traces as tr
+from repro.core.semantics.evaluate import log_density
+from repro.errors import InferenceError
+from repro.utils.rng import ensure_rng
+
+#: Maps the previous latent trace to the proposal procedure's argument tuple.
+ProposalArgs = Callable[[tr.Trace], Tuple[object, ...]]
+
+
+def _independence_proposal(_old: tr.Trace) -> Tuple[object, ...]:
+    return ()
+
+
+@dataclass
+class MHResult:
+    """The output of a Metropolis–Hastings run."""
+
+    traces: List[tr.Trace]
+    accepted: List[bool]
+    model_log_weights: List[float]
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.traces)
+
+    @property
+    def acceptance_rate(self) -> float:
+        if not self.accepted:
+            return 0.0
+        return sum(self.accepted) / len(self.accepted)
+
+    def site_values(self, index: int) -> List[float]:
+        """Values of the ``index``-th latent sample site across the chain.
+
+        Iterations whose trace does not reach that site are skipped.
+        """
+        values: List[float] = []
+        for trace in self.traces:
+            samples = tr.sample_values(trace)
+            if len(samples) > index and isinstance(samples[index], (int, float)):
+                values.append(float(samples[index]))
+        return values
+
+    def posterior_mean(self, index: int, burn_in: int = 0) -> float:
+        values = []
+        for trace in self.traces[burn_in:]:
+            samples = tr.sample_values(trace)
+            if len(samples) > index and isinstance(samples[index], (int, float)):
+                values.append(float(samples[index]))
+        if not values:
+            raise InferenceError(f"no chain state has a latent value at index {index}")
+        return float(np.mean(values))
+
+
+@dataclass
+class _MHState:
+    latent: tr.Trace
+    model_log_weight: float
+
+
+def _model_traces(
+    model_program: ast.Program,
+    model_entry: str,
+    latent_trace: tr.Trace,
+    obs_trace: Optional[Sequence[tr.Message]],
+    latent_channel: str,
+    obs_channel: str,
+) -> dict:
+    traces = {latent_channel: latent_trace}
+    model_proc = model_program.procedure(model_entry)
+    if model_proc.provides == obs_channel and obs_trace is not None:
+        traces[obs_channel] = tuple(obs_trace)
+    return traces
+
+
+def metropolis_hastings(
+    model_program: ast.Program,
+    proposal_program: ast.Program,
+    model_entry: str,
+    proposal_entry: str,
+    obs_trace: Optional[Sequence[tr.Message]],
+    num_samples: int,
+    rng: Optional[np.random.Generator] = None,
+    proposal_args: ProposalArgs = _independence_proposal,
+    model_args: Tuple[object, ...] = (),
+    initial_trace: Optional[tr.Trace] = None,
+    burn_in: int = 0,
+    latent_channel: str = "latent",
+    obs_channel: str = "obs",
+    max_init_attempts: int = 100,
+) -> MHResult:
+    """Run a Metropolis–Hastings chain of length ``num_samples`` (after burn-in)."""
+    if num_samples <= 0:
+        raise InferenceError("num_samples must be positive")
+    rng = ensure_rng(rng)
+
+    state = _initial_state(
+        model_program,
+        proposal_program,
+        model_entry,
+        proposal_entry,
+        obs_trace,
+        rng,
+        proposal_args,
+        model_args,
+        initial_trace,
+        latent_channel,
+        obs_channel,
+        max_init_attempts,
+    )
+
+    kept_traces: List[tr.Trace] = []
+    accepted_flags: List[bool] = []
+    kept_weights: List[float] = []
+
+    total_iterations = burn_in + num_samples
+    for iteration in range(total_iterations):
+        # Forward move: propose a new latent trace from the current one.
+        joint = run_model_guide(
+            model_program,
+            proposal_program,
+            model_entry,
+            proposal_entry,
+            obs_trace=obs_trace,
+            rng=rng,
+            model_args=model_args,
+            guide_args=proposal_args(state.latent),
+            latent_channel=latent_channel,
+            obs_channel=obs_channel,
+        )
+        new_latent = joint.traces[latent_channel]
+        log_w_fwd = joint.log_weights["guide"]
+        log_w_m_new = joint.log_weights["model"]
+
+        # Backward density: proposing the old trace when starting from the new one.
+        log_w_bwd = log_density(
+            proposal_program,
+            proposal_entry,
+            {latent_channel: state.latent},
+            args=proposal_args(new_latent),
+        )
+
+        log_alpha = (log_w_m_new + log_w_bwd) - (state.model_log_weight + log_w_fwd)
+        accept = False
+        if log_w_m_new > -math.inf and log_w_bwd > -math.inf:
+            accept = math.log(rng.random()) < min(0.0, log_alpha)
+        if accept:
+            state = _MHState(latent=new_latent, model_log_weight=log_w_m_new)
+
+        if iteration >= burn_in:
+            kept_traces.append(state.latent)
+            accepted_flags.append(accept)
+            kept_weights.append(state.model_log_weight)
+
+    return MHResult(
+        traces=kept_traces, accepted=accepted_flags, model_log_weights=kept_weights
+    )
+
+
+def _initial_state(
+    model_program: ast.Program,
+    proposal_program: ast.Program,
+    model_entry: str,
+    proposal_entry: str,
+    obs_trace: Optional[Sequence[tr.Message]],
+    rng: np.random.Generator,
+    proposal_args: ProposalArgs,
+    model_args: Tuple[object, ...],
+    initial_trace: Optional[tr.Trace],
+    latent_channel: str,
+    obs_channel: str,
+    max_init_attempts: int,
+) -> _MHState:
+    """Find a starting state with non-zero model density."""
+    if initial_trace is not None:
+        model_lw = log_density(
+            model_program,
+            model_entry,
+            _model_traces(
+                model_program, model_entry, initial_trace, obs_trace, latent_channel, obs_channel
+            ),
+            args=model_args,
+        )
+        if model_lw == -math.inf:
+            raise InferenceError("the supplied initial trace has zero model density")
+        return _MHState(latent=initial_trace, model_log_weight=model_lw)
+
+    for _ in range(max_init_attempts):
+        joint = run_model_guide(
+            model_program,
+            proposal_program,
+            model_entry,
+            proposal_entry,
+            obs_trace=obs_trace,
+            rng=rng,
+            model_args=model_args,
+            guide_args=proposal_args(()),
+            latent_channel=latent_channel,
+            obs_channel=obs_channel,
+        )
+        if joint.log_weights["model"] > -math.inf:
+            return _MHState(
+                latent=joint.traces[latent_channel],
+                model_log_weight=joint.log_weights["model"],
+            )
+    raise InferenceError(
+        f"could not initialise the Markov chain after {max_init_attempts} attempts: "
+        "every proposed trace has zero model density"
+    )
+
+
+def prior_initial_trace(
+    model_program: ast.Program,
+    model_entry: str,
+    rng: Optional[np.random.Generator] = None,
+    model_args: Tuple[object, ...] = (),
+    latent_channel: str = "latent",
+) -> tr.Trace:
+    """Draw an initial latent trace by simulating the model's prior."""
+    joint = run_prior(model_program, model_entry, rng=ensure_rng(rng), model_args=model_args)
+    return joint.traces[latent_channel]

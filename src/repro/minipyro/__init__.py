@@ -1,0 +1,51 @@
+"""minipyro — a small trace-based probabilistic-programming substrate.
+
+The paper compiles its coroutine-based PPL to Pyro.  Pyro itself (and its
+PyTorch dependency) is unavailable offline, so this package provides the
+portion of Pyro's programming model that the compiled code and the
+handwritten baselines need:
+
+* ``sample(name, dist, obs=None)`` and ``param(name, init)`` primitives;
+* an effect-handler (messenger) stack with ``trace``, ``replay``,
+  ``condition``, ``block``, and ``seed`` handlers;
+* inference engines: importance sampling, Metropolis–Hastings, and SVI.
+
+The design follows the published "mini-Pyro" reference implementation:
+handlers are context managers pushed onto a global stack; each ``sample``
+statement builds a message that every handler can inspect or modify.
+"""
+
+from repro.minipyro.handlers import (
+    Messenger,
+    block,
+    condition,
+    replay,
+    seed,
+    trace,
+)
+from repro.minipyro.primitives import (
+    clear_param_store,
+    get_param_store,
+    get_rng,
+    param,
+    sample,
+    set_rng,
+)
+from repro.minipyro.trace_struct import Trace, TraceSite
+
+__all__ = [
+    "Messenger",
+    "trace",
+    "replay",
+    "condition",
+    "block",
+    "seed",
+    "sample",
+    "param",
+    "get_param_store",
+    "clear_param_store",
+    "get_rng",
+    "set_rng",
+    "Trace",
+    "TraceSite",
+]

@@ -1,0 +1,126 @@
+"""mini-Pyro effect handlers (messengers).
+
+Handlers are context managers that push themselves onto the global handler
+stack.  Each ``sample``/``param`` statement inside the ``with`` block is
+routed through every active handler.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.minipyro import primitives
+from repro.minipyro.trace_struct import Trace, TraceSite
+from repro.utils.rng import ensure_rng
+
+
+class Messenger(primitives.MessengerBase):
+    """Base handler: pushes/pops itself on the global stack."""
+
+    def __enter__(self):
+        primitives.HANDLER_STACK.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        popped = primitives.HANDLER_STACK.pop()
+        assert popped is self, "handler stack corrupted"
+        return False
+
+    # ``__call__`` lets a handler wrap a model function, Pyro-style:
+    # ``traced = trace()(model)`` — calling ``traced(*args)`` runs the model
+    # inside the handler and returns its result.
+    def __call__(self, fn: Callable) -> Callable:
+        def wrapped(*args, **kwargs):
+            with self:
+                return fn(*args, **kwargs)
+
+        return wrapped
+
+
+class trace(Messenger):
+    """Record every sample site into a :class:`Trace`.
+
+    Use :meth:`get_trace` to run a function under the handler and return the
+    recorded trace (the Pyro idiom ``trace(model).get_trace(*args)``).
+    """
+
+    def __init__(self, fn: Optional[Callable] = None):
+        self.fn = fn
+        self.trace = Trace()
+
+    def postprocess_message(self, msg: dict) -> None:
+        if msg["type"] != "sample":
+            return
+        self.trace.add_site(
+            TraceSite(
+                name=msg["name"],
+                dist=msg["fn"],
+                value=msg["value"],
+                is_observed=msg["is_observed"],
+            )
+        )
+
+    def get_trace(self, *args, **kwargs) -> Trace:
+        if self.fn is None:
+            raise ValueError("trace(...) needs a function to run; pass it to the constructor")
+        self.trace = Trace()
+        with self:
+            self.fn(*args, **kwargs)
+        return self.trace
+
+
+class replay(Messenger):
+    """Force sample sites to take the values recorded in a previous trace."""
+
+    def __init__(self, guide_trace: Trace):
+        self.guide_trace = guide_trace
+
+    def process_message(self, msg: dict) -> None:
+        if msg["type"] != "sample":
+            return
+        name = msg["name"]
+        if name in self.guide_trace and not msg["is_observed"]:
+            msg["value"] = self.guide_trace[name].value
+
+
+class condition(Messenger):
+    """Condition named sites on observed data (name → value)."""
+
+    def __init__(self, data: Dict[str, object]):
+        self.data = dict(data)
+
+    def process_message(self, msg: dict) -> None:
+        if msg["type"] != "sample":
+            return
+        name = msg["name"]
+        if name in self.data:
+            msg["value"] = self.data[name]
+            msg["is_observed"] = True
+
+
+class block(Messenger):
+    """Hide selected sites from outer handlers.
+
+    ``hide_fn`` receives the message and returns True for sites that outer
+    handlers should not see.  Defaults to hiding everything.
+    """
+
+    def __init__(self, hide_fn: Optional[Callable[[dict], bool]] = None):
+        self.hide_fn = hide_fn if hide_fn is not None else (lambda msg: True)
+
+    def process_message(self, msg: dict) -> None:
+        if self.hide_fn(msg):
+            msg["stop"] = True
+
+
+class seed(Messenger):
+    """Run the enclosed computation with a dedicated RNG (reproducibility)."""
+
+    def __init__(self, rng_seed) -> None:
+        self.rng: np.random.Generator = ensure_rng(rng_seed)
+
+    def process_message(self, msg: dict) -> None:
+        if msg["type"] == "sample" and msg.get("rng") is None:
+            msg["rng"] = self.rng

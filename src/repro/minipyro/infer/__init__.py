@@ -1,0 +1,28 @@
+"""Inference engines for the mini-Pyro substrate.
+
+``Importance``
+    Self-normalised importance sampling with a guide as the proposal.
+``MH``
+    Single-site Metropolis–Hastings with prior proposals.
+``SVI``
+    Stochastic variational inference with finite-difference ELBO gradients
+    over the global parameter store.
+``optim``
+    Parameter-store optimisers (SGD, Adam).
+"""
+
+from repro.minipyro.infer.importance import Importance, ImportanceResults
+from repro.minipyro.infer.mh import MH, MHResults
+from repro.minipyro.infer.svi import SVI, elbo_estimate
+from repro.minipyro.infer.optim import SGD, Adam
+
+__all__ = [
+    "Importance",
+    "ImportanceResults",
+    "MH",
+    "MHResults",
+    "SVI",
+    "elbo_estimate",
+    "SGD",
+    "Adam",
+]

@@ -1,0 +1,55 @@
+"""Parameter-store optimisers for mini-Pyro SVI."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+class Optimizer:
+    """Base class: updates the parameter store in place from a gradient dict."""
+
+    def update(self, params: Dict[str, float], grads: Dict[str, float]) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient ascent with optional step decay."""
+
+    def __init__(self, lr: float = 0.01, decay: float = 0.0):
+        self.lr = float(lr)
+        self.decay = float(decay)
+        self._step = 0
+
+    def update(self, params: Dict[str, float], grads: Dict[str, float]) -> None:
+        self._step += 1
+        lr = self.lr / (1.0 + self.decay * self._step)
+        for name, grad in grads.items():
+            params[name] = params[name] + lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (ascent direction) over the scalar parameter store."""
+
+    def __init__(self, lr: float = 0.05, beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8):
+        self.lr = float(lr)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m: Dict[str, float] = {}
+        self._v: Dict[str, float] = {}
+        self._step = 0
+
+    def update(self, params: Dict[str, float], grads: Dict[str, float]) -> None:
+        self._step += 1
+        for name, grad in grads.items():
+            m = self._m.get(name, 0.0)
+            v = self._v.get(name, 0.0)
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+            self._m[name] = m
+            self._v[name] = v
+            m_hat = m / (1.0 - self.beta1**self._step)
+            v_hat = v / (1.0 - self.beta2**self._step)
+            params[name] = params[name] + self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

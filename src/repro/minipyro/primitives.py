@@ -1,0 +1,125 @@
+"""mini-Pyro primitives: the handler stack, ``sample``, and ``param``.
+
+The global handler stack holds the currently active messengers (innermost
+last).  A ``sample`` statement builds a message dictionary, lets every
+messenger process it from innermost to outermost, fills in a default value
+if none of them supplied one, and then lets every messenger post-process it
+from outermost to innermost — the same protocol as Pyro's poutine library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.dists.base import Distribution
+from repro.utils.rng import ensure_rng
+
+#: The global messenger stack (innermost handler last).
+HANDLER_STACK: List["MessengerBase"] = []
+
+#: The global parameter store shared by guides and optimisers.
+_PARAM_STORE: Dict[str, float] = {}
+
+#: The process-wide RNG used when no ``seed`` handler is active.
+_GLOBAL_RNG: np.random.Generator = ensure_rng(0)
+
+
+class MessengerBase:
+    """Minimal interface required of handlers (see ``handlers.Messenger``)."""
+
+    def process_message(self, msg: dict) -> None:  # pragma: no cover - interface
+        pass
+
+    def postprocess_message(self, msg: dict) -> None:  # pragma: no cover - interface
+        pass
+
+
+def get_rng() -> np.random.Generator:
+    """The RNG used by ``sample`` statements outside any ``seed`` handler."""
+    return _GLOBAL_RNG
+
+
+def set_rng(seed_or_rng) -> np.random.Generator:
+    """Set the global RNG (accepts a seed or a generator); returns it."""
+    global _GLOBAL_RNG
+    _GLOBAL_RNG = ensure_rng(seed_or_rng)
+    return _GLOBAL_RNG
+
+
+def get_param_store() -> Dict[str, float]:
+    """The global parameter store (name → value)."""
+    return _PARAM_STORE
+
+
+def clear_param_store() -> None:
+    """Remove all parameters (used between benchmark runs and tests)."""
+    _PARAM_STORE.clear()
+
+
+def apply_stack(msg: dict) -> dict:
+    """Run a message through the handler stack (the core of the effect system)."""
+    for handler in reversed(HANDLER_STACK):
+        handler.process_message(msg)
+        if msg.get("stop"):
+            break
+    if msg["value"] is None:
+        if msg["type"] == "sample":
+            msg["value"] = msg["fn"].sample(msg.get("rng") or get_rng())
+        else:
+            msg["value"] = msg["init"]
+    for handler in HANDLER_STACK:
+        handler.postprocess_message(msg)
+    return msg
+
+
+def sample(name: str, dist: Distribution, obs: Optional[object] = None):
+    """Draw (or observe) a random value at a named site.
+
+    Outside of any handler this simply samples from ``dist`` (or returns
+    ``obs``); inside handlers the value may be replayed, conditioned, or
+    recorded.
+    """
+    if not HANDLER_STACK:
+        if obs is not None:
+            return obs
+        return dist.sample(get_rng())
+    msg = {
+        "type": "sample",
+        "name": name,
+        "fn": dist,
+        "value": obs,
+        "is_observed": obs is not None,
+        "rng": None,
+        "stop": False,
+    }
+    apply_stack(msg)
+    return msg["value"]
+
+
+def param(name: str, init: Optional[float] = None) -> float:
+    """Read (or lazily initialise) a learnable parameter.
+
+    Parameters live in a global store keyed by name, as in Pyro.  The
+    optimisers in :mod:`repro.minipyro.infer` mutate the store directly.
+    """
+    store = get_param_store()
+    if name not in store:
+        if init is None:
+            raise KeyError(f"parameter {name!r} has not been initialised")
+        store[name] = float(init)
+    value = store[name]
+    if not HANDLER_STACK:
+        return value
+    msg = {
+        "type": "param",
+        "name": name,
+        "fn": None,
+        "value": value,
+        "init": value,
+        "is_observed": False,
+        "stop": False,
+    }
+    apply_stack(msg)
+    return msg["value"]

@@ -1,0 +1,82 @@
+"""Trace data structures for the mini-Pyro substrate.
+
+A :class:`Trace` is an ordered mapping from site names to :class:`TraceSite`
+records.  It is the object produced by the ``trace`` handler and consumed by
+``replay`` and by the inference engines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from repro.dists.base import Distribution
+
+
+@dataclass
+class TraceSite:
+    """One recorded sample site."""
+
+    name: str
+    dist: Distribution
+    value: object
+    is_observed: bool = False
+    log_prob: Optional[float] = None
+
+    def compute_log_prob(self) -> float:
+        """Log density of the recorded value under the recorded distribution."""
+        if self.log_prob is None:
+            self.log_prob = self.dist.log_prob(self.value)
+        return self.log_prob
+
+
+@dataclass
+class Trace:
+    """An ordered collection of sample sites recorded during one execution."""
+
+    sites: Dict[str, TraceSite] = field(default_factory=dict)
+
+    def add_site(self, site: TraceSite) -> None:
+        if site.name in self.sites:
+            raise ValueError(f"duplicate sample site name {site.name!r}")
+        self.sites[site.name] = site
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.sites
+
+    def __getitem__(self, name: str) -> TraceSite:
+        return self.sites[name]
+
+    def __iter__(self) -> Iterator[TraceSite]:
+        return iter(self.sites.values())
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+    def names(self) -> list[str]:
+        return list(self.sites.keys())
+
+    def log_prob_sum(self, observed_only: bool = False, latent_only: bool = False) -> float:
+        """Sum of site log probabilities, optionally restricted by observedness."""
+        total = 0.0
+        for site in self:
+            if observed_only and not site.is_observed:
+                continue
+            if latent_only and site.is_observed:
+                continue
+            lp = site.compute_log_prob()
+            if lp == -math.inf:
+                return -math.inf
+            total += lp
+        return total
+
+    def copy(self) -> "Trace":
+        """Shallow copy (sites are shared; used by MH to build neighbour states)."""
+        clone = Trace()
+        clone.sites = dict(self.sites)
+        return clone
+
+    def latent_values(self) -> Dict[str, object]:
+        """Mapping of non-observed site names to their values."""
+        return {s.name: s.value for s in self if not s.is_observed}

@@ -1,0 +1,27 @@
+"""Benchmark model library.
+
+``library``
+    The paper's benchmark programs (Table 1's selected rows plus a few extra
+    synthetic models), written in our surface syntax with matching guides,
+    observation data, and the paper-reported numbers used by
+    ``EXPERIMENTS.md``.
+``handwritten``
+    Handwritten mini-Pyro versions of the Table 2 programs, used as the
+    baseline against which compiled-code inference time is compared.
+"""
+
+from repro.models.library import (
+    Benchmark,
+    all_benchmarks,
+    get_benchmark,
+    selected_benchmarks,
+    source_loc,
+)
+
+__all__ = [
+    "Benchmark",
+    "all_benchmarks",
+    "selected_benchmarks",
+    "get_benchmark",
+    "source_loc",
+]

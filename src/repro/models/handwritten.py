@@ -1,0 +1,225 @@
+"""Handwritten mini-Pyro versions of the Table 2 benchmark programs.
+
+Table 2 compares inference time on code compiled from the coroutine PPL
+against "handwritten Pyro code" for the same model, guide, data, and
+hyper-parameters.  These are the handwritten counterparts: plain Python
+functions that call :func:`repro.minipyro.sample` / ``param`` directly, with
+no coroutine communication.
+
+Each entry in :data:`HANDWRITTEN` maps a benchmark name to a
+:class:`HandwrittenPair` with ``model(data)`` and ``guide(data)`` callables
+(the guide ignores the data for the non-amortised guides used here), the
+data tuple, and the line counts used for the HLOC column.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.dists import Bernoulli, Beta, Gamma, Normal, Poisson, Uniform01
+from repro.minipyro import param, sample
+
+
+def _loc_of(*functions: Callable) -> int:
+    """Count non-blank, non-comment source lines of the given functions."""
+    total = 0
+    for fn in functions:
+        for line in inspect.getsource(fn).splitlines():
+            stripped = line.strip()
+            if stripped and not stripped.startswith("#") and not stripped.startswith('"""'):
+                total += 1
+    return total
+
+
+@dataclass
+class HandwrittenPair:
+    """A handwritten model/guide pair plus its data and inference algorithm."""
+
+    name: str
+    algorithm: str  # "IS" or "VI"
+    model: Callable
+    guide: Callable
+    data: Tuple[object, ...]
+    lines_of_code: int
+
+
+# ---------------------------------------------------------------------------
+# ex-1 (Fig. 5): conditional model with a matching guide — IS
+# ---------------------------------------------------------------------------
+
+
+def ex1_model(data: Sequence[float]) -> float:
+    v = sample("x", Gamma(2.0, 1.0))
+    if v < 2.0:
+        sample("z", Normal(-1.0, 1.0), obs=data[0])
+    else:
+        m = sample("y", Beta(3.0, 1.0))
+        sample("z", Normal(m, 1.0), obs=data[0])
+    return v
+
+
+def ex1_guide(data: Sequence[float]) -> float:
+    v = sample("x", Gamma(1.0, 1.0))
+    if v < 2.0:
+        pass
+    else:
+        sample("y", Uniform01())
+    return v
+
+
+# ---------------------------------------------------------------------------
+# branching: random control flow — IS
+# ---------------------------------------------------------------------------
+
+
+def branching_model(data: Sequence[int]) -> int:
+    r = sample("r", Poisson(4.0))
+    if r < 4:
+        sample("count", Poisson(6.0), obs=data[0])
+    else:
+        m = sample("m", Uniform01())
+        sample("count", Poisson(6.0 + 10.0 * m), obs=data[0])
+    return r
+
+
+def branching_guide(data: Sequence[int]) -> int:
+    r = sample("r", Poisson(3.0))
+    if r < 4:
+        pass
+    else:
+        sample("m", Beta(2.0, 2.0))
+    return r
+
+
+# ---------------------------------------------------------------------------
+# gmm: two-component Gaussian mixture over four points — IS
+# ---------------------------------------------------------------------------
+
+
+def gmm_model(data: Sequence[float]) -> float:
+    mu1 = sample("mu1", Normal(-2.0, 5.0))
+    mu2 = sample("mu2", Normal(2.0, 5.0))
+    for i, y in enumerate(data):
+        z = sample(f"z{i}", Bernoulli(0.5))
+        mean = mu1 if z else mu2
+        sample(f"y{i}", Normal(mean, 1.0), obs=y)
+    return mu1
+
+
+def gmm_guide(data: Sequence[float]) -> float:
+    mu1 = sample("mu1", Normal(-2.0, 3.0))
+    sample("mu2", Normal(2.0, 3.0))
+    for i in range(len(data)):
+        sample(f"z{i}", Bernoulli(0.5))
+    return mu1
+
+
+# ---------------------------------------------------------------------------
+# weight: unreliable weigh — VI
+# ---------------------------------------------------------------------------
+
+
+def weight_model(data: Sequence[float]) -> float:
+    w = sample("weight", Normal(8.5, 1.0))
+    sample("measurement", Normal(w, 0.75), obs=data[0])
+    return w
+
+
+def weight_guide(data: Sequence[float]) -> float:
+    import math
+
+    loc = param("loc", 8.5)
+    log_scale = param("log_scale", 0.0)
+    return sample("weight", Normal(loc, math.exp(log_scale)))
+
+
+# ---------------------------------------------------------------------------
+# vae: toy linear-decoder variational autoencoder — VI
+# ---------------------------------------------------------------------------
+
+_VAE_DECODER = (
+    (0.9, 0.1, 0.2),
+    (0.4, -0.6, -0.1),
+    (-0.7, 0.8, 0.3),
+    (0.2, 0.5, -0.4),
+)
+
+
+def vae_model(data: Sequence[float]) -> float:
+    z1 = sample("z1", Normal(0.0, 1.0))
+    z2 = sample("z2", Normal(0.0, 1.0))
+    for i, (w1, w2, b) in enumerate(_VAE_DECODER):
+        sample(f"x{i}", Normal(w1 * z1 + w2 * z2 + b, 0.5), obs=data[i])
+    return z1
+
+
+def vae_guide(data: Sequence[float]) -> float:
+    import math
+
+    m1 = param("m1", 0.0)
+    s1 = param("s1", 0.0)
+    m2 = param("m2", 0.0)
+    s2 = param("s2", 0.0)
+    z1 = sample("z1", Normal(m1, math.exp(s1)))
+    sample("z2", Normal(m2, math.exp(s2)))
+    return z1
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+HANDWRITTEN: Dict[str, HandwrittenPair] = {
+    "ex-1": HandwrittenPair(
+        name="ex-1",
+        algorithm="IS",
+        model=ex1_model,
+        guide=ex1_guide,
+        data=(0.8,),
+        lines_of_code=_loc_of(ex1_model, ex1_guide),
+    ),
+    "branching": HandwrittenPair(
+        name="branching",
+        algorithm="IS",
+        model=branching_model,
+        guide=branching_guide,
+        data=(7,),
+        lines_of_code=_loc_of(branching_model, branching_guide),
+    ),
+    "gmm": HandwrittenPair(
+        name="gmm",
+        algorithm="IS",
+        model=gmm_model,
+        guide=gmm_guide,
+        data=(-2.2, -1.8, 2.1, 2.4),
+        lines_of_code=_loc_of(gmm_model, gmm_guide),
+    ),
+    "weight": HandwrittenPair(
+        name="weight",
+        algorithm="VI",
+        model=weight_model,
+        guide=weight_guide,
+        data=(9.5,),
+        lines_of_code=_loc_of(weight_model, weight_guide),
+    ),
+    "vae": HandwrittenPair(
+        name="vae",
+        algorithm="VI",
+        model=vae_model,
+        guide=vae_guide,
+        data=(0.7, -0.4, 0.5, -0.2),
+        lines_of_code=_loc_of(vae_model, vae_guide),
+    ),
+}
+
+
+def get_handwritten(name: str) -> HandwrittenPair:
+    """Look up a handwritten pair by benchmark name."""
+    try:
+        return HANDWRITTEN[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"no handwritten version of benchmark {name!r}; available: {sorted(HANDWRITTEN)}"
+        ) from exc

@@ -1,0 +1,12 @@
+"""Shared utilities: RNG handling, pretty printing, and numeric helpers."""
+
+from repro.utils.rng import ensure_rng, fork_rng
+from repro.utils.numerics import log_mean_exp, log_sum_exp, normalize_log_weights
+
+__all__ = [
+    "ensure_rng",
+    "fork_rng",
+    "log_sum_exp",
+    "log_mean_exp",
+    "normalize_log_weights",
+]

@@ -1,0 +1,161 @@
+"""Pretty printers for core-calculus syntax, guide types, and traces.
+
+These printers produce the paper-style concrete syntax and are used by
+error messages, examples, the compiler's generated-code headers, and the
+benchmark reports.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core import ast
+from repro.core import types as ty
+from repro.core.semantics import traces as tr
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+def pretty_expr(expr: ast.Expr) -> str:
+    """Render an expression in surface syntax."""
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.Triv):
+        return "()"
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.RealLit):
+        return f"{expr.value:g}" if expr.value != int(expr.value) else f"{expr.value:.1f}"
+    if isinstance(expr, ast.NatLit):
+        return str(expr.value)
+    if isinstance(expr, ast.IfExpr):
+        return (
+            f"if {pretty_expr(expr.cond)} then {pretty_expr(expr.then)} "
+            f"else {pretty_expr(expr.orelse)}"
+        )
+    if isinstance(expr, ast.PrimOp):
+        return f"({pretty_expr(expr.left)} {expr.op.value} {pretty_expr(expr.right)})"
+    if isinstance(expr, ast.PrimUnOp):
+        if expr.op in (ast.UnOp.EXP, ast.UnOp.LOG, ast.UnOp.SQRT):
+            return f"{expr.op.value}({pretty_expr(expr.operand)})"
+        return f"{expr.op.value}{pretty_expr(expr.operand)}"
+    if isinstance(expr, ast.Lam):
+        return f"fun({expr.param}) {pretty_expr(expr.body)}"
+    if isinstance(expr, ast.App):
+        return f"{pretty_expr(expr.func)}({pretty_expr(expr.arg)})"
+    if isinstance(expr, ast.Let):
+        return f"let {expr.var} = {pretty_expr(expr.bound)} in {pretty_expr(expr.body)}"
+    if isinstance(expr, ast.Tuple_):
+        return "(" + ", ".join(pretty_expr(e) for e in expr.items) + ")"
+    if isinstance(expr, ast.Proj):
+        return f"{pretty_expr(expr.tuple_expr)}.{expr.index}"
+    if isinstance(expr, ast.DistExpr):
+        if not expr.args:
+            return expr.kind.value
+        return expr.kind.value + "(" + ", ".join(pretty_expr(a) for a in expr.args) + ")"
+    return repr(expr)
+
+
+# ---------------------------------------------------------------------------
+# Commands and procedures
+# ---------------------------------------------------------------------------
+
+
+def pretty_command(cmd: ast.Command, indent: int = 0) -> str:
+    """Render a command in surface syntax (multi-line)."""
+    pad = "  " * indent
+
+    if isinstance(cmd, ast.Ret):
+        return f"{pad}return({pretty_expr(cmd.expr)})"
+    if isinstance(cmd, ast.Bnd):
+        first = pretty_command(cmd.first, indent).lstrip()
+        rest = pretty_command(cmd.second, indent)
+        binder = "" if cmd.var.startswith("_ignore") else f"{cmd.var} <- "
+        return f"{pad}{binder}{first};\n{rest}"
+    if isinstance(cmd, ast.SampleRecv):
+        return f"{pad}sample.recv{{{cmd.channel}}}({pretty_expr(cmd.dist)})"
+    if isinstance(cmd, ast.SampleSend):
+        return f"{pad}sample.send{{{cmd.channel}}}({pretty_expr(cmd.dist)})"
+    if isinstance(cmd, ast.Observe):
+        return f"{pad}observe({pretty_expr(cmd.dist)}, {pretty_expr(cmd.value)})"
+    if isinstance(cmd, ast.CondSend):
+        return (
+            f"{pad}if.send{{{cmd.channel}}} {pretty_expr(cmd.cond)} {{\n"
+            f"{pretty_command(cmd.then, indent + 1)}\n{pad}}} else {{\n"
+            f"{pretty_command(cmd.orelse, indent + 1)}\n{pad}}}"
+        )
+    if isinstance(cmd, ast.CondRecv):
+        return (
+            f"{pad}if.recv{{{cmd.channel}}} {{\n"
+            f"{pretty_command(cmd.then, indent + 1)}\n{pad}}} else {{\n"
+            f"{pretty_command(cmd.orelse, indent + 1)}\n{pad}}}"
+        )
+    if isinstance(cmd, ast.CondPure):
+        return (
+            f"{pad}if {pretty_expr(cmd.cond)} {{\n"
+            f"{pretty_command(cmd.then, indent + 1)}\n{pad}}} else {{\n"
+            f"{pretty_command(cmd.orelse, indent + 1)}\n{pad}}}"
+        )
+    if isinstance(cmd, ast.Call):
+        return f"{pad}call {cmd.proc}({pretty_expr(cmd.arg)})"
+    return f"{pad}{cmd!r}"
+
+
+def pretty_procedure(proc: ast.Procedure) -> str:
+    """Render a whole procedure in surface syntax."""
+    params = ", ".join(proc.params)
+    header = f"proc {proc.name}({params})"
+    if proc.consumes:
+        header += f" consume {proc.consumes}"
+    if proc.provides:
+        header += f" provide {proc.provides}"
+    return f"{header} {{\n{pretty_command(proc.body, 1)}\n}}"
+
+
+def pretty_program(program: ast.Program) -> str:
+    """Render a whole program in surface syntax."""
+    return "\n\n".join(pretty_procedure(p) for p in program.procedures)
+
+
+# ---------------------------------------------------------------------------
+# Guide types and traces
+# ---------------------------------------------------------------------------
+
+
+def pretty_guide_type(guide_type: ty.GuideType) -> str:
+    """Render a guide type with the paper's connectives."""
+    if isinstance(guide_type, ty.End):
+        return "1"
+    if isinstance(guide_type, ty.TyVar):
+        return guide_type.name
+    if isinstance(guide_type, ty.OpApp):
+        return f"{guide_type.operator}[{pretty_guide_type(guide_type.arg)}]"
+    if isinstance(guide_type, ty.SendVal):
+        return f"{guide_type.payload} /\\ {pretty_guide_type(guide_type.cont)}"
+    if isinstance(guide_type, ty.RecvVal):
+        return f"{guide_type.payload} => {pretty_guide_type(guide_type.cont)}"
+    if isinstance(guide_type, ty.Offer):
+        return (
+            f"({pretty_guide_type(guide_type.then)} (+) {pretty_guide_type(guide_type.orelse)})"
+        )
+    if isinstance(guide_type, ty.Choose):
+        return f"({pretty_guide_type(guide_type.then)} & {pretty_guide_type(guide_type.orelse)})"
+    return repr(guide_type)
+
+
+def pretty_type_table(table: ty.TypeTable) -> str:
+    """Render the typedefs and signatures of a type table."""
+    lines = []
+    for name, typedef in sorted(table.typedefs.items()):
+        lines.append(f"typedef {name}[{typedef.param}] = {pretty_guide_type(typedef.body)}")
+    for name, sig in sorted(table.signatures.items()):
+        lines.append(f"proc {name} : {sig}")
+    return "\n".join(lines)
+
+
+def pretty_trace(trace: Sequence[tr.Message]) -> str:
+    """Render a guidance trace."""
+    return tr.format_trace(trace)

@@ -1,0 +1,31 @@
+"""Recursion-limit management for deeply recursive interpreted programs.
+
+The big-step evaluator and the coroutine interpreter are written as direct
+recursive Python functions / nested generators, so a deeply recursive
+probabilistic program (e.g. a near-critical PCFG) can exceed CPython's
+default recursion limit long before it exceeds any semantic limit of the
+calculus.  :func:`deep_recursion` temporarily raises the limit around such
+computations; the coroutine scheduler's ``max_ops`` budget remains the
+backstop against genuinely non-terminating recursions.
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+from typing import Iterator
+
+#: The recursion limit used while interpreting or evaluating programs.
+INTERPRETER_RECURSION_LIMIT = 50_000
+
+
+@contextmanager
+def deep_recursion(limit: int = INTERPRETER_RECURSION_LIMIT) -> Iterator[None]:
+    """Temporarily raise the recursion limit (never lowers it)."""
+    previous = sys.getrecursionlimit()
+    target = max(previous, limit)
+    sys.setrecursionlimit(target)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(previous)

@@ -1,0 +1,31 @@
+"""Deterministic random-number-generator helpers.
+
+All stochastic code in the library takes an optional ``numpy.random.Generator``
+and threads it explicitly; these helpers normalise the various ways callers
+specify randomness (a seed, a generator, or nothing).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def ensure_rng(seed_or_rng: SeedLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` from a seed, a generator, or ``None``."""
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def fork_rng(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Split a generator into ``n`` independent child generators.
+
+    Used by inference engines that run several chains or particles so that
+    each stream is reproducible independently of the others.
+    """
+    seed_seq = np.random.SeedSequence(rng.integers(0, 2**63 - 1))
+    return [np.random.default_rng(child) for child in seed_seq.spawn(n)]

@@ -1,0 +1,106 @@
+"""Shared fixtures: the paper's running examples as parsed programs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parser import parse_program
+from repro.minipyro import clear_param_store
+
+FIG5_MODEL_SOURCE = """
+proc Model() consume latent provide obs {
+  v <- sample.recv{latent}(Gamma(2.0, 1.0));
+  if.send{latent} v < 2.0 {
+    _ <- sample.send{obs}(Normal(-1.0, 1.0));
+    return(v)
+  } else {
+    m <- sample.recv{latent}(Beta(3.0, 1.0));
+    _ <- sample.send{obs}(Normal(m, 1.0));
+    return(v)
+  }
+}
+"""
+
+FIG5_GUIDE_SOURCE = """
+proc Guide1() provide latent {
+  v <- sample.send{latent}(Gamma(1.0, 1.0));
+  if.recv{latent} {
+    return(v)
+  } else {
+    m <- sample.send{latent}(Unif);
+    return(v)
+  }
+}
+"""
+
+FIG6_PCFG_SOURCE = """
+proc Pcfg() consume latent {
+  k <- sample.recv{latent}(Beta(3.0, 1.0));
+  call PcfgGen(k)
+}
+
+proc PcfgGen(k: ureal) consume latent {
+  u <- sample.recv{latent}(Unif);
+  if.send{latent} u < k {
+    v <- sample.recv{latent}(Normal(0.0, 1.0));
+    return(v)
+  } else {
+    lhs <- call PcfgGen(k);
+    rhs <- call PcfgGen(k);
+    return(lhs + rhs)
+  }
+}
+"""
+
+FIG6_PCFG_GUIDE_SOURCE = """
+proc PcfgGuide() provide latent {
+  k <- sample.send{latent}(Beta(2.0, 2.0));
+  call PcfgGenGuide(k)
+}
+
+proc PcfgGenGuide(k: ureal) provide latent {
+  u <- sample.send{latent}(Unif);
+  if.recv{latent} {
+    v <- sample.send{latent}(Normal(0.0, 2.0));
+    return(v)
+  } else {
+    lhs <- call PcfgGenGuide(k);
+    rhs <- call PcfgGenGuide(k);
+    return(lhs + rhs)
+  }
+}
+"""
+
+
+@pytest.fixture
+def fig5_model():
+    return parse_program(FIG5_MODEL_SOURCE)
+
+
+@pytest.fixture
+def fig5_guide():
+    return parse_program(FIG5_GUIDE_SOURCE)
+
+
+@pytest.fixture
+def fig6_pcfg():
+    return parse_program(FIG6_PCFG_SOURCE)
+
+
+@pytest.fixture
+def fig6_pcfg_guide():
+    return parse_program(FIG6_PCFG_GUIDE_SOURCE)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(autouse=True)
+def _clean_param_store():
+    """Keep the global mini-Pyro parameter store isolated between tests."""
+    clear_param_store()
+    yield
+    clear_param_store()

@@ -1,0 +1,84 @@
+"""Tests for the support / absolute-continuity analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    absolute_continuity_certificate,
+    empirical_support_check,
+    enumerate_trace_shapes,
+)
+from repro.core import types as ty
+from repro.core.parser import parse_program
+from repro.core.semantics import traces as tr
+from repro.core.typecheck import infer_guide_types
+from repro.models.library import (
+    EX1_GUIDE_UNSOUND_IS_SOURCE,
+    get_benchmark,
+)
+
+
+class TestStaticCertificate:
+    def test_sound_pair_is_certified(self, fig5_model, fig5_guide):
+        report = absolute_continuity_certificate(fig5_model, fig5_guide, "Model", "Guide1")
+        assert report.certified
+        assert report.reason is None
+
+    def test_unsound_pair_is_not_certified(self, fig5_model):
+        bad_guide = parse_program(EX1_GUIDE_UNSOUND_IS_SOURCE)
+        report = absolute_continuity_certificate(fig5_model, bad_guide, "Model", "Guide1Bad")
+        assert not report.certified
+        assert report.reason is not None
+
+
+class TestEmpiricalCheck:
+    def test_sound_pair_passes_empirically(self, fig5_model, fig5_guide):
+        result = empirical_support_check(
+            fig5_model, fig5_guide, "Model", "Guide1",
+            obs_trace=(tr.ValP(0.8),), num_draws=40,
+            rng=np.random.default_rng(0),
+        )
+        assert result.looks_absolutely_continuous
+        assert result.protocol_errors == 0
+
+    def test_unsound_guide_fails_empirically(self, fig5_model):
+        bad_guide = parse_program(EX1_GUIDE_UNSOUND_IS_SOURCE)
+        result = empirical_support_check(
+            fig5_model, bad_guide, "Model", "Guide1Bad",
+            obs_trace=(tr.ValP(0.8),), num_draws=40,
+            rng=np.random.default_rng(1),
+        )
+        assert not result.looks_absolutely_continuous
+
+    def test_benchmark_pairs_pass_empirically(self):
+        benchmark = get_benchmark("kalman")
+        result = empirical_support_check(
+            benchmark.model_program(), benchmark.guide_program(),
+            benchmark.model_entry, benchmark.guide_entry,
+            obs_trace=tuple(tr.ValP(v) for v in benchmark.obs_values),
+            num_draws=25, rng=np.random.default_rng(2),
+        )
+        assert result.looks_absolutely_continuous
+
+
+class TestTraceShapeEnumeration:
+    def test_fig5_shapes_match_support_equation(self, fig5_model):
+        result = infer_guide_types(fig5_model)
+        latent = result.entry_channel_type("Model", "latent")
+        shapes = enumerate_trace_shapes(latent)
+        # Equation (2): {[x]} ∪ {[x; y]} — two shapes.
+        assert set(shapes) == {
+            ("valP:preal", "dirC:T"),
+            ("valP:preal", "dirC:F", "valP:ureal"),
+        }
+
+    def test_recursive_type_enumeration_is_bounded(self, fig6_pcfg):
+        result = infer_guide_types(fig6_pcfg)
+        latent = result.entry_channel_type("Pcfg", "latent")
+        shapes = enumerate_trace_shapes(latent, result.table, max_depth=3, max_shapes=32)
+        assert 1 <= len(shapes) <= 32
+        # The single-leaf derivation must be among the enumerated shapes.
+        assert ("valP:ureal", "fold", "valP:ureal", "dirC:T", "valP:real") in shapes
+
+    def test_end_type_has_single_empty_shape(self):
+        assert enumerate_trace_shapes(ty.End()) == [()]

@@ -1,0 +1,82 @@
+"""Unit tests for AST helpers (traversal, free variables, channel usage)."""
+
+import pytest
+
+from repro.core import ast
+from repro.core.parser import parse_command, parse_expression, parse_program
+
+
+class TestExprHelpers:
+    def test_free_vars_of_variable(self):
+        assert ast.free_vars(parse_expression("x")) == {"x"}
+
+    def test_free_vars_of_arithmetic(self):
+        assert ast.free_vars(parse_expression("x + y * z")) == {"x", "y", "z"}
+
+    def test_lambda_binds_its_parameter(self):
+        assert ast.free_vars(parse_expression("fun(x) x + y")) == {"y"}
+
+    def test_let_binds_its_variable(self):
+        assert ast.free_vars(parse_expression("let x = y in x + x")) == {"y"}
+
+    def test_literals_have_no_free_vars(self):
+        assert ast.free_vars(parse_expression("1.0 + 2.0")) == frozenset()
+
+    def test_expr_children_of_dist(self):
+        expr = parse_expression("Normal(mu, sigma)")
+        assert len(ast.expr_children(expr)) == 2
+
+
+class TestCommandHelpers:
+    def test_command_free_vars(self):
+        cmd = parse_command("{ x <- sample.recv{latent}(Normal(mu, 1.0)); return(x + y) }")
+        assert ast.command_free_vars(cmd) == {"mu", "y"}
+
+    def test_bound_variable_not_free(self):
+        cmd = parse_command("{ x <- sample.recv{latent}(Unif); return(x) }")
+        assert ast.command_free_vars(cmd) == frozenset()
+
+    def test_channels_used(self, fig5_model):
+        body = fig5_model.procedure("Model").body
+        assert ast.channels_used(body) == {"latent", "obs"}
+
+    def test_channels_used_guide(self, fig5_guide):
+        body = fig5_guide.procedure("Guide1").body
+        assert ast.channels_used(body) == {"latent"}
+
+    def test_command_size_counts_nodes(self):
+        cmd = parse_command("{ x <- sample.recv{latent}(Unif); return(x) }")
+        assert ast.command_size(cmd) == 3  # bnd, sample, ret
+
+    def test_count_sample_sites(self, fig5_model):
+        body = fig5_model.procedure("Model").body
+        assert ast.count_sample_sites(body) == 4
+
+    def test_calls_in(self, fig6_pcfg):
+        body = fig6_pcfg.procedure("PcfgGen").body
+        assert ast.calls_in(body) == {"PcfgGen"}
+
+    def test_calls_in_nonrecursive(self, fig5_model):
+        assert ast.calls_in(fig5_model.procedure("Model").body) == frozenset()
+
+
+class TestProgram:
+    def test_procedure_lookup(self, fig6_pcfg):
+        assert fig6_pcfg.procedure("Pcfg").name == "Pcfg"
+
+    def test_unknown_procedure_raises(self, fig6_pcfg):
+        with pytest.raises(KeyError):
+            fig6_pcfg.procedure("Nope")
+
+    def test_merged_with(self, fig5_model, fig5_guide):
+        merged = fig5_model.merged_with(fig5_guide)
+        assert set(merged.names()) == {"Model", "Guide1"}
+
+    def test_merged_duplicate_names_rejected(self, fig5_model):
+        with pytest.raises(ValueError):
+            fig5_model.merged_with(fig5_model)
+
+    def test_loc_is_excluded_from_equality(self):
+        a = ast.Var("x", loc=(1, 1))
+        b = ast.Var("x", loc=(9, 9))
+        assert a == b

@@ -1,0 +1,119 @@
+"""Tests for the trace-types baseline (the prior-work comparison of Table 1)."""
+
+import pytest
+
+from repro.baselines import trace_type_check, trace_types_compatible
+from repro.core.parser import parse_program
+from repro.models import get_benchmark
+
+
+class TestStraightLinePrograms:
+    def test_straight_line_model_is_supported(self):
+        benchmark = get_benchmark("lr")
+        result = trace_type_check(benchmark.model_program(), benchmark.model_entry)
+        assert result.supported
+        assert result.num_sample_sites == 8  # 3 latent + 5 observations
+
+    def test_trace_type_lists_channels_and_types(self):
+        benchmark = get_benchmark("weight")
+        result = trace_type_check(benchmark.model_program(), benchmark.model_entry)
+        channels = [site[0] for site in result.trace_type]
+        assert channels == ["latent", "obs"]
+
+    def test_conditional_with_identical_branch_sites_is_supported(self):
+        benchmark = get_benchmark("sprinkler")
+        result = trace_type_check(benchmark.model_program(), benchmark.model_entry)
+        assert result.supported
+
+    def test_nonrecursive_call_is_inlined(self):
+        program = parse_program(
+            """
+            proc Main() consume latent {
+              a <- call Sub();
+              b <- call Sub();
+              return(a + b)
+            }
+            proc Sub() consume latent {
+              sample.recv{latent}(Unif)
+            }
+            """
+        )
+        result = trace_type_check(program, "Main")
+        assert result.supported
+        assert result.num_sample_sites == 2
+
+
+class TestRejectedPrograms:
+    @pytest.mark.parametrize("name", ["branching", "ex-1"])
+    def test_branch_dependent_sample_sets_rejected(self, name):
+        benchmark = get_benchmark(name)
+        result = trace_type_check(benchmark.model_program(), benchmark.model_entry)
+        assert not result.supported
+        assert "different sets" in result.reason
+
+    @pytest.mark.parametrize("name", ["ex-2", "ptrace", "marsaglia", "gp-dsl"])
+    def test_recursive_programs_rejected(self, name):
+        benchmark = get_benchmark(name)
+        result = trace_type_check(benchmark.model_program(), benchmark.model_entry)
+        assert not result.supported
+        assert "recursion" in result.reason
+
+    def test_mutual_recursion_rejected(self):
+        program = parse_program(
+            """
+            proc A() consume latent {
+              u <- sample.recv{latent}(Unif);
+              if.send{latent} u < 0.5 { return(u) } else { call B() }
+            }
+            proc B() consume latent {
+              u <- sample.recv{latent}(Unif);
+              if.send{latent} u < 0.5 { return(u) } else { call A() }
+            }
+            """
+        )
+        result = trace_type_check(program, "A")
+        assert not result.supported
+
+
+class TestPairCompatibility:
+    def test_matching_pair_is_compatible(self):
+        benchmark = get_benchmark("weight")
+        result = trace_types_compatible(
+            benchmark.model_program(), benchmark.guide_program(),
+            benchmark.model_entry, benchmark.guide_entry,
+        )
+        assert result.supported
+
+    def test_mismatched_latent_types_rejected(self):
+        model = parse_program(
+            """
+            proc M() consume latent provide obs {
+              w <- sample.recv{latent}(Gamma(2.0, 1.0));
+              _ <- sample.send{obs}(Normal(w, 1.0));
+              return(w)
+            }
+            """
+        )
+        guide = parse_program(
+            """
+            proc G() provide latent {
+              w <- sample.send{latent}(Normal(0.0, 1.0));
+              return(w)
+            }
+            """
+        )
+        result = trace_types_compatible(model, guide, "M", "G")
+        assert not result.supported
+        assert "disagree" in result.reason
+
+    def test_paper_table1_pattern_is_reproduced(self):
+        """The baseline's verdict matches the paper's TP? column on every row."""
+        from repro.models import selected_benchmarks
+
+        for benchmark in selected_benchmarks():
+            if not benchmark.expressible:
+                continue
+            verdict = trace_type_check(
+                benchmark.model_program(), benchmark.model_entry
+            ).supported
+            assert verdict == benchmark.paper_table1.typechecks_prior, benchmark.name

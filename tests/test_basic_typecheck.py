@@ -1,0 +1,215 @@
+"""Unit tests for the basic (simply-typed) checker."""
+
+import pytest
+
+from repro.core import types as ty
+from repro.core.parser import parse_command, parse_expression, parse_program
+from repro.core.typecheck import basic
+from repro.errors import BasicTypeError
+
+
+def expr_type(source, ctx=None):
+    return basic.infer_expr_type(ctx or {}, parse_expression(source), {})
+
+
+class TestLiteralTyping:
+    def test_unit_interval_literal(self):
+        assert expr_type("0.5") == ty.UREAL
+
+    def test_positive_literal(self):
+        assert expr_type("2.5") == ty.PREAL
+
+    def test_general_real_literal(self):
+        assert expr_type("0.0") == ty.REAL
+
+    def test_nat_literal(self):
+        assert expr_type("3") == ty.NAT
+
+    def test_boolean_literal(self):
+        assert expr_type("true") == ty.BOOL
+
+    def test_unit_value(self):
+        assert expr_type("()") == ty.UNIT
+
+
+class TestOperatorTyping:
+    def test_sum_of_positives_is_positive(self):
+        assert expr_type("0.5 + 2.0") == ty.PREAL
+
+    def test_product_of_unit_interval_stays_in_unit_interval(self):
+        assert expr_type("0.5 * 0.25") == ty.UREAL
+
+    def test_subtraction_widens_to_real(self):
+        assert expr_type("0.5 - 0.25") == ty.REAL
+
+    def test_nat_arithmetic(self):
+        assert expr_type("2 + 3") == ty.NAT
+        assert expr_type("2 * 3") == ty.NAT
+
+    def test_comparison_gives_bool(self):
+        assert expr_type("1.0 < 2.0") == ty.BOOL
+        assert expr_type("2 <= 3") == ty.BOOL
+
+    def test_equality_gives_bool(self):
+        assert expr_type("true == false") == ty.BOOL
+
+    def test_boolean_connectives(self):
+        assert expr_type("true && false") == ty.BOOL
+
+    def test_boolean_connective_on_numbers_rejected(self):
+        with pytest.raises(BasicTypeError):
+            expr_type("1.0 && true")
+
+    def test_comparison_of_booleans_rejected(self):
+        with pytest.raises(BasicTypeError):
+            expr_type("true < false")
+
+    def test_exp_is_positive(self):
+        assert expr_type("exp(-3.0)") == ty.PREAL
+
+    def test_log_of_numeric_is_real(self):
+        assert expr_type("log(2.5)") == ty.REAL
+
+    def test_sqrt_is_positive(self):
+        assert expr_type("sqrt(2.0)") == ty.PREAL
+
+    def test_negation_of_bool_rejected(self):
+        with pytest.raises(BasicTypeError):
+            expr_type("-true")
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(BasicTypeError):
+            expr_type("mystery")
+
+    def test_if_expression_joins_branches(self):
+        assert expr_type("if true then 0.5 else 2.0") == ty.PREAL
+
+    def test_if_expression_needs_boolean_condition(self):
+        with pytest.raises(BasicTypeError):
+            expr_type("if 1.0 then 0.5 else 2.0")
+
+    def test_if_expression_incompatible_branches_rejected(self):
+        with pytest.raises(BasicTypeError):
+            expr_type("if true then 1.0 else false")
+
+    def test_let_expression(self):
+        assert expr_type("let x = 2.0 in x + x") == ty.PREAL
+
+    def test_tuple_and_projection(self):
+        assert expr_type("(1.0, true).1") == ty.BOOL
+
+    def test_projection_out_of_range_rejected(self):
+        with pytest.raises(BasicTypeError):
+            expr_type("(1.0, true).5")
+
+
+class TestDistributionTyping:
+    @pytest.mark.parametrize(
+        "source,support",
+        [
+            ("Ber(0.5)", ty.BOOL),
+            ("Unif", ty.UREAL),
+            ("Beta(2.0, 3.0)", ty.UREAL),
+            ("Gamma(2.0, 1.0)", ty.PREAL),
+            ("Normal(0.0, 1.0)", ty.REAL),
+            ("Cat(1.0, 2.0, 3.0)", ty.FinNatTy(3)),
+            ("Geo(0.5)", ty.NAT),
+            ("Pois(4.0)", ty.NAT),
+        ],
+    )
+    def test_support_types(self, source, support):
+        assert expr_type(source) == ty.DistTy(support)
+
+    def test_normal_requires_positive_stddev_type(self):
+        with pytest.raises(BasicTypeError):
+            expr_type("Normal(0.0, -1.0)")
+
+    def test_ber_requires_unit_interval_parameter(self):
+        with pytest.raises(BasicTypeError):
+            expr_type("Ber(2.0)")
+
+    def test_gamma_requires_positive_parameters(self):
+        with pytest.raises(BasicTypeError):
+            expr_type("Gamma(0.0, 1.0)")
+
+    def test_dist_parameter_can_use_context(self):
+        assert basic.infer_expr_type(
+            {"p": ty.UREAL}, parse_expression("Ber(p)"), {}
+        ) == ty.DistTy(ty.BOOL)
+
+
+class TestCommandResultTypes:
+    def test_sample_has_support_type(self):
+        cmd = parse_command("{ sample.recv{latent}(Gamma(2.0, 1.0)) }")
+        assert basic.command_result_type({}, cmd, {}) == ty.PREAL
+
+    def test_bind_threads_context(self):
+        cmd = parse_command("{ x <- sample.recv{latent}(Unif); return(x + 1.0) }")
+        assert basic.command_result_type({}, cmd, {}) == ty.PREAL
+
+    def test_conditional_branches_must_agree(self):
+        cmd = parse_command(
+            "{ if.recv{latent} { return(1.0) } else { return(true) } }"
+        )
+        with pytest.raises(BasicTypeError):
+            basic.command_result_type({}, cmd, {})
+
+    def test_observe_requires_distribution(self):
+        cmd = parse_command("{ observe(Normal(0.0, 1.0), 0.3) }")
+        assert basic.command_result_type({}, cmd, {}) == ty.UNIT
+
+    def test_call_to_unknown_procedure_rejected(self):
+        cmd = parse_command("{ call Ghost(1.0) }")
+        with pytest.raises(BasicTypeError):
+            basic.command_result_type({}, cmd, {})
+
+
+class TestWholeProgramChecking:
+    def test_fig5_model_signature(self, fig5_model):
+        sigs = basic.check_program_basic(fig5_model)
+        assert sigs["Model"].result_type == ty.PREAL
+
+    def test_recursive_result_type_fixpoint(self, fig6_pcfg):
+        sigs = basic.check_program_basic(fig6_pcfg)
+        assert sigs["PcfgGen"].result_type == ty.REAL
+        assert sigs["Pcfg"].result_type == ty.REAL
+
+    def test_parameter_types_come_from_annotations(self, fig6_pcfg):
+        sigs = basic.check_program_basic(fig6_pcfg)
+        assert sigs["PcfgGen"].param_types == (ty.UREAL,)
+
+    def test_explicit_param_types_override(self, fig6_pcfg):
+        sigs = basic.check_program_basic(
+            fig6_pcfg, param_types={"PcfgGen": (ty.UREAL,), "Pcfg": ()}
+        )
+        assert sigs["PcfgGen"].param_types == (ty.UREAL,)
+
+    def test_wrong_number_of_param_types_rejected(self, fig6_pcfg):
+        with pytest.raises(BasicTypeError):
+            basic.check_program_basic(fig6_pcfg, param_types={"PcfgGen": (), "Pcfg": ()})
+
+    def test_call_argument_type_mismatch_rejected(self):
+        program = parse_program(
+            """
+            proc Main() consume latent {
+              call Helper(true)
+            }
+            proc Helper(x: preal) consume latent {
+              sample.recv{latent}(Gamma(x, 1.0))
+            }
+            """
+        )
+        with pytest.raises(BasicTypeError):
+            basic.check_program_basic(program)
+
+    def test_tail_recursive_only_procedure_defaults_to_unit(self):
+        program = parse_program(
+            """
+            proc Loop() consume latent {
+              u <- sample.recv{latent}(Unif);
+              call Loop()
+            }
+            """
+        )
+        sigs = basic.check_program_basic(program)
+        assert sigs["Loop"].result_type == ty.UNIT

@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from tests.conftest import (
+    FIG5_GUIDE_SOURCE,
+    FIG5_MODEL_SOURCE,
+    FIG6_PCFG_SOURCE,
+)
+
+
+@pytest.fixture
+def model_file(tmp_path):
+    path = tmp_path / "model.gt"
+    path.write_text(FIG5_MODEL_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def guide_file(tmp_path):
+    path = tmp_path / "guide.gt"
+    path.write_text(FIG5_GUIDE_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def bad_guide_file(tmp_path):
+    path = tmp_path / "bad_guide.gt"
+    path.write_text(
+        """
+        proc BadGuide() provide latent {
+          v <- sample.send{latent}(Normal(0.0, 1.0));
+          if.recv{latent} {
+            return(v)
+          } else {
+            m <- sample.send{latent}(Unif);
+            return(v)
+          }
+        }
+        """
+    )
+    return str(path)
+
+
+class TestInferTypes:
+    def test_prints_protocols(self, model_file, capsys):
+        assert main(["infer-types", model_file]) == 0
+        out = capsys.readouterr().out
+        assert "Model / latent" in out
+        assert "Model / obs" in out
+
+    def test_recursive_program(self, tmp_path, capsys):
+        path = tmp_path / "pcfg.gt"
+        path.write_text(FIG6_PCFG_SOURCE)
+        assert main(["infer-types", str(path)]) == 0
+        assert "typedef PcfgGen.latent" in capsys.readouterr().out
+
+    def test_missing_file_reports_error(self, capsys):
+        assert main(["infer-types", "does_not_exist.gt"]) == 2
+
+    def test_parse_error_reports_error(self, tmp_path):
+        path = tmp_path / "broken.gt"
+        path.write_text("proc Broken( {")
+        assert main(["infer-types", str(path)]) == 2
+
+
+class TestCheck:
+    def test_compatible_pair_exits_zero(self, model_file, guide_file, capsys):
+        assert main(["check", model_file, guide_file]) == 0
+        assert "compatible" in capsys.readouterr().out
+
+    def test_incompatible_pair_exits_nonzero(self, model_file, bad_guide_file, capsys):
+        assert main(["check", model_file, bad_guide_file]) == 1
+        assert "INCOMPATIBLE" in capsys.readouterr().out
+
+    def test_explicit_entries(self, model_file, guide_file):
+        assert main([
+            "check", model_file, guide_file,
+            "--model-entry", "Model", "--guide-entry", "Guide1",
+        ]) == 0
+
+
+class TestCompile:
+    def test_compile_to_stdout(self, model_file, guide_file, capsys):
+        assert main(["compile", model_file, guide_file]) == 0
+        out = capsys.readouterr().out
+        assert "def Model():" in out
+        assert "def GUIDE_ENTRY():" in out
+
+    def test_compile_to_file(self, model_file, guide_file, tmp_path):
+        output = tmp_path / "generated.py"
+        assert main(["compile", model_file, guide_file, "-o", str(output)]) == 0
+        text = output.read_text()
+        compile(text, "generated.py", "exec")
+
+
+class TestRunIS:
+    def test_runs_importance_sampling(self, model_file, guide_file, capsys):
+        code = main([
+            "run-is", model_file, guide_file,
+            "--obs", "0.8", "--samples", "200", "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "log evidence estimate" in out
+        assert "posterior mean" in out
+
+    def test_refuses_uncertified_pair_without_force(self, model_file, bad_guide_file):
+        assert main([
+            "run-is", model_file, bad_guide_file, "--obs", "0.8", "--samples", "10",
+        ]) == 1
+
+
+class TestBenchmarksListing:
+    def test_lists_all_benchmarks(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "ex-1" in out and "gp-dsl" in out and "dp" in out

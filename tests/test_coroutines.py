@@ -1,0 +1,213 @@
+"""Tests for the coroutine scheduler: joint model/guide execution."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.coroutines import (
+    ChannelSpec,
+    CoroutineSpec,
+    run_joint,
+    run_model_guide,
+    run_prior,
+)
+from repro.core.parser import parse_program
+from repro.core.semantics import traces as tr
+from repro.core.semantics.evaluate import log_density
+from repro.core.semantics.traces import check_trace
+from repro.core.typecheck import infer_guide_types
+from repro.errors import ChannelProtocolError
+
+
+class TestJointExecution:
+    def test_fig5_joint_run_produces_conforming_trace(self, fig5_model, fig5_guide, rng):
+        joint = run_model_guide(
+            fig5_model, fig5_guide, "Model", "Guide1",
+            obs_trace=(tr.ValP(0.8),), rng=rng,
+        )
+        latent_type = infer_guide_types(fig5_model).entry_channel_type("Model", "latent")
+        check_trace(joint.traces["latent"], latent_type)
+
+    def test_fig5_weights_match_the_evaluator(self, fig5_model, fig5_guide):
+        for seed in range(5):
+            joint = run_model_guide(
+                fig5_model, fig5_guide, "Model", "Guide1",
+                obs_trace=(tr.ValP(0.8),), rng=np.random.default_rng(seed),
+            )
+            model_eval = log_density(
+                fig5_model, "Model",
+                {"latent": joint.traces["latent"], "obs": (tr.ValP(0.8),)},
+            )
+            guide_eval = log_density(
+                fig5_guide, "Guide1", {"latent": joint.traces["latent"]}
+            )
+            assert joint.log_weights["model"] == pytest.approx(model_eval)
+            assert joint.log_weights["guide"] == pytest.approx(guide_eval)
+
+    def test_recursive_pair_weights_match_the_evaluator(self, fig6_pcfg, fig6_pcfg_guide):
+        # Near-critical PCFG recursions occasionally exceed the op budget;
+        # skip those seeds and require several successful runs.
+        successes = 0
+        for seed in range(20):
+            try:
+                joint = run_model_guide(
+                    fig6_pcfg, fig6_pcfg_guide, "Pcfg", "PcfgGuide",
+                    rng=np.random.default_rng(seed),
+                )
+            except ChannelProtocolError:
+                continue
+            model_eval = log_density(fig6_pcfg, "Pcfg", {"latent": joint.traces["latent"]})
+            assert joint.log_weights["model"] == pytest.approx(model_eval)
+            successes += 1
+            if successes >= 5:
+                break
+        assert successes >= 5
+
+    def test_recursive_trace_conforms_to_inferred_type(self, fig6_pcfg, fig6_pcfg_guide, rng):
+        result = infer_guide_types(fig6_pcfg)
+        latent_type = result.entry_channel_type("Pcfg", "latent")
+        joint = run_model_guide(
+            fig6_pcfg, fig6_pcfg_guide, "Pcfg", "PcfgGuide", rng=rng
+        )
+        check_trace(joint.traces["latent"], latent_type, result.table)
+
+    def test_observation_is_conditioned_not_sampled(self, fig5_model, fig5_guide, rng):
+        joint = run_model_guide(
+            fig5_model, fig5_guide, "Model", "Guide1",
+            obs_trace=(tr.ValP(0.8),), rng=rng,
+        )
+        assert joint.traces["obs"] == (tr.ValP(0.8),)
+
+    def test_prior_predictive_when_no_observation_given(self, fig5_model, fig5_guide, rng):
+        joint = run_model_guide(
+            fig5_model, fig5_guide, "Model", "Guide1", obs_trace=None, rng=rng
+        )
+        assert len(joint.traces["obs"]) == 1
+        assert isinstance(joint.traces["obs"][0], tr.ValP)
+
+    def test_total_log_weight(self, fig5_model, fig5_guide, rng):
+        joint = run_model_guide(
+            fig5_model, fig5_guide, "Model", "Guide1",
+            obs_trace=(tr.ValP(0.8),), rng=rng,
+        )
+        assert joint.total_log_weight() == pytest.approx(
+            joint.log_weights["model"] + joint.log_weights["guide"]
+        )
+
+    def test_guide_arguments_are_passed(self, fig5_model):
+        guide = parse_program(
+            """
+            proc G(shape: preal) provide latent {
+              v <- sample.send{latent}(Gamma(shape, 1.0));
+              if.recv{latent} {
+                return(v)
+              } else {
+                m <- sample.send{latent}(Unif);
+                return(v)
+              }
+            }
+            """
+        )
+        joint = run_model_guide(
+            fig5_model, guide, "Model", "G",
+            obs_trace=(tr.ValP(0.8),), guide_args=(3.0,),
+            rng=np.random.default_rng(1),
+        )
+        assert joint.log_weights["guide"] > -math.inf
+
+
+class TestPriorSimulation:
+    def test_prior_run_samples_latents_from_the_model(self, fig5_model, rng):
+        joint = run_prior(fig5_model, "Model", rng=rng)
+        latent_type = infer_guide_types(fig5_model).entry_channel_type("Model", "latent")
+        check_trace(joint.traces["latent"], latent_type)
+        assert joint.log_weights["model"] > -math.inf
+
+    def test_prior_run_respects_branching(self, fig5_model):
+        # Over many seeds we should see both branches of the model.
+        lengths = set()
+        for seed in range(30):
+            joint = run_prior(fig5_model, "Model", rng=np.random.default_rng(seed))
+            lengths.add(len(joint.traces["latent"]))
+        assert lengths == {2, 3}
+
+    def test_prior_run_of_recursive_model(self, fig6_pcfg):
+        joint = None
+        for seed in range(20):
+            try:
+                joint = run_prior(fig6_pcfg, "Pcfg", rng=np.random.default_rng(seed))
+                break
+            except ChannelProtocolError:
+                continue
+        assert joint is not None
+        assert len(joint.traces["latent"]) >= 4  # k, fold, u, selection, ...
+
+
+class TestProtocolErrors:
+    def test_incompatible_pair_deadlocks_or_misroutes(self, fig5_model):
+        # A guide that never offers the second sample: the model will wait for
+        # the Beta sample that never arrives whenever it takes the else branch.
+        bad_guide = parse_program(
+            """
+            proc Bad() provide latent {
+              v <- sample.send{latent}(Gamma(1.0, 1.0));
+              if.recv{latent} {
+                return(v)
+              } else {
+                return(v)
+              }
+            }
+            """
+        )
+        saw_error = False
+        for seed in range(40):
+            try:
+                run_model_guide(
+                    fig5_model, bad_guide, "Model", "Bad",
+                    obs_trace=(tr.ValP(0.8),), rng=np.random.default_rng(seed),
+                )
+            except ChannelProtocolError:
+                saw_error = True
+                break
+        assert saw_error
+
+    def test_undeclared_channel_raises(self, fig5_model, fig5_guide, rng):
+        coroutines = [
+            CoroutineSpec("model", fig5_model, "Model", ()),
+            CoroutineSpec("guide", fig5_guide, "Guide1", ()),
+        ]
+        channels = [ChannelSpec("latent", provider="guide", consumer="model")]
+        with pytest.raises(ChannelProtocolError):
+            run_joint(coroutines, channels, rng)
+
+    def test_branch_receive_without_partner_raises(self, fig5_guide, rng):
+        coroutines = [CoroutineSpec("guide", fig5_guide, "Guide1", ())]
+        channels = [ChannelSpec("latent", provider="guide", consumer=None)]
+        with pytest.raises(ChannelProtocolError):
+            run_joint(coroutines, channels, rng)
+
+
+class TestReplayMode:
+    def test_replaying_a_latent_trace_into_the_model(self, fig5_model, rng):
+        latent = (tr.ValP(1.0), tr.DirC(True))
+        coroutines = [CoroutineSpec("model", fig5_model, "Model", ())]
+        channels = [
+            ChannelSpec("latent", provider=None, consumer="model", replay=latent),
+            ChannelSpec("obs", provider="model", consumer=None, replay=(tr.ValP(0.8),)),
+        ]
+        joint = run_joint(coroutines, channels, rng)
+        expected = log_density(
+            fig5_model, "Model", {"latent": latent, "obs": (tr.ValP(0.8),)}
+        )
+        assert joint.log_weights["model"] == pytest.approx(expected)
+
+    def test_contradictory_replayed_selection_zeroes_the_weight(self, fig5_model, rng):
+        latent = (tr.ValP(1.0), tr.DirC(False), tr.ValP(0.5))
+        coroutines = [CoroutineSpec("model", fig5_model, "Model", ())]
+        channels = [
+            ChannelSpec("latent", provider=None, consumer="model", replay=latent),
+            ChannelSpec("obs", provider="model", consumer=None, replay=(tr.ValP(0.8),)),
+        ]
+        joint = run_joint(coroutines, channels, rng)
+        assert joint.log_weights["model"] == -math.inf

@@ -1,0 +1,209 @@
+"""Tests for the primitive-distribution substrate."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core import ast
+from repro.core import types as ty
+from repro.dists import (
+    Bernoulli,
+    Beta,
+    Categorical,
+    Gamma,
+    Geometric,
+    Normal,
+    Poisson,
+    Uniform01,
+    make_distribution,
+)
+from repro.dists.continuous import TruncatedNormal
+from repro.dists.discrete import Delta
+from repro.errors import EvaluationError
+
+RNG = np.random.default_rng(7)
+
+ALL_DISTS = [
+    Normal(0.3, 1.2),
+    Gamma(2.0, 1.5),
+    Beta(2.0, 3.0),
+    Uniform01(),
+    Bernoulli(0.3),
+    Categorical([1.0, 2.0, 3.0]),
+    Geometric(0.4),
+    Poisson(2.5),
+]
+
+
+class TestLogProbAgainstScipy:
+    def test_normal(self):
+        d = Normal(1.0, 2.0)
+        for x in [-3.0, 0.0, 1.0, 4.5]:
+            assert d.log_prob(x) == pytest.approx(stats.norm.logpdf(x, 1.0, 2.0))
+
+    def test_gamma(self):
+        d = Gamma(2.5, 1.5)
+        for x in [0.1, 1.0, 3.7]:
+            assert d.log_prob(x) == pytest.approx(
+                stats.gamma.logpdf(x, 2.5, scale=1.0 / 1.5)
+            )
+
+    def test_beta(self):
+        d = Beta(2.0, 5.0)
+        for x in [0.1, 0.5, 0.9]:
+            assert d.log_prob(x) == pytest.approx(stats.beta.logpdf(x, 2.0, 5.0))
+
+    def test_uniform(self):
+        d = Uniform01()
+        assert d.log_prob(0.3) == 0.0
+        assert d.log_prob(1.3) == -math.inf
+
+    def test_bernoulli(self):
+        d = Bernoulli(0.3)
+        assert d.log_prob(True) == pytest.approx(math.log(0.3))
+        assert d.log_prob(False) == pytest.approx(math.log(0.7))
+
+    def test_categorical(self):
+        d = Categorical([1.0, 1.0, 2.0])
+        assert d.log_prob(2) == pytest.approx(math.log(0.5))
+        assert d.log_prob(0) == pytest.approx(math.log(0.25))
+
+    def test_geometric(self):
+        d = Geometric(0.4)
+        for k in [0, 1, 5]:
+            assert d.log_prob(k) == pytest.approx(stats.geom.logpmf(k + 1, 0.4))
+
+    def test_poisson(self):
+        d = Poisson(2.5)
+        for k in [0, 2, 7]:
+            assert d.log_prob(k) == pytest.approx(stats.poisson.logpmf(k, 2.5))
+
+    def test_truncated_normal(self):
+        d = TruncatedNormal(0.0, 1.0, 0.0, 2.0)
+        assert d.log_prob(1.0) == pytest.approx(
+            stats.truncnorm.logpdf(1.0, 0.0, 2.0, loc=0.0, scale=1.0)
+        )
+        assert d.log_prob(3.0) == -math.inf
+
+
+class TestSupport:
+    @pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: d.name)
+    def test_samples_lie_in_support(self, dist):
+        rng = np.random.default_rng(42)
+        for _ in range(200):
+            value = dist.sample(rng)
+            assert dist.in_support(value)
+            assert dist.log_prob(value) > -math.inf
+
+    @pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: d.name)
+    def test_support_matches_declared_support_type(self, dist):
+        rng = np.random.default_rng(43)
+        for _ in range(100):
+            value = dist.sample(rng)
+            assert ty.value_has_type(value, dist.support_type)
+
+    @pytest.mark.parametrize(
+        "dist,bad_value",
+        [
+            (Gamma(2.0, 1.0), -0.5),
+            (Gamma(2.0, 1.0), 0.0),
+            (Beta(2.0, 2.0), 1.0),
+            (Uniform01(), 0.0),
+            (Bernoulli(0.5), 1),
+            (Categorical([1.0, 1.0]), 2),
+            (Geometric(0.5), -1),
+            (Poisson(1.0), 2.5),
+            (Normal(0.0, 1.0), float("nan")),
+        ],
+    )
+    def test_out_of_support_values(self, dist, bad_value):
+        assert not dist.in_support(bad_value)
+        assert dist.log_prob(bad_value) == -math.inf
+        assert dist.prob(bad_value) == 0.0
+
+    def test_booleans_are_not_numbers(self):
+        assert not Normal(0.0, 1.0).in_support(True)
+        assert not Poisson(1.0).in_support(False)
+
+    def test_integral_floats_accepted_by_discrete_dists(self):
+        assert Poisson(1.0).in_support(3.0)
+        assert Geometric(0.5).in_support(2.0)
+
+
+class TestMoments:
+    def test_sample_means(self):
+        rng = np.random.default_rng(3)
+        for dist in [Normal(2.0, 1.0), Gamma(3.0, 2.0), Beta(2.0, 2.0), Poisson(4.0)]:
+            samples = [dist.sample(rng) for _ in range(4000)]
+            assert float(np.mean(samples)) == pytest.approx(dist.expected_value(), abs=0.15)
+
+    def test_bernoulli_mean(self):
+        rng = np.random.default_rng(4)
+        samples = [Bernoulli(0.3).sample(rng) for _ in range(4000)]
+        assert float(np.mean(samples)) == pytest.approx(0.3, abs=0.03)
+
+
+class TestParameterValidation:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: Normal(0.0, 0.0),
+            lambda: Normal(float("nan"), 1.0),
+            lambda: Gamma(-1.0, 1.0),
+            lambda: Beta(0.0, 1.0),
+            lambda: Bernoulli(1.5),
+            lambda: Geometric(0.0),
+            lambda: Poisson(-2.0),
+            lambda: Categorical([]),
+            lambda: Categorical([1.0, -1.0]),
+            lambda: TruncatedNormal(0.0, 1.0, 2.0, 1.0),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, builder):
+        with pytest.raises(ValueError):
+            builder()
+
+    def test_equality_and_hash(self):
+        assert Normal(0.0, 1.0) == Normal(0.0, 1.0)
+        assert Normal(0.0, 1.0) != Normal(0.0, 2.0)
+        assert hash(Beta(1.0, 2.0)) == hash(Beta(1.0, 2.0))
+        assert Normal(0.0, 1.0) != Gamma(1.0, 1.0)
+
+    def test_repr_contains_parameters(self):
+        assert "2.0" in repr(Gamma(2.0, 1.0))
+
+
+class TestDelta:
+    def test_point_mass(self):
+        d = Delta(3.0)
+        assert d.log_prob(3.0) == 0.0
+        assert d.log_prob(2.0) == -math.inf
+        assert d.sample(RNG) == 3.0
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "kind,args,expected",
+        [
+            (ast.DistKind.NORMAL, (0.0, 1.0), Normal(0.0, 1.0)),
+            (ast.DistKind.GAMMA, (2.0, 1.0), Gamma(2.0, 1.0)),
+            (ast.DistKind.BETA, (1.0, 1.0), Beta(1.0, 1.0)),
+            (ast.DistKind.UNIF, (), Uniform01()),
+            (ast.DistKind.BER, (0.5,), Bernoulli(0.5)),
+            (ast.DistKind.CAT, (1.0, 2.0), Categorical([1.0, 2.0])),
+            (ast.DistKind.GEO, (0.5,), Geometric(0.5)),
+            (ast.DistKind.POIS, (3.0,), Poisson(3.0)),
+        ],
+    )
+    def test_make_distribution(self, kind, args, expected):
+        assert make_distribution(kind, args) == expected
+
+    def test_factory_rejects_bad_arity(self):
+        with pytest.raises(EvaluationError):
+            make_distribution(ast.DistKind.NORMAL, (1.0,))
+
+    def test_factory_rejects_bad_values(self):
+        with pytest.raises(EvaluationError):
+            make_distribution(ast.DistKind.GAMMA, (-1.0, 1.0))

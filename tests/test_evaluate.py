@@ -1,0 +1,236 @@
+"""Tests for the big-step weighted evaluator (paper Fig. 8)."""
+
+import math
+
+import pytest
+
+from repro.core.parser import parse_command, parse_program
+from repro.core.semantics import traces as tr
+from repro.core.semantics.evaluate import (
+    evaluate_command,
+    evaluate_procedure,
+    log_density,
+)
+from repro.core.semantics.values import eval_expr
+from repro.core.parser import parse_expression
+from repro.dists import Normal
+from repro.errors import EvaluationError, TraceTypeMismatch
+
+EMPTY = parse_program("proc Dummy() { return(0.0) }")
+
+
+def normal_logpdf(x, mean=0.0, std=1.0):
+    z = (x - mean) / std
+    return -0.5 * z * z - math.log(std) - 0.5 * math.log(2 * math.pi)
+
+
+class TestExpressionEvaluation:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("1.0 + 2.0", 3.0),
+            ("2.0 * 3.0 - 1.0", 5.0),
+            ("7.0 / 2.0", 3.5),
+            ("2 + 3", 5),
+            ("1.0 < 2.0", True),
+            ("true && false", False),
+            ("true || false", True),
+            ("!true", False),
+            ("-3.5", -3.5),
+            ("if true then 1.0 else 2.0", 1.0),
+            ("let x = 2.0 in x * x", 4.0),
+            ("(1.0, 2.0).1", 2.0),
+            ("exp(0.0)", 1.0),
+            ("sqrt(4.0)", 2.0),
+        ],
+    )
+    def test_pure_evaluation(self, source, expected):
+        assert eval_expr({}, parse_expression(source)) == expected
+
+    def test_variable_lookup(self):
+        assert eval_expr({"x": 5.0}, parse_expression("x + 1.0")) == 6.0
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(EvaluationError):
+            eval_expr({}, parse_expression("nope"))
+
+    def test_lambda_application(self):
+        assert eval_expr({}, parse_expression("(fun(x) x * 2.0)(3.0)")) == 6.0
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(EvaluationError):
+            eval_expr({}, parse_expression("1.0 / 0.0"))
+
+    def test_log_of_nonpositive_raises(self):
+        with pytest.raises(EvaluationError):
+            eval_expr({}, parse_expression("log(0.0)"))
+
+    def test_distribution_expression_evaluates_to_distribution(self):
+        value = eval_expr({}, parse_expression("Normal(1.0, 2.0)"))
+        assert value == Normal(1.0, 2.0)
+
+
+class TestExample31:
+    """Paper Example 3.1: weight φ(1)·φ(1) and result 3 for the given traces."""
+
+    def test_weight_and_value(self):
+        cmd = parse_command(
+            """
+            {
+              x <- sample.recv{a}(Normal(0.0, 1.0));
+              y <- sample.send{b}(Normal(x, 1.0));
+              return(x + y)
+            }
+            """
+        )
+        result = evaluate_command(
+            EMPTY,
+            cmd,
+            traces={"a": (tr.ValP(1.0),), "b": (tr.ValP(2.0),)},
+        )
+        assert result.value == pytest.approx(3.0)
+        expected = normal_logpdf(1.0) + normal_logpdf(2.0, mean=1.0)
+        assert result.log_weight == pytest.approx(expected)
+        assert result.weight == pytest.approx(math.exp(expected))
+
+
+class TestWeightedEvaluation:
+    def test_return_has_weight_one(self):
+        cmd = parse_command("{ return(42) }")
+        result = evaluate_command(EMPTY, cmd)
+        assert result.value == 42
+        assert result.log_weight == 0.0
+
+    def test_sample_outside_support_gives_zero_weight(self):
+        cmd = parse_command("{ sample.recv{a}(Gamma(2.0, 1.0)) }")
+        result = evaluate_command(EMPTY, cmd, traces={"a": (tr.ValP(-1.0),)})
+        assert result.log_weight == -math.inf
+        assert not result.possible
+
+    def test_branch_selection_contradicting_predicate_gives_zero_weight(self):
+        cmd = parse_command(
+            "{ if.send{a} true { return(1.0) } else { return(2.0) } }"
+        )
+        result = evaluate_command(EMPTY, cmd, traces={"a": (tr.DirC(False),)})
+        assert result.log_weight == -math.inf
+        # The evaluation still follows the trace's branch selection.
+        assert result.value == 2.0
+
+    def test_branch_selection_matching_predicate(self):
+        cmd = parse_command(
+            "{ if.send{a} true { return(1.0) } else { return(2.0) } }"
+        )
+        result = evaluate_command(EMPTY, cmd, traces={"a": (tr.DirC(True),)})
+        assert result.log_weight == 0.0
+        assert result.value == 1.0
+
+    def test_cond_recv_follows_trace(self):
+        cmd = parse_command(
+            "{ if.recv{a} { return(1.0) } else { return(2.0) } }"
+        )
+        result = evaluate_command(EMPTY, cmd, traces={"a": (tr.DirP(False),)})
+        assert result.value == 2.0
+        assert result.log_weight == 0.0
+
+    def test_observe_scores_without_traces(self):
+        cmd = parse_command("{ observe(Normal(0.0, 1.0), 0.5) }")
+        result = evaluate_command(EMPTY, cmd)
+        assert result.log_weight == pytest.approx(normal_logpdf(0.5))
+
+    def test_unconsumed_trace_suffix_raises(self):
+        cmd = parse_command("{ return(1.0) }")
+        with pytest.raises(TraceTypeMismatch):
+            evaluate_command(EMPTY, cmd, traces={"a": (tr.ValP(1.0),)})
+
+    def test_unconsumed_suffix_allowed_when_not_required(self):
+        cmd = parse_command("{ return(1.0) }")
+        result = evaluate_command(
+            EMPTY, cmd, traces={"a": (tr.ValP(1.0),)}, require_exhausted=False
+        )
+        assert result.value == 1.0
+
+    def test_missing_channel_trace_raises(self):
+        cmd = parse_command("{ sample.recv{a}(Unif) }")
+        with pytest.raises(EvaluationError):
+            evaluate_command(EMPTY, cmd)
+
+    def test_wrong_message_kind_raises(self):
+        cmd = parse_command("{ sample.recv{a}(Unif) }")
+        with pytest.raises(TraceTypeMismatch):
+            evaluate_command(EMPTY, cmd, traces={"a": (tr.DirP(True),)})
+
+    def test_weights_multiply_across_bind(self):
+        cmd = parse_command(
+            """
+            {
+              x <- sample.recv{a}(Normal(0.0, 1.0));
+              y <- sample.recv{a}(Normal(0.0, 1.0));
+              return(x + y)
+            }
+            """
+        )
+        result = evaluate_command(
+            EMPTY, cmd, traces={"a": (tr.ValP(0.5), tr.ValP(-0.5))}
+        )
+        assert result.log_weight == pytest.approx(2 * normal_logpdf(0.5))
+
+
+class TestProcedureEvaluation:
+    def test_fig5_model_then_branch(self, fig5_model):
+        latent = (tr.ValP(1.0), tr.DirC(True))
+        obs = (tr.ValP(0.8),)
+        result = evaluate_procedure(
+            fig5_model, "Model", traces={"latent": latent, "obs": obs}
+        )
+        assert result.value == pytest.approx(1.0)
+        assert result.possible
+
+    def test_fig5_model_else_branch(self, fig5_model):
+        latent = (tr.ValP(3.0), tr.DirC(False), tr.ValP(0.9))
+        obs = (tr.ValP(0.8),)
+        result = evaluate_procedure(
+            fig5_model, "Model", traces={"latent": latent, "obs": obs}
+        )
+        assert result.value == pytest.approx(3.0)
+        assert result.possible
+
+    def test_fig5_inconsistent_branch_has_zero_weight(self, fig5_model):
+        # @x = 1.0 < 2, but the trace selects the else branch.
+        latent = (tr.ValP(1.0), tr.DirC(False), tr.ValP(0.9))
+        obs = (tr.ValP(0.8),)
+        assert (
+            log_density(fig5_model, "Model", {"latent": latent, "obs": obs})
+            == -math.inf
+        )
+
+    def test_recursive_call_consumes_fold_markers(self, fig6_pcfg):
+        latent = (tr.ValP(0.7), tr.Fold(), tr.ValP(0.2), tr.DirC(True), tr.ValP(0.5))
+        result = evaluate_procedure(fig6_pcfg, "Pcfg", traces={"latent": latent})
+        assert result.possible
+        assert result.value == pytest.approx(0.5)
+
+    def test_recursive_call_missing_fold_is_impossible(self, fig6_pcfg):
+        latent = (tr.ValP(0.7), tr.ValP(0.2), tr.DirC(True), tr.ValP(0.5))
+        assert log_density(fig6_pcfg, "Pcfg", {"latent": latent}) == -math.inf
+
+    def test_procedure_arguments_are_bound(self):
+        program = parse_program(
+            """
+            proc Shift(offset: real) consume latent {
+              x <- sample.recv{latent}(Normal(offset, 1.0));
+              return(x + offset)
+            }
+            """
+        )
+        result = evaluate_procedure(
+            program, "Shift", args=(2.0,), traces={"latent": (tr.ValP(2.0),)}
+        )
+        assert result.value == pytest.approx(4.0)
+        assert result.log_weight == pytest.approx(normal_logpdf(2.0, mean=2.0))
+
+    def test_wrong_argument_count_raises(self, fig6_pcfg):
+        with pytest.raises(EvaluationError):
+            evaluate_procedure(fig6_pcfg, "PcfgGen", args=(), traces={"latent": ()})
+
+    def test_log_density_returns_neg_inf_on_malformed_trace(self, fig5_model):
+        assert log_density(fig5_model, "Model", {"latent": (), "obs": ()}) == -math.inf

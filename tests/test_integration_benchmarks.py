@@ -1,0 +1,124 @@
+"""Integration tests across the whole benchmark suite.
+
+For every benchmark with an inference configuration these tests run the full
+pipeline — parse, infer guide types, certify the pair, jointly execute the
+coroutines, validate the recorded trace against the inferred protocol, and
+run a short burst of inference — and check the invariants that tie the
+pieces together.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.coroutines import run_model_guide
+from repro.core.semantics import traces as tr
+from repro.core.semantics.evaluate import log_density
+from repro.core.semantics.traces import trace_conforms
+from repro.core.typecheck import check_model_guide_pair, infer_guide_types
+from repro.core.typecheck.equality import types_equal_up_to_unfolding
+from repro.errors import ChannelProtocolError
+from repro.inference import importance_sampling
+from repro.models import all_benchmarks
+
+RUNNABLE = [
+    b for b in all_benchmarks()
+    if b.expressible and b.guide_source is not None and b.inference in ("IS", "VI")
+]
+
+
+def _guide_args(bench):
+    if bench.guide_param_inits:
+        return tuple(bench.guide_param_inits.values())
+    return ()
+
+
+def _obs_trace(bench):
+    return tuple(tr.ValP(v) for v in bench.obs_values)
+
+
+@pytest.mark.parametrize("bench", RUNNABLE, ids=lambda b: b.name)
+def test_joint_execution_traces_conform_to_inferred_protocol(bench):
+    model = bench.model_program()
+    guide = bench.guide_program()
+    inferred = infer_guide_types(model)
+    latent_type = inferred.entry_channel_type(bench.model_entry, "latent")
+
+    completed = 0
+    for seed in range(8):
+        try:
+            joint = run_model_guide(
+                model, guide, bench.model_entry, bench.guide_entry,
+                obs_trace=_obs_trace(bench), rng=np.random.default_rng(seed),
+                guide_args=_guide_args(bench),
+            )
+        except ChannelProtocolError:
+            continue  # runaway recursion budget; not a protocol violation here
+        assert trace_conforms(joint.traces["latent"], latent_type, inferred.table), bench.name
+        completed += 1
+    assert completed >= 4, f"{bench.name}: too few joint executions completed"
+
+
+@pytest.mark.parametrize("bench", RUNNABLE, ids=lambda b: b.name)
+def test_scheduler_weights_agree_with_evaluator(bench):
+    model = bench.model_program()
+    guide = bench.guide_program()
+    obs = _obs_trace(bench)
+
+    completed = 0
+    for seed in range(6):
+        try:
+            joint = run_model_guide(
+                model, guide, bench.model_entry, bench.guide_entry,
+                obs_trace=obs, rng=np.random.default_rng(seed),
+                guide_args=_guide_args(bench),
+            )
+        except ChannelProtocolError:
+            continue
+        model_traces = {"latent": joint.traces["latent"]}
+        if "obs" in joint.traces:
+            model_traces["obs"] = obs
+        model_eval = log_density(model, bench.model_entry, model_traces)
+        guide_eval = log_density(
+            guide, bench.guide_entry, {"latent": joint.traces["latent"]},
+            args=_guide_args(bench),
+        )
+        assert joint.log_weights["model"] == pytest.approx(model_eval), bench.name
+        assert joint.log_weights["guide"] == pytest.approx(guide_eval), bench.name
+        completed += 1
+    assert completed >= 3
+
+
+@pytest.mark.parametrize("bench", RUNNABLE, ids=lambda b: b.name)
+def test_short_importance_sampling_run_is_healthy(bench):
+    result = importance_sampling(
+        bench.model_program(), bench.guide_program(),
+        bench.model_entry, bench.guide_entry,
+        obs_trace=_obs_trace(bench), num_samples=60,
+        rng=np.random.default_rng(0), guide_args=_guide_args(bench),
+    )
+    assert result.num_samples == 60
+    assert math.isfinite(result.log_evidence())
+    assert result.effective_sample_size() >= 1.0
+
+
+@pytest.mark.parametrize("bench", RUNNABLE, ids=lambda b: b.name)
+def test_model_and_guide_latent_protocols_are_equal(bench):
+    model_result = infer_guide_types(bench.model_program())
+    guide_result = infer_guide_types(bench.guide_program())
+    assert types_equal_up_to_unfolding(
+        model_result.entry_channel_type(bench.model_entry, "latent"),
+        guide_result.entry_channel_type(bench.guide_entry, "latent"),
+        model_result.table,
+        guide_result.table,
+    ), bench.name
+
+
+@pytest.mark.parametrize("bench", RUNNABLE, ids=lambda b: b.name)
+def test_certificate_agrees_with_protocol_equality(bench):
+    pair = check_model_guide_pair(
+        bench.model_program(), bench.guide_program(),
+        bench.model_entry, bench.guide_entry,
+    )
+    assert pair.compatible, f"{bench.name}: {pair.reason}"

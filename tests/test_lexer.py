@@ -1,0 +1,178 @@
+"""Unit tests for the surface-syntax lexer."""
+
+import pytest
+
+from repro.core.parser.lexer import Token, TokenKind, tokenize
+from repro.errors import LexError
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_whitespace_only_source(self):
+        tokens = tokenize("   \n\t  \r\n ")
+        assert [t.kind for t in tokens] == [TokenKind.EOF]
+
+    def test_identifier(self):
+        (tok, _eof) = tokenize("my_var3")
+        assert tok.kind is TokenKind.IDENT
+        assert tok.text == "my_var3"
+
+    def test_underscore_identifier(self):
+        (tok, _eof) = tokenize("_")
+        assert tok.kind is TokenKind.IDENT
+
+    def test_keyword_proc(self):
+        (tok, _eof) = tokenize("proc")
+        assert tok.kind is TokenKind.KEYWORD
+
+    @pytest.mark.parametrize(
+        "word",
+        ["proc", "consume", "provide", "sample", "recv", "send", "if", "else",
+         "return", "call", "observe", "let", "in", "fun", "true", "false"],
+    )
+    def test_all_language_keywords(self, word):
+        (tok, _eof) = tokenize(word)
+        assert tok.kind is TokenKind.KEYWORD
+        assert tok.text == word
+
+    @pytest.mark.parametrize(
+        "word", ["Ber", "Unif", "Beta", "Gamma", "Normal", "Cat", "Geo", "Pois"]
+    )
+    def test_distribution_keywords(self, word):
+        (tok, _eof) = tokenize(word)
+        assert tok.kind is TokenKind.KEYWORD
+
+    @pytest.mark.parametrize("word", ["unit", "bool", "ureal", "preal", "real", "nat", "dist"])
+    def test_type_keywords(self, word):
+        (tok, _eof) = tokenize(word)
+        assert tok.kind is TokenKind.KEYWORD
+
+    def test_non_keyword_similar_identifier(self):
+        (tok, _eof) = tokenize("procx")
+        assert tok.kind is TokenKind.IDENT
+
+
+class TestNumbers:
+    def test_integer_literal(self):
+        (tok, _eof) = tokenize("42")
+        assert tok.kind is TokenKind.INT
+        assert tok.text == "42"
+
+    def test_float_literal(self):
+        (tok, _eof) = tokenize("3.14")
+        assert tok.kind is TokenKind.FLOAT
+
+    def test_scientific_notation(self):
+        (tok, _eof) = tokenize("1.5e-3")
+        assert tok.kind is TokenKind.FLOAT
+        assert float(tok.text) == pytest.approx(0.0015)
+
+    def test_integer_then_projection_dot_not_consumed(self):
+        toks = texts("x.0")
+        assert toks == ["x", ".", "0"]
+
+    def test_float_followed_by_projection(self):
+        # 1.5.0 lexes as FLOAT(1.5) DOT INT(0)
+        toks = tokenize("1.5.0")
+        assert toks[0].kind is TokenKind.FLOAT
+        assert toks[1].kind is TokenKind.DOT
+        assert toks[2].kind is TokenKind.INT
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,kind",
+        [
+            ("<-", TokenKind.LARROW),
+            ("->", TokenKind.ARROW),
+            ("<=", TokenKind.LE),
+            (">=", TokenKind.GE),
+            ("==", TokenKind.EQ),
+            ("!=", TokenKind.NE),
+            ("&&", TokenKind.ANDAND),
+            ("||", TokenKind.OROR),
+        ],
+    )
+    def test_two_char_operators(self, text, kind):
+        (tok, _eof) = tokenize(text)
+        assert tok.kind is kind
+
+    @pytest.mark.parametrize(
+        "text,kind",
+        [
+            ("(", TokenKind.LPAREN),
+            (")", TokenKind.RPAREN),
+            ("{", TokenKind.LBRACE),
+            ("}", TokenKind.RBRACE),
+            (";", TokenKind.SEMI),
+            (",", TokenKind.COMMA),
+            ("+", TokenKind.PLUS),
+            ("*", TokenKind.STAR),
+            ("<", TokenKind.LT),
+            ("=", TokenKind.ASSIGN),
+        ],
+    )
+    def test_single_char_operators(self, text, kind):
+        (tok, _eof) = tokenize(text)
+        assert tok.kind is kind
+
+    def test_arrow_vs_less_minus(self):
+        # `< -` with a space is LT then MINUS, not LARROW.
+        toks = tokenize("< -")
+        assert toks[0].kind is TokenKind.LT
+        assert toks[1].kind is TokenKind.MINUS
+
+
+class TestCommentsAndPositions:
+    def test_hash_comment_is_skipped(self):
+        assert texts("x # this is a comment\ny") == ["x", "y"]
+
+    def test_double_slash_comment_is_skipped(self):
+        assert texts("x // comment\ny") == ["x", "y"]
+
+    def test_comment_at_end_of_file(self):
+        assert texts("x # trailing") == ["x"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("ab\n  cd")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_column_advances_within_line(self):
+        tokens = tokenize("a b")
+        assert tokens[1].column == 3
+
+    def test_sample_command_token_sequence(self):
+        toks = texts("v <- sample.recv{latent}(Gamma(2.0, 1.0));")
+        assert toks == [
+            "v", "<-", "sample", ".", "recv", "{", "latent", "}", "(",
+            "Gamma", "(", "2.0", ",", "1.0", ")", ")", ";",
+        ]
+
+
+class TestErrors:
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("x @ y")
+
+    def test_error_mentions_position(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("abc\n  $")
+        assert "line 2" in str(excinfo.value)
+
+    def test_token_helper_methods(self):
+        token = Token(TokenKind.KEYWORD, "proc", 1, 1)
+        assert token.is_keyword("proc")
+        assert not token.is_keyword("call")

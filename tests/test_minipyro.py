@@ -1,0 +1,210 @@
+"""Tests for the mini-Pyro substrate: handlers, primitives, and inference."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dists import Bernoulli, Beta, Normal
+from repro.minipyro import (
+    clear_param_store,
+    condition,
+    get_param_store,
+    param,
+    replay,
+    sample,
+    seed,
+    trace,
+)
+from repro.minipyro.infer import MH, SVI, Adam, Importance, SGD, elbo_estimate
+from repro.minipyro.trace_struct import Trace, TraceSite
+from repro.errors import InferenceError
+
+
+def simple_model(data):
+    w = sample("w", Normal(0.0, 1.0))
+    sample("y", Normal(w, 0.5), obs=data)
+    return w
+
+
+def simple_guide(data):
+    loc = param("loc", 0.0)
+    return sample("w", Normal(loc, 0.5))
+
+
+class TestPrimitives:
+    def test_sample_outside_handlers_draws_a_value(self):
+        with seed(0):
+            value = sample("x", Normal(0.0, 1.0))
+        assert isinstance(value, float)
+
+    def test_sample_with_obs_returns_obs(self):
+        assert sample("x", Normal(0.0, 1.0), obs=2.5) == 2.5
+
+    def test_param_requires_init_on_first_use(self):
+        clear_param_store()
+        with pytest.raises(KeyError):
+            param("unknown")
+
+    def test_param_persists_in_store(self):
+        param("theta", 1.5)
+        assert get_param_store()["theta"] == 1.5
+        assert param("theta") == 1.5
+
+
+class TestHandlers:
+    def test_trace_records_sites_in_order(self):
+        tracer = trace(simple_model)
+        recorded = tracer.get_trace(1.0)
+        assert recorded.names() == ["w", "y"]
+        assert recorded["y"].is_observed
+        assert not recorded["w"].is_observed
+
+    def test_trace_log_prob_sum(self):
+        recorded = trace(simple_model).get_trace(1.0)
+        w = recorded["w"].value
+        expected = Normal(0.0, 1.0).log_prob(w) + Normal(w, 0.5).log_prob(1.0)
+        assert recorded.log_prob_sum() == pytest.approx(expected)
+
+    def test_log_prob_sum_observed_only(self):
+        recorded = trace(simple_model).get_trace(1.0)
+        w = recorded["w"].value
+        assert recorded.log_prob_sum(observed_only=True) == pytest.approx(
+            Normal(w, 0.5).log_prob(1.0)
+        )
+
+    def test_replay_forces_latent_values(self):
+        guide_trace = Trace()
+        guide_trace.add_site(TraceSite("w", Normal(0.0, 1.0), 0.75))
+        replayed = replay(guide_trace)(simple_model)
+        recorded = trace(replayed).get_trace(1.0)
+        assert recorded["w"].value == 0.75
+
+    def test_replay_does_not_override_observations(self):
+        guide_trace = Trace()
+        guide_trace.add_site(TraceSite("y", Normal(0.0, 1.0), 99.0))
+        replayed = replay(guide_trace)(simple_model)
+        recorded = trace(replayed).get_trace(1.0)
+        assert recorded["y"].value == 1.0
+
+    def test_condition_marks_sites_observed(self):
+        def prior_model():
+            return sample("w", Normal(0.0, 1.0))
+
+        conditioned = condition({"w": 0.3})(prior_model)
+        recorded = trace(conditioned).get_trace()
+        assert recorded["w"].value == 0.3
+        assert recorded["w"].is_observed
+
+    def test_seed_handler_is_reproducible(self):
+        def model():
+            return sample("x", Normal(0.0, 1.0))
+
+        with seed(123):
+            a = model()
+        with seed(123):
+            b = model()
+        assert a == b
+
+    def test_duplicate_site_names_rejected(self):
+        def bad_model():
+            sample("x", Normal(0.0, 1.0))
+            sample("x", Normal(0.0, 1.0))
+
+        with pytest.raises(ValueError):
+            trace(bad_model).get_trace()
+
+
+class TestImportance:
+    def test_posterior_mean_of_conjugate_normal(self):
+        # Prior N(0,1), likelihood N(w, 0.5) with y=1.0:
+        # posterior mean = 1.0 * (1 / (1 + 0.25)) = 0.8
+        def guide(data):
+            return sample("w", Normal(0.5, 1.0))
+
+        results = Importance(simple_model, guide, num_samples=4000).run(
+            1.0, rng=np.random.default_rng(0)
+        )
+        assert results.posterior_mean("w") == pytest.approx(0.8, abs=0.08)
+
+    def test_log_evidence_estimate(self):
+        def guide(data):
+            return sample("w", Normal(0.0, 1.0))
+
+        results = Importance(simple_model, guide, num_samples=4000).run(
+            1.0, rng=np.random.default_rng(1)
+        )
+        # Marginal likelihood of y=1.0 under N(0, sqrt(1 + 0.25)).
+        expected = Normal(0.0, math.sqrt(1.25)).log_prob(1.0)
+        assert results.log_evidence() == pytest.approx(expected, abs=0.05)
+
+    def test_effective_sample_size_bounded_by_n(self):
+        def guide(data):
+            return sample("w", Normal(0.0, 1.0))
+
+        results = Importance(simple_model, guide, num_samples=100).run(
+            1.0, rng=np.random.default_rng(2)
+        )
+        assert 1.0 <= results.effective_sample_size() <= 100.0
+
+    def test_invalid_num_samples_rejected(self):
+        with pytest.raises(InferenceError):
+            Importance(simple_model, simple_guide, num_samples=0)
+
+
+class TestMH:
+    def test_posterior_mean_of_conjugate_normal(self):
+        chain = MH(simple_model, num_samples=3000, burn_in=300).run(
+            1.0, rng=np.random.default_rng(3)
+        )
+        assert chain.posterior_mean("w") == pytest.approx(0.8, abs=0.1)
+        assert 0.0 < chain.acceptance_rate <= 1.0
+
+    def test_beta_bernoulli_posterior(self):
+        def coin_model(flips):
+            p = sample("p", Beta(1.0, 1.0))
+            for i, flip in enumerate(flips):
+                sample(f"flip{i}", Bernoulli(p), obs=flip)
+            return p
+
+        flips = [True, True, True, False]
+        chain = MH(coin_model, num_samples=3000, burn_in=300).run(
+            flips, rng=np.random.default_rng(4)
+        )
+        # Posterior Beta(1+3, 1+1) has mean 4/6.
+        assert chain.posterior_mean("p") == pytest.approx(4.0 / 6.0, abs=0.07)
+
+
+class TestSVI:
+    def test_svi_moves_guide_towards_posterior(self):
+        clear_param_store()
+        svi = SVI(simple_model, simple_guide, optim=Adam(lr=0.1), num_particles=4)
+        rng = np.random.default_rng(5)
+        for _ in range(60):
+            svi.step(1.0, rng=rng)
+        assert get_param_store()["loc"] == pytest.approx(0.8, abs=0.25)
+
+    def test_elbo_estimate_is_finite(self):
+        clear_param_store()
+        param("loc", 0.0)
+        value = elbo_estimate(
+            simple_model, simple_guide, 1.0, num_particles=10, rng=np.random.default_rng(6)
+        )
+        assert math.isfinite(value)
+
+    def test_svi_requires_parameters(self):
+        def paramless_guide(data):
+            return sample("w", Normal(0.0, 1.0))
+
+        clear_param_store()
+        svi = SVI(simple_model, paramless_guide)
+        with pytest.raises(InferenceError):
+            svi.step(1.0, rng=np.random.default_rng(7))
+
+    def test_sgd_and_adam_update_parameters(self):
+        params = {"a": 0.0}
+        SGD(lr=0.5).update(params, {"a": 2.0})
+        assert params["a"] == pytest.approx(1.0)
+        adam = Adam(lr=0.1)
+        adam.update(params, {"a": 1.0})
+        assert params["a"] > 1.0

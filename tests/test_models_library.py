@@ -1,0 +1,131 @@
+"""Tests for the benchmark model library."""
+
+import pytest
+
+from repro.core.typecheck import check_model_guide_pair, infer_guide_types
+from repro.models import (
+    all_benchmarks,
+    get_benchmark,
+    selected_benchmarks,
+    source_loc,
+)
+from repro.models.handwritten import HANDWRITTEN, get_handwritten
+from repro.minipyro import trace as mp_trace, seed as mp_seed
+
+
+EXPRESSIBLE = [b for b in all_benchmarks() if b.expressible]
+
+
+class TestRegistry:
+    def test_all_selected_benchmarks_present(self):
+        names = {b.name for b in selected_benchmarks()}
+        assert names == {
+            "lr", "gmm", "kalman", "sprinkler", "hmm", "branching", "marsaglia",
+            "dp", "ptrace", "aircraft", "weight", "vae", "ex-1", "ex-2", "gp-dsl",
+        }
+
+    def test_extra_benchmarks_exist(self):
+        extras = {b.name for b in all_benchmarks() if not b.selected}
+        assert len(extras) >= 5
+
+    def test_lookup_by_name(self):
+        assert get_benchmark("ex-1").model_entry == "Model"
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            get_benchmark("nonexistent")
+
+    def test_dp_is_marked_inexpressible(self):
+        dp = get_benchmark("dp")
+        assert not dp.expressible
+        with pytest.raises(ValueError):
+            dp.model_program()
+
+    def test_source_loc_counts_code_lines_only(self):
+        assert source_loc("# comment\n\nproc F() { return(1.0) }\n") == 1
+        assert source_loc(None) == 0
+
+    def test_paper_table1_metadata_present_for_selected(self):
+        for benchmark in selected_benchmarks():
+            assert benchmark.paper_table1 is not None
+
+    def test_table2_benchmarks_have_paper_numbers(self):
+        for name in ["ex-1", "branching", "gmm", "weight", "vae"]:
+            assert get_benchmark(name).paper_table2 is not None
+
+
+class TestBenchmarkPrograms:
+    @pytest.mark.parametrize("bench", EXPRESSIBLE, ids=lambda b: b.name)
+    def test_model_parses_and_infers_guide_types(self, bench):
+        result = infer_guide_types(bench.model_program())
+        assert bench.model_entry in result.channel_types
+
+    @pytest.mark.parametrize("bench", EXPRESSIBLE, ids=lambda b: b.name)
+    def test_guide_parses_and_infers_guide_types(self, bench):
+        if bench.guide_source is None:
+            pytest.skip("benchmark has no guide")
+        result = infer_guide_types(bench.guide_program())
+        assert bench.guide_entry in result.channel_types
+
+    @pytest.mark.parametrize("bench", EXPRESSIBLE, ids=lambda b: b.name)
+    def test_model_guide_pair_is_certified(self, bench):
+        if bench.guide_source is None:
+            pytest.skip("benchmark has no guide")
+        pair = check_model_guide_pair(
+            bench.model_program(), bench.guide_program(),
+            bench.model_entry, bench.guide_entry,
+        )
+        assert pair.compatible, pair.reason
+
+    @pytest.mark.parametrize("bench", EXPRESSIBLE, ids=lambda b: b.name)
+    def test_paper_expressiveness_column_matches(self, bench):
+        # Every expressible benchmark type-checks in our system, as in Table 1.
+        if bench.paper_table1 is not None:
+            assert bench.paper_table1.typechecks_ours
+
+    @pytest.mark.parametrize("bench", EXPRESSIBLE, ids=lambda b: b.name)
+    def test_model_loc_is_positive_and_reasonable(self, bench):
+        assert 0 < bench.model_loc < 80
+
+    def test_recursive_flags_are_consistent(self):
+        from repro.core import ast
+
+        for bench in EXPRESSIBLE:
+            program = bench.model_program()
+            has_cycle = any(
+                proc.name in ast.calls_in(proc.body) for proc in program.procedures
+            )
+            if bench.recursive:
+                assert has_cycle or len(program.procedures) > 1
+
+
+class TestHandwrittenPairs:
+    def test_all_table2_benchmarks_have_handwritten_versions(self):
+        assert set(HANDWRITTEN) == {"ex-1", "branching", "gmm", "weight", "vae"}
+
+    def test_lookup(self):
+        pair = get_handwritten("gmm")
+        assert pair.algorithm == "IS"
+        assert pair.lines_of_code > 5
+
+    def test_unknown_handwritten_raises(self):
+        with pytest.raises(KeyError):
+            get_handwritten("nope")
+
+    @pytest.mark.parametrize("name", sorted(HANDWRITTEN), ids=str)
+    def test_handwritten_model_and_guide_run_under_trace(self, name):
+        pair = get_handwritten(name)
+        with mp_seed(0):
+            model_trace = mp_trace(pair.model).get_trace(pair.data)
+            guide_trace = mp_trace(pair.guide).get_trace(pair.data)
+        assert len(model_trace) >= len(guide_trace) >= 1
+
+    @pytest.mark.parametrize("name", sorted(HANDWRITTEN), ids=str)
+    def test_handwritten_guide_sites_are_subset_of_model_sites(self, name):
+        pair = get_handwritten(name)
+        with mp_seed(1):
+            model_trace = mp_trace(pair.model).get_trace(pair.data)
+            guide_trace = mp_trace(pair.guide).get_trace(pair.data)
+        model_latents = {s.name for s in model_trace if not s.is_observed}
+        guide_latents = {s.name for s in guide_trace if not s.is_observed}
+        assert guide_latents <= model_latents

@@ -1,0 +1,254 @@
+"""Unit tests for the surface-syntax parser."""
+
+import pytest
+
+from repro.core import ast
+from repro.core import types as ty
+from repro.core.parser import parse_command, parse_expression, parse_program
+from repro.core.parser.parser import param_types_of
+from repro.errors import ParseError
+
+
+class TestExpressions:
+    def test_real_literal(self):
+        assert parse_expression("3.5") == ast.RealLit(3.5)
+
+    def test_nat_literal(self):
+        assert parse_expression("7") == ast.NatLit(7)
+
+    def test_boolean_literals(self):
+        assert parse_expression("true") == ast.BoolLit(True)
+        assert parse_expression("false") == ast.BoolLit(False)
+
+    def test_unit_literal(self):
+        assert parse_expression("()") == ast.Triv()
+
+    def test_variable(self):
+        assert parse_expression("foo") == ast.Var("foo")
+
+    def test_addition_is_left_associative(self):
+        expr = parse_expression("a + b + c")
+        assert isinstance(expr, ast.PrimOp)
+        assert expr.op is ast.BinOp.ADD
+        assert isinstance(expr.left, ast.PrimOp)
+        assert expr.right == ast.Var("c")
+
+    def test_multiplication_binds_tighter_than_addition(self):
+        expr = parse_expression("a + b * c")
+        assert expr.op is ast.BinOp.ADD
+        assert isinstance(expr.right, ast.PrimOp)
+        assert expr.right.op is ast.BinOp.MUL
+
+    def test_comparison(self):
+        expr = parse_expression("x < 2.0")
+        assert expr.op is ast.BinOp.LT
+
+    def test_boolean_connectives(self):
+        expr = parse_expression("a && b || c")
+        assert expr.op is ast.BinOp.OR
+        assert expr.left.op is ast.BinOp.AND
+
+    def test_unary_negation(self):
+        expr = parse_expression("-x")
+        assert isinstance(expr, ast.PrimUnOp)
+        assert expr.op is ast.UnOp.NEG
+
+    def test_not_operator(self):
+        expr = parse_expression("!flag")
+        assert expr.op is ast.UnOp.NOT
+
+    def test_math_builtins(self):
+        assert parse_expression("exp(x)").op is ast.UnOp.EXP
+        assert parse_expression("log(x)").op is ast.UnOp.LOG
+        assert parse_expression("sqrt(x)").op is ast.UnOp.SQRT
+
+    def test_if_expression(self):
+        expr = parse_expression("if c then 1.0 else 2.0")
+        assert isinstance(expr, ast.IfExpr)
+
+    def test_let_expression(self):
+        expr = parse_expression("let x = 1.0 in x + x")
+        assert isinstance(expr, ast.Let)
+        assert expr.var == "x"
+
+    def test_lambda_and_application(self):
+        expr = parse_expression("fun(x) x + 1.0")
+        assert isinstance(expr, ast.Lam)
+        app = parse_expression("f(3.0)")
+        assert isinstance(app, ast.App)
+
+    def test_tuple_and_projection(self):
+        expr = parse_expression("(1.0, 2.0, 3.0)")
+        assert isinstance(expr, ast.Tuple_)
+        assert len(expr.items) == 3
+        proj = parse_expression("p.1")
+        assert isinstance(proj, ast.Proj)
+        assert proj.index == 1
+
+    def test_parenthesised_expression(self):
+        assert parse_expression("(x)") == ast.Var("x")
+
+    @pytest.mark.parametrize(
+        "source,kind,n_args",
+        [
+            ("Normal(0.0, 1.0)", ast.DistKind.NORMAL, 2),
+            ("Gamma(2.0, 1.0)", ast.DistKind.GAMMA, 2),
+            ("Beta(3.0, 1.0)", ast.DistKind.BETA, 2),
+            ("Unif", ast.DistKind.UNIF, 0),
+            ("Ber(0.5)", ast.DistKind.BER, 1),
+            ("Geo(0.3)", ast.DistKind.GEO, 1),
+            ("Pois(4.0)", ast.DistKind.POIS, 1),
+            ("Cat(1.0, 2.0, 3.0)", ast.DistKind.CAT, 3),
+        ],
+    )
+    def test_distribution_expressions(self, source, kind, n_args):
+        expr = parse_expression(source)
+        assert isinstance(expr, ast.DistExpr)
+        assert expr.kind is kind
+        assert len(expr.args) == n_args
+
+    def test_distribution_wrong_arity_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("Normal(1.0)")
+
+    def test_cat_requires_at_least_one_weight(self):
+        with pytest.raises(ParseError):
+            parse_expression("Cat()")
+
+
+class TestCommands:
+    def test_return_command(self):
+        cmd = parse_command("{ return(3.0) }")
+        assert isinstance(cmd, ast.Ret)
+
+    def test_return_unit(self):
+        cmd = parse_command("{ return() }")
+        assert isinstance(cmd, ast.Ret)
+        assert cmd.expr == ast.Triv()
+
+    def test_sample_recv(self):
+        cmd = parse_command("{ sample.recv{latent}(Unif) }")
+        assert isinstance(cmd, ast.SampleRecv)
+        assert cmd.channel == "latent"
+
+    def test_sample_send(self):
+        cmd = parse_command("{ sample.send{obs}(Normal(0.0, 1.0)) }")
+        assert isinstance(cmd, ast.SampleSend)
+        assert cmd.channel == "obs"
+
+    def test_bind_sequencing(self):
+        cmd = parse_command("{ x <- sample.recv{latent}(Unif); return(x) }")
+        assert isinstance(cmd, ast.Bnd)
+        assert cmd.var == "x"
+        assert isinstance(cmd.first, ast.SampleRecv)
+        assert isinstance(cmd.second, ast.Ret)
+
+    def test_anonymous_sequencing_uses_fresh_binder(self):
+        cmd = parse_command("{ sample.send{obs}(Unif); return(1.0) }")
+        assert isinstance(cmd, ast.Bnd)
+        assert cmd.var.startswith("_ignore")
+
+    def test_trailing_bind_desugars_to_ret(self):
+        cmd = parse_command("{ x <- sample.recv{latent}(Unif) }")
+        assert isinstance(cmd, ast.Bnd)
+        assert isinstance(cmd.second, ast.Ret)
+        assert cmd.second.expr == ast.Var("x")
+
+    def test_if_send(self):
+        cmd = parse_command(
+            "{ if.send{latent} x < 1.0 { return(x) } else { return(x) } }"
+        )
+        assert isinstance(cmd, ast.CondSend)
+        assert cmd.channel == "latent"
+
+    def test_if_recv_has_no_predicate(self):
+        cmd = parse_command("{ if.recv{latent} { return(1.0) } else { return(2.0) } }")
+        assert isinstance(cmd, ast.CondRecv)
+
+    def test_pure_if(self):
+        cmd = parse_command("{ if x { return(1.0) } else { return(2.0) } }")
+        assert isinstance(cmd, ast.CondPure)
+
+    def test_call_with_one_argument(self):
+        cmd = parse_command("{ call Helper(x) }")
+        assert isinstance(cmd, ast.Call)
+        assert cmd.proc == "Helper"
+        assert cmd.arg == ast.Var("x")
+
+    def test_call_with_many_arguments_packs_tuple(self):
+        cmd = parse_command("{ call Helper(x, y, 1.0) }")
+        assert isinstance(cmd.arg, ast.Tuple_)
+        assert len(cmd.arg.items) == 3
+
+    def test_call_without_arguments(self):
+        cmd = parse_command("{ call Helper() }")
+        assert cmd.arg == ast.Triv()
+
+    def test_observe_command(self):
+        cmd = parse_command("{ observe(Normal(0.0, 1.0), 0.5) }")
+        assert isinstance(cmd, ast.Observe)
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(ParseError):
+            parse_command("{ }")
+
+
+class TestProcedures:
+    def test_basic_procedure(self, fig5_model):
+        proc = fig5_model.procedure("Model")
+        assert proc.consumes == "latent"
+        assert proc.provides == "obs"
+        assert proc.params == ()
+
+    def test_parameter_annotations(self):
+        program = parse_program(
+            "proc F(a: preal, b: nat, c: bool) consume latent { return(a) }"
+        )
+        proc = program.procedure("F")
+        assert param_types_of(proc) == (ty.PREAL, ty.NAT, ty.BOOL)
+
+    def test_unannotated_parameter_defaults_to_real(self):
+        program = parse_program("proc F(a) consume latent { return(a) }")
+        assert param_types_of(program.procedure("F")) == (ty.REAL,)
+
+    def test_type_annotations_full_grammar(self):
+        program = parse_program(
+            "proc F(a: nat[5], b: dist(real), c: (real * bool), d: real -> real) { return(1.0) }"
+        )
+        kinds = param_types_of(program.procedure("F"))
+        assert kinds[0] == ty.FinNatTy(5)
+        assert kinds[1] == ty.DistTy(ty.REAL)
+        assert kinds[2] == ty.TupleTy((ty.REAL, ty.BOOL))
+        assert kinds[3] == ty.FunTy(ty.REAL, ty.REAL)
+
+    def test_multiple_procedures(self, fig6_pcfg):
+        assert fig6_pcfg.names() == ("Pcfg", "PcfgGen")
+
+    def test_same_consume_provide_channel_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("proc F() consume c provide c { return(1.0) }")
+
+    def test_duplicate_channel_declaration_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("proc F() consume a consume b { return(1.0) }")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("   ")
+
+    def test_garbage_after_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("proc F() { return(1.0) } garbage")
+
+    def test_missing_else_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("proc F() consume a { if.recv{a} { return(1.0) } }")
+
+    def test_parse_error_reports_location(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("proc F() {\n  return(;\n}")
+        assert "line 2" in str(excinfo.value)
+
+    def test_duplicate_procedure_names_rejected(self):
+        with pytest.raises(ValueError):
+            parse_program("proc F() { return(1.0) } proc F() { return(2.0) }")

@@ -1,0 +1,223 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The key theorems exercised here:
+
+* **Type preservation (Thm. 4.4)** — traces produced by a joint execution of
+  a well-typed model/guide pair conform to the inferred guide types.
+* **Agreement of evaluation and the scheduler** — the log weight the
+  scheduler accumulates equals the big-step evaluator's log density on the
+  recorded traces.
+* **Evaluation/reduction agreement (Thm. B.8)** — a trace combination is
+  reducible iff its weight is strictly positive.
+* **Distribution consistency** — samples lie in the support, the support
+  matches the declared support type, and densities are positive exactly on
+  the support.
+* **Numerics** — normalised weights form a probability vector.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.coroutines import run_model_guide
+from repro.core.semantics import traces as tr
+from repro.core.semantics.evaluate import log_density
+from repro.core.semantics.reduction import reduces
+from repro.core.semantics.traces import trace_conforms
+from repro.core.typecheck import infer_guide_types
+from repro.core.parser import parse_program
+from repro.dists import (
+    Bernoulli,
+    Beta,
+    Categorical,
+    Gamma,
+    Geometric,
+    Normal,
+    Poisson,
+    Uniform01,
+)
+from repro.utils.numerics import log_sum_exp, normalize_log_weights
+
+from tests.conftest import FIG5_GUIDE_SOURCE, FIG5_MODEL_SOURCE
+
+FIG5_MODEL = parse_program(FIG5_MODEL_SOURCE)
+FIG5_GUIDE = parse_program(FIG5_GUIDE_SOURCE)
+FIG5_LATENT_TYPE = infer_guide_types(FIG5_MODEL).entry_channel_type("Model", "latent")
+
+COMMON_SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+# ---------------------------------------------------------------------------
+# Joint execution vs the declarative semantics
+# ---------------------------------------------------------------------------
+
+
+@COMMON_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=10_000), obs=st.floats(-5.0, 5.0))
+def test_joint_traces_conform_to_inferred_type(seed, obs):
+    joint = run_model_guide(
+        FIG5_MODEL, FIG5_GUIDE, "Model", "Guide1",
+        obs_trace=(tr.ValP(obs),), rng=np.random.default_rng(seed),
+    )
+    assert trace_conforms(joint.traces["latent"], FIG5_LATENT_TYPE)
+
+
+@COMMON_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=10_000), obs=st.floats(-5.0, 5.0))
+def test_scheduler_weights_equal_evaluator_densities(seed, obs):
+    joint = run_model_guide(
+        FIG5_MODEL, FIG5_GUIDE, "Model", "Guide1",
+        obs_trace=(tr.ValP(obs),), rng=np.random.default_rng(seed),
+    )
+    model_eval = log_density(
+        FIG5_MODEL, "Model", {"latent": joint.traces["latent"], "obs": (tr.ValP(obs),)}
+    )
+    guide_eval = log_density(FIG5_GUIDE, "Guide1", {"latent": joint.traces["latent"]})
+    assert joint.log_weights["model"] == pytest.approx(model_eval)
+    assert joint.log_weights["guide"] == pytest.approx(guide_eval)
+
+
+@COMMON_SETTINGS
+@given(
+    x=st.floats(min_value=-2.0, max_value=6.0),
+    selection=st.booleans(),
+    y=st.floats(min_value=-0.5, max_value=1.5),
+    obs=st.floats(-3.0, 3.0),
+)
+def test_evaluation_reduction_agreement(x, selection, y, obs):
+    """Thm. B.8: reduction succeeds iff the evaluation weight is positive."""
+    if selection:
+        latent = (tr.ValP(x), tr.DirC(True))
+    else:
+        latent = (tr.ValP(x), tr.DirC(False), tr.ValP(y))
+    traces = {"latent": latent, "obs": (tr.ValP(obs),)}
+    weight_positive = log_density(FIG5_MODEL, "Model", traces) > -math.inf
+    reduction_succeeds = reduces(FIG5_MODEL, "Model", traces=traces)
+    assert weight_positive == reduction_succeeds
+
+
+@COMMON_SETTINGS
+@given(x=st.floats(min_value=0.001, max_value=10.0), obs=st.floats(-3.0, 3.0))
+def test_trace_typing_implies_positive_model_density(x, obs):
+    """Thm. 4.6 instance: a well-typed, &-free trace always evaluates with w > 0."""
+    selection = x < 2.0
+    latent = (tr.ValP(x), tr.DirC(selection))
+    if not selection:
+        latent = latent + (tr.ValP(0.5),)
+    if not trace_conforms(latent, FIG5_LATENT_TYPE):
+        return
+    assert log_density(
+        FIG5_MODEL, "Model", {"latent": latent, "obs": (tr.ValP(obs),)}
+    ) > -math.inf
+
+
+# ---------------------------------------------------------------------------
+# Distributions
+# ---------------------------------------------------------------------------
+
+
+_DIST_STRATEGY = st.one_of(
+    st.builds(Normal, st.floats(-5, 5), st.floats(0.1, 3.0)),
+    st.builds(Gamma, st.floats(0.2, 5.0), st.floats(0.2, 5.0)),
+    st.builds(Beta, st.floats(0.2, 5.0), st.floats(0.2, 5.0)),
+    st.just(Uniform01()),
+    st.builds(Bernoulli, st.floats(0.01, 0.99)),
+    st.builds(lambda w: Categorical(list(w)), st.lists(st.floats(0.1, 5.0), min_size=1, max_size=5)),
+    st.builds(Geometric, st.floats(0.05, 0.95)),
+    st.builds(Poisson, st.floats(0.1, 10.0)),
+)
+
+
+@COMMON_SETTINGS
+@given(dist=_DIST_STRATEGY, seed=st.integers(0, 100_000))
+def test_samples_lie_in_support_with_positive_density(dist, seed):
+    value = dist.sample(np.random.default_rng(seed))
+    assert dist.in_support(value)
+    assert dist.log_prob(value) > -math.inf
+    assert dist.prob(value) >= 0.0
+
+
+@COMMON_SETTINGS
+@given(dist=_DIST_STRATEGY, seed=st.integers(0, 100_000))
+def test_support_type_describes_samples(dist, seed):
+    from repro.core.types import value_has_type
+
+    value = dist.sample(np.random.default_rng(seed))
+    assert value_has_type(value, dist.support_type)
+
+
+@COMMON_SETTINGS
+@given(
+    dist=_DIST_STRATEGY,
+    value=st.one_of(st.floats(-100, 100), st.integers(-10, 100), st.booleans()),
+)
+def test_density_is_zero_exactly_outside_the_support(dist, value):
+    in_support = dist.in_support(value)
+    positive_density = dist.log_prob(value) > -math.inf
+    assert in_support == positive_density
+
+
+# ---------------------------------------------------------------------------
+# Numerics
+# ---------------------------------------------------------------------------
+
+
+@COMMON_SETTINGS
+@given(
+    log_weights=st.lists(
+        st.one_of(st.floats(-50.0, 10.0), st.just(-math.inf)), min_size=1, max_size=30
+    )
+)
+def test_normalized_log_weights_form_a_probability_vector(log_weights):
+    weights = normalize_log_weights(log_weights)
+    assert weights.shape == (len(log_weights),)
+    assert np.all(weights >= 0.0)
+    assert float(weights.sum()) == pytest.approx(1.0)
+
+
+@COMMON_SETTINGS
+@given(values=st.lists(st.floats(-30.0, 30.0), min_size=1, max_size=20))
+def test_log_sum_exp_upper_and_lower_bounds(values):
+    result = log_sum_exp(values)
+    assert result >= max(values) - 1e-9
+    assert result <= max(values) + math.log(len(values)) + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Parser / pretty-printer round trip
+# ---------------------------------------------------------------------------
+
+
+@COMMON_SETTINGS
+@given(
+    shape=st.floats(0.5, 5.0),
+    rate=st.floats(0.5, 5.0),
+    threshold=st.floats(0.5, 3.0),
+)
+def test_guide_type_inference_is_stable_under_reparsing(shape, rate, threshold):
+    """Pretty-printing and reparsing a generated model preserves its protocol."""
+    from repro.utils.pretty import pretty_program
+
+    source = f"""
+    proc M() consume latent provide obs {{
+      v <- sample.recv{{latent}}(Gamma({shape:.3f}, {rate:.3f}));
+      if.send{{latent}} v < {threshold:.3f} {{
+        _ <- sample.send{{obs}}(Normal(0.0, 1.0));
+        return(v)
+      }} else {{
+        m <- sample.recv{{latent}}(Beta(2.0, 2.0));
+        _ <- sample.send{{obs}}(Normal(m, 1.0));
+        return(v)
+      }}
+    }}
+    """
+    program = parse_program(source)
+    reparsed = parse_program(pretty_program(program))
+    original_type = infer_guide_types(program).entry_channel_type("M", "latent")
+    reparsed_type = infer_guide_types(reparsed).entry_channel_type("M", "latent")
+    assert original_type == reparsed_type

@@ -1,0 +1,101 @@
+"""Tests for the reduction relation and the possible-combination predicate."""
+
+import pytest
+
+from repro.core.parser import parse_program
+from repro.core.semantics import traces as tr
+from repro.core.semantics.reduction import (
+    is_possible_combination,
+    reduce_procedure,
+    reduces,
+)
+
+
+class TestReduction:
+    def test_reduction_of_possible_trace(self, fig5_model):
+        latent = (tr.ValP(1.0), tr.DirC(True))
+        obs = (tr.ValP(0.8),)
+        value = reduce_procedure(
+            fig5_model, "Model", traces={"latent": latent, "obs": obs}
+        )
+        assert value == pytest.approx(1.0)
+
+    def test_reduction_fails_on_unsupported_value(self, fig5_model):
+        latent = (tr.ValP(-1.0), tr.DirC(True))
+        obs = (tr.ValP(0.8),)
+        assert not reduces(fig5_model, "Model", traces={"latent": latent, "obs": obs})
+
+    def test_reduction_fails_on_contradictory_selection(self, fig5_model):
+        latent = (tr.ValP(1.0), tr.DirC(False), tr.ValP(0.9))
+        obs = (tr.ValP(0.8),)
+        assert not reduces(fig5_model, "Model", traces={"latent": latent, "obs": obs})
+
+    def test_reduction_fails_on_truncated_trace(self, fig5_model):
+        assert not reduces(fig5_model, "Model", traces={"latent": (), "obs": ()})
+
+    def test_reduction_of_unit_returning_guide_yields_sentinel(self):
+        guide = parse_program(
+            """
+            proc G() provide latent {
+              v <- sample.send{latent}(Unif);
+              return()
+            }
+            """
+        )
+        value = reduce_procedure(guide, "G", traces={"latent": (tr.ValP(0.5),)})
+        assert value == ()
+
+
+class TestPossibleCombinations:
+    """Lemma 5.1-style checks on the Fig. 5 pair."""
+
+    def test_then_branch_combination_is_possible(self, fig5_model, fig5_guide):
+        assert is_possible_combination(
+            fig5_model,
+            fig5_guide,
+            "Model",
+            "Guide1",
+            latent_trace=(tr.ValP(1.0), tr.DirC(True)),
+            obs_trace=(tr.ValP(0.8),),
+        )
+
+    def test_else_branch_combination_is_possible(self, fig5_model, fig5_guide):
+        assert is_possible_combination(
+            fig5_model,
+            fig5_guide,
+            "Model",
+            "Guide1",
+            latent_trace=(tr.ValP(3.0), tr.DirC(False), tr.ValP(0.4)),
+            obs_trace=(tr.ValP(0.8),),
+        )
+
+    def test_negative_x_is_impossible(self, fig5_model, fig5_guide):
+        assert not is_possible_combination(
+            fig5_model,
+            fig5_guide,
+            "Model",
+            "Guide1",
+            latent_trace=(tr.ValP(-3.0), tr.DirC(True)),
+            obs_trace=(tr.ValP(0.8),),
+        )
+
+    def test_branch_inconsistent_with_value_is_impossible(self, fig5_model, fig5_guide):
+        assert not is_possible_combination(
+            fig5_model,
+            fig5_guide,
+            "Model",
+            "Guide1",
+            latent_trace=(tr.ValP(1.0), tr.DirC(False), tr.ValP(0.4)),
+            obs_trace=(tr.ValP(0.8),),
+        )
+
+    def test_model_without_obs_channel(self, fig6_pcfg, fig6_pcfg_guide):
+        latent = (tr.ValP(0.7), tr.Fold(), tr.ValP(0.2), tr.DirC(True), tr.ValP(0.5))
+        assert is_possible_combination(
+            fig6_pcfg,
+            fig6_pcfg_guide,
+            "Pcfg",
+            "PcfgGuide",
+            latent_trace=latent,
+            obs_trace=(),
+        )

@@ -1,0 +1,148 @@
+"""Tests for guidance traces and the well-formedness judgment σ : A."""
+
+import pytest
+
+from repro.core import types as ty
+from repro.core.semantics import traces as tr
+from repro.errors import TraceTypeMismatch
+
+
+FIG5_LATENT = ty.SendVal(ty.PREAL, ty.Choose(ty.End(), ty.SendVal(ty.UREAL, ty.End())))
+
+
+class TestTraceBasics:
+    def test_sample_values_extraction(self):
+        trace = (tr.ValP(1.0), tr.DirC(True), tr.ValP(0.3), tr.Fold())
+        assert tr.sample_values(trace) == [1.0, 0.3]
+
+    def test_branch_selections_extraction(self):
+        trace = (tr.ValP(1.0), tr.DirC(True), tr.DirP(False))
+        assert tr.branch_selections(trace) == [True, False]
+
+    def test_format_trace(self):
+        text = tr.format_trace((tr.ValP(1.0), tr.Fold()))
+        assert text.startswith("[") and "fold" in text
+
+    def test_provider_samples_helper(self):
+        assert tr.provider_samples(1.0, 2.0) == (tr.ValP(1.0), tr.ValP(2.0))
+
+    def test_concat(self):
+        assert tr.concat((tr.ValP(1.0),), (tr.Fold(),)) == (tr.ValP(1.0), tr.Fold())
+
+    def test_messages_are_hashable_and_comparable(self):
+        assert tr.ValP(1.0) == tr.ValP(1.0)
+        assert tr.ValP(1.0) != tr.ValC(1.0)
+        assert hash(tr.DirP(True)) == hash(tr.DirP(True))
+
+
+class TestTraceCursor:
+    def test_take_in_order(self):
+        cursor = tr.TraceCursor((tr.ValP(1.0), tr.DirC(True)))
+        assert cursor.take(tr.ValP, "first").value == 1.0
+        assert cursor.take(tr.DirC, "second").value is True
+        assert cursor.exhausted()
+
+    def test_take_wrong_kind_raises(self):
+        cursor = tr.TraceCursor((tr.ValP(1.0),))
+        with pytest.raises(TraceTypeMismatch):
+            cursor.take(tr.DirP, "selection")
+
+    def test_take_past_end_raises(self):
+        cursor = tr.TraceCursor(())
+        with pytest.raises(TraceTypeMismatch):
+            cursor.take(tr.ValP, "value")
+
+    def test_snapshot_restore(self):
+        cursor = tr.TraceCursor((tr.ValP(1.0), tr.ValP(2.0)))
+        mark = cursor.snapshot()
+        cursor.take(tr.ValP, "x")
+        cursor.restore(mark)
+        assert cursor.position == 0
+
+    def test_remaining(self):
+        cursor = tr.TraceCursor((tr.ValP(1.0), tr.ValP(2.0)))
+        cursor.take(tr.ValP, "x")
+        assert cursor.remaining() == (tr.ValP(2.0),)
+
+
+class TestConformance:
+    def test_empty_trace_has_end_type(self):
+        assert tr.trace_conforms((), ty.End())
+
+    def test_nonempty_trace_fails_end_type(self):
+        assert not tr.trace_conforms((tr.ValP(1.0),), ty.End())
+
+    def test_fig5_then_branch_trace(self):
+        trace = (tr.ValP(1.5), tr.DirC(True))
+        assert tr.trace_conforms(trace, FIG5_LATENT)
+
+    def test_fig5_else_branch_trace(self):
+        trace = (tr.ValP(3.0), tr.DirC(False), tr.ValP(0.9))
+        assert tr.trace_conforms(trace, FIG5_LATENT)
+
+    def test_fig5_wrong_payload_type_rejected(self):
+        # @x must be a positive real; a negative value breaks ℝ+.
+        trace = (tr.ValP(-1.0), tr.DirC(True))
+        assert not tr.trace_conforms(trace, FIG5_LATENT)
+
+    def test_fig5_missing_branch_payload_rejected(self):
+        trace = (tr.ValP(3.0), tr.DirC(False))
+        assert not tr.trace_conforms(trace, FIG5_LATENT)
+
+    def test_fig5_extra_messages_rejected(self):
+        trace = (tr.ValP(1.5), tr.DirC(True), tr.ValP(0.5))
+        assert not tr.trace_conforms(trace, FIG5_LATENT)
+
+    def test_wrong_message_polarity_rejected(self):
+        trace = (tr.ValC(1.5), tr.DirC(True))
+        assert not tr.trace_conforms(trace, FIG5_LATENT)
+
+    def test_recv_val_type(self):
+        recv_type = ty.RecvVal(ty.REAL, ty.End())
+        assert tr.trace_conforms((tr.ValC(0.7),), recv_type)
+        assert not tr.trace_conforms((tr.ValP(0.7),), recv_type)
+
+    def test_offer_type_uses_provider_selection(self):
+        offer = ty.Offer(ty.SendVal(ty.REAL, ty.End()), ty.End())
+        assert tr.trace_conforms((tr.DirP(True), tr.ValP(0.0)), offer)
+        assert tr.trace_conforms((tr.DirP(False),), offer)
+        assert not tr.trace_conforms((tr.DirC(True), tr.ValP(0.0)), offer)
+
+    def test_operator_application_needs_fold_and_table(self):
+        table = ty.TypeTable()
+        table.define(ty.TypeDef("T", "X", ty.SendVal(ty.UREAL, ty.TyVar("X"))))
+        applied = ty.OpApp("T", ty.End())
+        assert tr.trace_conforms((tr.Fold(), tr.ValP(0.5)), applied, table)
+        assert not tr.trace_conforms((tr.ValP(0.5),), applied, table)
+
+    def test_operator_application_without_table_raises(self):
+        applied = ty.OpApp("T", ty.End())
+        with pytest.raises(TraceTypeMismatch):
+            tr.check_trace((tr.Fold(),), applied, table=None)
+
+    def test_recursive_operator_conformance(self):
+        # R[X] = ureal /\ ((real /\ X) & R[R[X]]), the Fig. 6 protocol.
+        table = ty.TypeTable()
+        x = ty.TyVar("X")
+        table.define(
+            ty.TypeDef(
+                "R",
+                "X",
+                ty.SendVal(
+                    ty.UREAL,
+                    ty.Choose(ty.SendVal(ty.REAL, x), ty.OpApp("R", ty.OpApp("R", x))),
+                ),
+            )
+        )
+        leaf = (tr.Fold(), tr.ValP(0.2), tr.DirC(True), tr.ValP(0.1))
+        assert tr.trace_conforms(leaf, ty.OpApp("R", ty.End()), table)
+        node = (
+            tr.Fold(), tr.ValP(0.9), tr.DirC(False),
+            tr.Fold(), tr.ValP(0.2), tr.DirC(True), tr.ValP(-1.0),
+            tr.Fold(), tr.ValP(0.3), tr.DirC(True), tr.ValP(2.0),
+        )
+        assert tr.trace_conforms(node, ty.OpApp("R", ty.End()), table)
+
+    def test_open_type_cannot_be_checked(self):
+        with pytest.raises(TraceTypeMismatch):
+            tr.check_trace((), ty.TyVar("X"))

@@ -1,0 +1,172 @@
+"""Unit tests for basic types and guide types."""
+
+import pytest
+
+from repro.core import types as ty
+from repro.errors import GuideTypeError
+
+
+class TestSubtyping:
+    def test_reflexivity(self):
+        for tau in [ty.UNIT, ty.BOOL, ty.UREAL, ty.PREAL, ty.REAL, ty.NAT, ty.FinNatTy(3)]:
+            assert ty.is_subtype(tau, tau)
+
+    def test_numeric_chain(self):
+        assert ty.is_subtype(ty.UREAL, ty.PREAL)
+        assert ty.is_subtype(ty.PREAL, ty.REAL)
+        assert ty.is_subtype(ty.UREAL, ty.REAL)
+
+    def test_numeric_chain_is_not_symmetric(self):
+        assert not ty.is_subtype(ty.REAL, ty.PREAL)
+        assert not ty.is_subtype(ty.PREAL, ty.UREAL)
+
+    def test_finite_nat_subtyping(self):
+        assert ty.is_subtype(ty.FinNatTy(3), ty.NAT)
+        assert ty.is_subtype(ty.FinNatTy(3), ty.FinNatTy(5))
+        assert not ty.is_subtype(ty.FinNatTy(5), ty.FinNatTy(3))
+
+    def test_nat_embeds_into_real(self):
+        assert ty.is_subtype(ty.NAT, ty.REAL)
+        assert ty.is_subtype(ty.FinNatTy(4), ty.REAL)
+        assert not ty.is_subtype(ty.NAT, ty.PREAL)
+
+    def test_bool_unrelated_to_numeric(self):
+        assert not ty.is_subtype(ty.BOOL, ty.REAL)
+        assert not ty.is_subtype(ty.REAL, ty.BOOL)
+
+    def test_dist_types_are_invariant(self):
+        assert not ty.is_subtype(ty.DistTy(ty.UREAL), ty.DistTy(ty.REAL))
+
+    def test_tuple_subtyping_is_componentwise(self):
+        assert ty.is_subtype(
+            ty.TupleTy((ty.UREAL, ty.NAT)), ty.TupleTy((ty.REAL, ty.NAT))
+        )
+        assert not ty.is_subtype(
+            ty.TupleTy((ty.REAL,)), ty.TupleTy((ty.REAL, ty.REAL))
+        )
+
+
+class TestJoin:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            (ty.UREAL, ty.PREAL, ty.PREAL),
+            (ty.PREAL, ty.REAL, ty.REAL),
+            (ty.UREAL, ty.REAL, ty.REAL),
+            (ty.NAT, ty.FinNatTy(3), ty.NAT),
+            (ty.BOOL, ty.BOOL, ty.BOOL),
+            (ty.NAT, ty.REAL, ty.REAL),
+        ],
+    )
+    def test_join_values(self, a, b, expected):
+        assert ty.join(a, b) == expected
+        assert ty.join(b, a) == expected
+
+    def test_join_incompatible_is_none(self):
+        assert ty.join(ty.BOOL, ty.REAL) is None
+        assert ty.join(ty.UNIT, ty.NAT) is None
+
+
+class TestValueMembership:
+    @pytest.mark.parametrize(
+        "value,tau,expected",
+        [
+            (None, ty.UNIT, True),
+            (True, ty.BOOL, True),
+            (0.5, ty.UREAL, True),
+            (1.5, ty.UREAL, False),
+            (0.0, ty.UREAL, False),
+            (2.5, ty.PREAL, True),
+            (-1.0, ty.PREAL, False),
+            (-1.0, ty.REAL, True),
+            (3, ty.NAT, True),
+            (-1, ty.NAT, False),
+            (2, ty.FinNatTy(3), True),
+            (3, ty.FinNatTy(3), False),
+            (True, ty.REAL, False),  # Booleans are not numbers
+            (1, ty.BOOL, False),
+        ],
+    )
+    def test_membership(self, value, tau, expected):
+        assert ty.value_has_type(value, tau) is expected
+
+    def test_tuple_membership(self):
+        tau = ty.TupleTy((ty.REAL, ty.BOOL))
+        assert ty.value_has_type((1.0, False), tau)
+        assert not ty.value_has_type((1.0, 2.0), tau)
+
+
+class TestGuideTypes:
+    def fig5_latent(self):
+        # preal /\ (end & (ureal /\ end))
+        return ty.SendVal(ty.PREAL, ty.Choose(ty.End(), ty.SendVal(ty.UREAL, ty.End())))
+
+    def test_substitution(self):
+        body = ty.SendVal(ty.REAL, ty.TyVar("X"))
+        result = ty.substitute(body, {"X": ty.End()})
+        assert result == ty.SendVal(ty.REAL, ty.End())
+
+    def test_substitution_under_branches(self):
+        body = ty.Offer(ty.TyVar("X"), ty.SendVal(ty.UREAL, ty.TyVar("X")))
+        result = ty.substitute(body, {"X": ty.End()})
+        assert result == ty.Offer(ty.End(), ty.SendVal(ty.UREAL, ty.End()))
+
+    def test_free_type_vars(self):
+        body = ty.Choose(ty.TyVar("X"), ty.OpApp("T", ty.TyVar("Y")))
+        assert ty.free_type_vars(body) == {"X", "Y"}
+
+    def test_is_closed(self):
+        assert ty.is_closed(self.fig5_latent())
+        assert not ty.is_closed(ty.TyVar("X"))
+
+    def test_choose_and_offer_freedom(self):
+        latent = self.fig5_latent()
+        assert ty.is_offer_free(latent)
+        assert not ty.is_choose_free(latent)
+        offered = ty.Offer(ty.End(), ty.End())
+        assert not ty.is_offer_free(offered)
+        assert ty.is_choose_free(offered)
+
+    def test_freedom_unfolds_operators(self):
+        table = ty.TypeTable()
+        table.define(ty.TypeDef("T", "X", ty.Choose(ty.TyVar("X"), ty.TyVar("X"))))
+        applied = ty.OpApp("T", ty.End())
+        assert not ty.is_choose_free(applied, table)
+        assert ty.is_offer_free(applied, table)
+
+    def test_typedef_instantiate(self):
+        typedef = ty.TypeDef("T", "X", ty.SendVal(ty.REAL, ty.TyVar("X")))
+        assert typedef.instantiate(ty.End()) == ty.SendVal(ty.REAL, ty.End())
+
+    def test_type_table_duplicate_definition_rejected(self):
+        table = ty.TypeTable()
+        table.define(ty.TypeDef("T", "X", ty.End()))
+        with pytest.raises(GuideTypeError):
+            table.define(ty.TypeDef("T", "X", ty.End()))
+
+    def test_type_table_unknown_operator(self):
+        with pytest.raises(GuideTypeError):
+            ty.TypeTable().lookup("Missing")
+
+    def test_unfold(self):
+        table = ty.TypeTable()
+        table.define(ty.TypeDef("T", "X", ty.SendVal(ty.BOOL, ty.TyVar("X"))))
+        assert table.unfold(ty.OpApp("T", ty.End())) == ty.SendVal(ty.BOOL, ty.End())
+        assert table.unfold(ty.End()) == ty.End()
+
+    def test_payload_types(self):
+        latent = self.fig5_latent()
+        assert ty.payload_types(latent) == {ty.PREAL, ty.UREAL}
+
+    def test_guide_type_depth(self):
+        assert ty.guide_type_depth(ty.End()) == 1
+        assert ty.guide_type_depth(self.fig5_latent()) == 4
+
+    def test_dual_description_swaps_directions(self):
+        description = ty.dual_description(self.fig5_latent())
+        assert description.startswith("receive preal")
+        assert "send selection" in description
+
+    def test_iter_guide_subtypes(self):
+        subtypes = list(ty.iter_guide_subtypes(self.fig5_latent()))
+        assert len(subtypes) == 5
