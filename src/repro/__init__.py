@@ -34,6 +34,7 @@ from repro.core.parser import parse_program
 from repro.core.typecheck import check_model_guide_pair, infer_guide_types
 from repro.core.semantics import evaluate_procedure, log_density
 from repro.core.coroutines import run_model_guide, run_prior
+from repro.engine import ProgramSession, smc, vectorized_importance
 
 __version__ = "1.0.0"
 
@@ -46,5 +47,8 @@ __all__ = [
     "log_density",
     "run_model_guide",
     "run_prior",
+    "ProgramSession",
+    "smc",
+    "vectorized_importance",
     "__version__",
 ]

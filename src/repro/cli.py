@@ -5,9 +5,12 @@ Usage (after ``python setup.py develop`` / ``pip install -e .``)::
     python -m repro.cli infer-types  MODEL.gt            # print inferred guide types
     python -m repro.cli check        MODEL.gt GUIDE.gt   # absolute-continuity certificate
     python -m repro.cli compile      MODEL.gt GUIDE.gt   # emit mini-Pyro Python code
-    python -m repro.cli run-is       MODEL.gt GUIDE.gt --obs 0.8 --samples 1000
+    python -m repro.cli run-is       MODEL.gt GUIDE.gt --obs 0.8 --particles 1000
+    python -m repro.cli run-smc      MODEL.gt GUIDE.gt --obs 0.8 --particles 1000
     python -m repro.cli benchmarks                       # list the bundled benchmarks
 
+``run-is`` executes on the vectorized particle engine by default; pass
+``--engine sequential`` for the original one-particle-at-a-time loop.
 Model/guide entry procedures default to the first procedure that consumes /
 provides the ``latent`` channel respectively; override with ``--model-entry``
 and ``--guide-entry``.
@@ -20,15 +23,12 @@ import sys
 from pathlib import Path
 from typing import Optional
 
-import numpy as np
-
 from repro.compiler import compile_pair
 from repro.core.ast import Program
 from repro.core.parser import parse_program
-from repro.core.semantics.traces import ValP
-from repro.core.typecheck import check_model_guide_pair, infer_guide_types
+from repro.core.typecheck import infer_guide_types
+from repro.engine import ProgramSession
 from repro.errors import ReproError
-from repro.inference import importance_sampling
 from repro.models import all_benchmarks
 from repro.utils.pretty import pretty_guide_type, pretty_type_table
 
@@ -38,18 +38,16 @@ def _load_program(path: str) -> Program:
     return parse_program(source)
 
 
-def _default_model_entry(program: Program, latent: str) -> str:
-    for proc in program.procedures:
-        if proc.consumes == latent:
-            return proc.name
-    return program.procedures[0].name
-
-
-def _default_guide_entry(program: Program, latent: str) -> str:
-    for proc in program.procedures:
-        if proc.provides == latent:
-            return proc.name
-    return program.procedures[0].name
+def _session_for(args: argparse.Namespace, typecheck: bool = True) -> ProgramSession:
+    """Build (or fetch from cache) the prepared session for a CLI request."""
+    return ProgramSession.from_sources(
+        Path(args.model).read_text(encoding="utf-8"),
+        Path(args.guide).read_text(encoding="utf-8"),
+        model_entry=args.model_entry,
+        guide_entry=args.guide_entry,
+        latent_channel=args.latent,
+        typecheck=typecheck,
+    )
 
 
 def cmd_infer_types(args: argparse.Namespace) -> int:
@@ -64,13 +62,8 @@ def cmd_infer_types(args: argparse.Namespace) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    model = _load_program(args.model)
-    guide = _load_program(args.guide)
-    model_entry = args.model_entry or _default_model_entry(model, args.latent)
-    guide_entry = args.guide_entry or _default_guide_entry(guide, args.latent)
-    result = check_model_guide_pair(
-        model, guide, model_entry, guide_entry, latent_channel=args.latent
-    )
+    session = _session_for(args)
+    result = session.check
     print(f"model latent protocol : {pretty_guide_type(result.latent_type_model)}")
     print(f"guide latent protocol : {pretty_guide_type(result.latent_type_guide)}")
     if result.compatible:
@@ -81,11 +74,13 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
-    model = _load_program(args.model)
-    guide = _load_program(args.guide)
-    model_entry = args.model_entry or _default_model_entry(model, args.latent)
-    guide_entry = args.guide_entry or _default_guide_entry(guide, args.latent)
-    source = compile_pair(model, guide, model_entry, guide_entry)
+    # Compilation never gated on the certificate before the session rework;
+    # keep it that way (the generated code carries its own runtime checks).
+    session = _session_for(args, typecheck=False)
+    source = compile_pair(
+        session.model_program, session.guide_program,
+        session.model_entry, session.guide_entry,
+    )
     if args.output:
         Path(args.output).write_text(source, encoding="utf-8")
         print(f"wrote {len(source.splitlines())} lines to {args.output}")
@@ -94,33 +89,76 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_run_is(args: argparse.Namespace) -> int:
-    model = _load_program(args.model)
-    guide = _load_program(args.guide)
-    model_entry = args.model_entry or _default_model_entry(model, args.latent)
-    guide_entry = args.guide_entry or _default_guide_entry(guide, args.latent)
+def _particle_count(args: argparse.Namespace) -> int:
+    if args.particles is not None:
+        return args.particles
+    return args.samples
 
-    pair = check_model_guide_pair(
-        model, guide, model_entry, guide_entry, latent_channel=args.latent
-    )
-    if not pair.compatible and not args.force:
-        print(f"refusing to run: {pair.reason}")
+
+def _refuse_uncertified(session: ProgramSession, args: argparse.Namespace) -> bool:
+    if not session.certified and not args.force:
+        print(f"refusing to run: {session.certification_reason}")
         print("(pass --force to run anyway)")
-        return 1
+        return True
+    return False
 
-    obs_trace = tuple(ValP(v) for v in args.obs) if args.obs else None
-    result = importance_sampling(
-        model, guide, model_entry, guide_entry,
-        obs_trace=obs_trace, num_samples=args.samples,
-        rng=np.random.default_rng(args.seed),
-    )
-    print(f"particles               : {result.num_samples}")
-    print(f"log evidence estimate   : {result.log_evidence():.4f}")
-    print(f"effective sample size   : {result.effective_sample_size():.1f}")
+
+def _print_engine_summary(result, num_particles: int) -> None:
+    print(f"particles               : {num_particles}")
+    log_evidence = result.log_evidence()
+    if log_evidence is not None:
+        print(f"log evidence estimate   : {log_evidence:.4f}")
+    ess = result.effective_sample_size()
+    if ess is not None:
+        print(f"effective sample size   : {ess:.1f}")
     try:
-        print(f"posterior mean (site 0) : {result.posterior_expectation_of_site(0):.4f}")
+        print(f"posterior mean (site 0) : {result.posterior_mean(0):.4f}")
     except ReproError:
         pass
+
+
+def cmd_run_is(args: argparse.Namespace) -> int:
+    session = _session_for(args)
+    if _refuse_uncertified(session, args):
+        return 1
+    engine = "is" if args.engine == "vectorized" else "is-sequential"
+    num_particles = _particle_count(args)
+    result = session.infer(
+        engine,
+        num_particles=num_particles,
+        obs_values=args.obs or None,  # empty --obs means prior predictive
+        seed=args.seed,
+    )
+    _print_engine_summary(result, num_particles)
+    diagnostics = result.diagnostics()
+    if "num_groups" in diagnostics:
+        print(f"control-flow groups     : {diagnostics['num_groups']}")
+    return 0
+
+
+def cmd_run_smc(args: argparse.Namespace) -> int:
+    session = _session_for(args)
+    if _refuse_uncertified(session, args):
+        return 1
+    if not args.obs:
+        print("error: run-smc requires at least one --obs value", file=sys.stderr)
+        return 2
+    num_particles = _particle_count(args)
+    result = session.infer(
+        "smc",
+        num_particles=num_particles,
+        obs_values=args.obs,
+        seed=args.seed,
+        ess_threshold=args.ess_threshold,
+        rejuvenate=not args.no_rejuvenation,
+    )
+    _print_engine_summary(result, num_particles)
+    diagnostics = result.diagnostics()
+    resampled = diagnostics["resample_steps"]
+    print(f"resampled at steps      : {resampled if resampled else 'never'}")
+    rates = diagnostics["rejuvenation_rates"]
+    if rates:
+        print(f"rejuvenation acceptance : {', '.join(f'{r:.2f}' for r in rates)}")
     return 0
 
 
@@ -161,15 +199,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("--output", "-o", default=None)
     p_compile.set_defaults(func=cmd_compile)
 
+    def add_inference_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--obs", type=float, nargs="*", default=None,
+                       help="observed values for the obs channel, in order")
+        p.add_argument("--particles", type=int, default=None,
+                       help="number of particles (preferred spelling)")
+        p.add_argument("--samples", type=int, default=1000,
+                       help="legacy alias for --particles")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--force", action="store_true",
+                       help="run even if the pair is not certified")
+
     p_is = sub.add_parser("run-is", help="run importance sampling on a pair")
     add_pair_arguments(p_is)
-    p_is.add_argument("--obs", type=float, nargs="*", default=None,
-                      help="observed values for the obs channel, in order")
-    p_is.add_argument("--samples", type=int, default=1000)
-    p_is.add_argument("--seed", type=int, default=0)
-    p_is.add_argument("--force", action="store_true",
-                      help="run even if the pair is not certified")
+    add_inference_arguments(p_is)
+    p_is.add_argument("--engine", choices=["vectorized", "sequential"],
+                      default="vectorized",
+                      help="particle runtime: lockstep arrays or the scalar loop")
     p_is.set_defaults(func=cmd_run_is)
+
+    p_smc = sub.add_parser("run-smc", help="run Sequential Monte Carlo on a pair")
+    add_pair_arguments(p_smc)
+    add_inference_arguments(p_smc)
+    p_smc.add_argument("--ess-threshold", type=float, default=0.5,
+                       help="resample when ESS falls below this fraction of n")
+    p_smc.add_argument("--no-rejuvenation", action="store_true",
+                       help="disable the post-resampling MH rejuvenation move")
+    p_smc.set_defaults(func=cmd_run_smc)
 
     p_bench = sub.add_parser("benchmarks", help="list the bundled benchmark programs")
     p_bench.set_defaults(func=cmd_benchmarks)

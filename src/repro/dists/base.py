@@ -45,6 +45,31 @@ class Distribution(abc.ABC):
     def params(self) -> tuple:
         """The distribution's parameters, used for equality and printing."""
 
+    # -- batched API -----------------------------------------------------------
+    #
+    # The vectorized particle engine (:mod:`repro.engine`) executes many
+    # particles in lockstep and resolves every sample site with one batched
+    # call instead of N scalar calls.  The defaults below fall back to the
+    # scalar methods so exotic distributions stay correct; the standard
+    # families override them with closed-form NumPy implementations.
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` i.i.d. values as an array (scalar-loop fallback)."""
+        return np.asarray([self.sample(rng) for _ in range(int(n))])
+
+    def log_prob_batch(self, values: Any) -> np.ndarray:
+        """Elementwise :meth:`log_prob` over a batch of values.
+
+        Agrees with the scalar method pointwise: ``log_prob_batch(xs)[i] ==
+        log_prob(xs[i])`` for every ``i``, including ``-inf`` outside the
+        support.
+        """
+        return np.asarray([self.log_prob(v) for v in _iter_batch(values)], dtype=float)
+
+    def in_support_batch(self, values: Any) -> np.ndarray:
+        """Elementwise :meth:`in_support` over a batch of values."""
+        return np.asarray([self.in_support(v) for v in _iter_batch(values)], dtype=bool)
+
     # -- derived API -----------------------------------------------------------
 
     def prob(self, value: Any) -> float:
@@ -69,6 +94,31 @@ class Distribution(abc.ABC):
     def __repr__(self) -> str:
         args = ", ".join(repr(p) for p in self.params)
         return f"{self.name}({args})"
+
+
+def _iter_batch(values: Any):
+    """Iterate a batch given as a list, tuple, or NumPy array."""
+    if isinstance(values, np.ndarray):
+        return iter(values)
+    return iter(list(values))
+
+
+def as_float_batch(values: Any) -> "np.ndarray | None":
+    """Coerce a batch to a float array, or ``None`` when that would lie.
+
+    Boolean and object arrays are refused (``True`` is not a real number in
+    the scalar support semantics), signalling callers to take the exact
+    scalar-loop fallback instead.
+    """
+    if not isinstance(values, np.ndarray) and any(
+        isinstance(v, (bool, np.bool_)) for v in values
+    ):
+        # np.asarray would silently coerce True -> 1.0 in a mixed list.
+        return None
+    arr = np.asarray(values)
+    if arr.dtype == object or arr.dtype.kind == "b":
+        return None
+    return arr.astype(float, copy=False)
 
 
 def require_positive(name: str, value: float) -> float:

@@ -10,10 +10,53 @@ from scipy import stats
 from repro.core import types as ty
 from repro.dists.base import (
     Distribution,
+    as_float_batch,
     is_real_number,
     require_positive,
     require_real,
 )
+
+LOG_2PI = math.log(2.0 * math.pi)
+
+
+# -- batched log-density kernels ------------------------------------------------
+#
+# One implementation per family, shared by the scalar-parameter batch methods
+# below and by the engine's per-particle-parameter BatchedDist: parameters may
+# be Python scalars or arrays broadcasting against the value batch.  Values
+# outside the support map to -inf, mirroring the scalar ``log_prob`` exactly.
+
+
+def normal_log_prob_kernel(mean, stddev, x: np.ndarray) -> np.ndarray:
+    ok = np.isfinite(x)
+    with np.errstate(over="ignore"):
+        z = (np.where(ok, x, 0.0) - mean) / stddev
+        lp = -0.5 * z * z - np.log(stddev) - 0.5 * LOG_2PI
+    return np.where(ok, lp, -np.inf)
+
+
+def gamma_log_prob_kernel(shape, rate, x: np.ndarray) -> np.ndarray:
+    from scipy.special import gammaln
+
+    ok = np.isfinite(x) & (x > 0.0)
+    v = np.where(ok, x, 1.0)
+    with np.errstate(over="ignore"):
+        lp = shape * np.log(rate) - gammaln(shape) + (shape - 1.0) * np.log(v) - rate * v
+    return np.where(ok, lp, -np.inf)
+
+
+def beta_log_prob_kernel(alpha, beta, x: np.ndarray) -> np.ndarray:
+    from scipy.special import gammaln
+
+    ok = (x > 0.0) & (x < 1.0)
+    v = np.where(ok, x, 0.5)
+    log_beta_fn = gammaln(alpha) + gammaln(beta) - gammaln(alpha + beta)
+    lp = (alpha - 1.0) * np.log(v) + (beta - 1.0) * np.log1p(-v) - log_beta_fn
+    return np.where(ok, lp, -np.inf)
+
+
+def uniform01_log_prob_kernel(x: np.ndarray) -> np.ndarray:
+    return np.where((x > 0.0) & (x < 1.0), 0.0, -np.inf)
 
 
 class Normal(Distribution):
@@ -47,6 +90,21 @@ class Normal(Distribution):
 
     def expected_value(self) -> float:
         return self.mean
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.normal(self.mean, self.stddev, size=int(n))
+
+    def log_prob_batch(self, values) -> np.ndarray:
+        arr = as_float_batch(values)
+        if arr is None:
+            return super().log_prob_batch(values)
+        return normal_log_prob_kernel(self.mean, self.stddev, arr)
+
+    def in_support_batch(self, values) -> np.ndarray:
+        arr = as_float_batch(values)
+        if arr is None:
+            return super().in_support_batch(values)
+        return np.isfinite(arr)
 
 
 class Gamma(Distribution):
@@ -92,6 +150,22 @@ class Gamma(Distribution):
     def expected_value(self) -> float:
         return self.shape / self.rate
 
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        values = rng.gamma(self.shape, 1.0 / self.rate, size=int(n))
+        return np.maximum(values, math.ulp(0.0))
+
+    def log_prob_batch(self, values) -> np.ndarray:
+        arr = as_float_batch(values)
+        if arr is None:
+            return super().log_prob_batch(values)
+        return gamma_log_prob_kernel(self.shape, self.rate, arr)
+
+    def in_support_batch(self, values) -> np.ndarray:
+        arr = as_float_batch(values)
+        if arr is None:
+            return super().in_support_batch(values)
+        return np.isfinite(arr) & (arr > 0.0)
+
 
 class Beta(Distribution):
     """Beta distribution ``Beta(alpha; beta)`` with support ℝ(0,1)."""
@@ -131,6 +205,22 @@ class Beta(Distribution):
     def expected_value(self) -> float:
         return self.alpha / (self.alpha + self.beta)
 
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        eps = 1e-12
+        return np.clip(rng.beta(self.alpha, self.beta, size=int(n)), eps, 1.0 - eps)
+
+    def log_prob_batch(self, values) -> np.ndarray:
+        arr = as_float_batch(values)
+        if arr is None:
+            return super().log_prob_batch(values)
+        return beta_log_prob_kernel(self.alpha, self.beta, arr)
+
+    def in_support_batch(self, values) -> np.ndarray:
+        arr = as_float_batch(values)
+        if arr is None:
+            return super().in_support_batch(values)
+        return (arr > 0.0) & (arr < 1.0)
+
 
 class Uniform01(Distribution):
     """The uniform distribution on the open unit interval (paper's ``Unif``)."""
@@ -161,6 +251,22 @@ class Uniform01(Distribution):
 
     def expected_value(self) -> float:
         return 0.5
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        eps = 1e-12
+        return np.clip(rng.random(int(n)), eps, 1.0 - eps)
+
+    def log_prob_batch(self, values) -> np.ndarray:
+        arr = as_float_batch(values)
+        if arr is None:
+            return super().log_prob_batch(values)
+        return uniform01_log_prob_kernel(arr)
+
+    def in_support_batch(self, values) -> np.ndarray:
+        arr = as_float_batch(values)
+        if arr is None:
+            return super().in_support_batch(values)
+        return (arr > 0.0) & (arr < 1.0)
 
 
 class TruncatedNormal(Distribution):
@@ -215,3 +321,24 @@ class TruncatedNormal(Distribution):
         return float(
             stats.truncnorm.mean(self._a, self._b, loc=self.mean, scale=self.stddev)
         )
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        u = rng.random(int(n))
+        return stats.truncnorm.ppf(u, self._a, self._b, loc=self.mean, scale=self.stddev)
+
+    def log_prob_batch(self, values) -> np.ndarray:
+        arr = as_float_batch(values)
+        if arr is None:
+            return super().log_prob_batch(values)
+        ok = (arr > self.low) & (arr < self.high)
+        lp = stats.truncnorm.logpdf(
+            np.where(ok, arr, 0.5 * (self.low + self.high)),
+            self._a, self._b, loc=self.mean, scale=self.stddev,
+        )
+        return np.where(ok, lp, -np.inf)
+
+    def in_support_batch(self, values) -> np.ndarray:
+        arr = as_float_batch(values)
+        if arr is None:
+            return super().in_support_batch(values)
+        return (arr > self.low) & (arr < self.high)

@@ -10,10 +10,45 @@ import numpy as np
 from repro.core import types as ty
 from repro.dists.base import (
     Distribution,
+    as_float_batch,
     is_integer_number,
     require_positive,
     require_unit_interval,
 )
+
+
+def _integral_batch(arr: np.ndarray) -> np.ndarray:
+    """Elementwise ``is_integer_number`` over a (non-boolean) float array."""
+    return np.isfinite(arr) & (np.floor(arr) == arr)
+
+
+# -- batched log-mass kernels --------------------------------------------------
+#
+# One implementation per family, shared by the scalar-parameter batch methods
+# below and by the engine's per-particle-parameter BatchedDist (parameters may
+# be scalars or arrays broadcasting against the value batch).
+
+
+def bernoulli_log_prob_kernel(p, values: np.ndarray) -> np.ndarray:
+    """``values`` must be a Boolean array (the caller screens dtypes)."""
+    return np.where(values, np.log(p), np.log1p(-p))
+
+
+def geometric_log_prob_kernel(p, x: np.ndarray) -> np.ndarray:
+    ok = _integral_batch(x) & (x >= 0)
+    k = np.where(ok, x, 0.0)
+    lp = k * np.log1p(-p) + np.log(p)
+    return np.where(ok, lp, -np.inf)
+
+
+def poisson_log_prob_kernel(rate, x: np.ndarray) -> np.ndarray:
+    from scipy.special import gammaln
+
+    ok = _integral_batch(x) & (x >= 0)
+    k = np.where(ok, x, 0.0)
+    with np.errstate(over="ignore"):
+        lp = k * np.log(rate) - rate - gammaln(k + 1.0)
+    return np.where(ok, lp, -np.inf)
 
 
 class Bernoulli(Distribution):
@@ -45,6 +80,21 @@ class Bernoulli(Distribution):
 
     def expected_value(self) -> float:
         return self.p
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.random(int(n)) < self.p
+
+    def log_prob_batch(self, values) -> np.ndarray:
+        arr = np.asarray(values)
+        if arr.dtype.kind != "b":
+            return super().log_prob_batch(values)
+        return bernoulli_log_prob_kernel(self.p, arr)
+
+    def in_support_batch(self, values) -> np.ndarray:
+        arr = np.asarray(values)
+        if arr.dtype.kind != "b":
+            return super().in_support_batch(values)
+        return np.ones(arr.shape, dtype=bool)
 
 
 class Categorical(Distribution):
@@ -85,6 +135,24 @@ class Categorical(Distribution):
     def expected_value(self) -> float:
         return sum(i * p for i, p in enumerate(self.probs))
 
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.choice(len(self.probs), size=int(n), p=self.probs)
+
+    def log_prob_batch(self, values) -> np.ndarray:
+        arr = as_float_batch(values)
+        if arr is None:
+            return super().log_prob_batch(values)
+        ok = _integral_batch(arr) & (arr >= 0) & (arr < len(self.weights))
+        idx = np.where(ok, arr, 0.0).astype(int)
+        lp = np.log(np.asarray(self.probs))[idx]
+        return np.where(ok, lp, -np.inf)
+
+    def in_support_batch(self, values) -> np.ndarray:
+        arr = as_float_batch(values)
+        if arr is None:
+            return super().in_support_batch(values)
+        return _integral_batch(arr) & (arr >= 0) & (arr < len(self.weights))
+
 
 class Geometric(Distribution):
     """Geometric distribution ``Geo(p)`` with support ℕ = {0, 1, 2, ...}.
@@ -122,6 +190,21 @@ class Geometric(Distribution):
     def expected_value(self) -> float:
         return (1.0 - self.p) / self.p
 
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.geometric(self.p, size=int(n)) - 1
+
+    def log_prob_batch(self, values) -> np.ndarray:
+        arr = as_float_batch(values)
+        if arr is None:
+            return super().log_prob_batch(values)
+        return geometric_log_prob_kernel(self.p, arr)
+
+    def in_support_batch(self, values) -> np.ndarray:
+        arr = as_float_batch(values)
+        if arr is None:
+            return super().in_support_batch(values)
+        return _integral_batch(arr) & (arr >= 0)
+
 
 class Poisson(Distribution):
     """Poisson distribution ``Pois(rate)`` with support ℕ."""
@@ -153,6 +236,21 @@ class Poisson(Distribution):
 
     def expected_value(self) -> float:
         return self.rate
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.poisson(self.rate, size=int(n))
+
+    def log_prob_batch(self, values) -> np.ndarray:
+        arr = as_float_batch(values)
+        if arr is None:
+            return super().log_prob_batch(values)
+        return poisson_log_prob_kernel(self.rate, arr)
+
+    def in_support_batch(self, values) -> np.ndarray:
+        arr = as_float_batch(values)
+        if arr is None:
+            return super().in_support_batch(values)
+        return _integral_batch(arr) & (arr >= 0)
 
 
 class Delta(Distribution):

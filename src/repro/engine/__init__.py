@@ -1,0 +1,59 @@
+"""Vectorized particle engine: lockstep multi-particle inference runtimes.
+
+The :mod:`repro.engine` subsystem executes N particles (or chains)
+simultaneously over NumPy arrays instead of N sequential interpreter runs:
+
+``batched``
+    Distributions over a particle axis — one family, per-particle parameters
+    — resolving a whole sample site with a single NumPy call.
+``vectorize``
+    The lockstep runtime: a vectorized expression evaluator, command
+    interpreter, and channel scheduler that run a model/guide pair over a
+    particle axis, splitting the particle set into control-flow groups when
+    branches diverge (so recursive models still execute exactly).
+``smc``
+    A Sequential Monte Carlo engine (systematic resampling, ESS-triggered
+    independence-MH rejuvenation) built on the vectorized runtime.
+``api``
+    The :class:`InferenceEngine` registry unifying vectorized importance
+    sampling, parallel MH chains, and SMC behind one request interface.
+``session``
+    :class:`ProgramSession` — parse, typecheck, and certify a model/guide
+    pair once, then serve repeated inference requests from a cache.
+"""
+
+from repro.engine.api import (
+    EngineResult,
+    InferenceEngine,
+    InferenceRequest,
+    available_engines,
+    get_engine,
+    register_engine,
+)
+from repro.engine.batched import BatchedDist
+from repro.engine.session import ProgramSession, clear_session_cache
+from repro.engine.smc import SMCResult, smc
+from repro.engine.vectorize import (
+    ParticleVectorizer,
+    VectorRunResult,
+    VectorizationUnsupported,
+    vectorized_importance,
+)
+
+__all__ = [
+    "BatchedDist",
+    "EngineResult",
+    "InferenceEngine",
+    "InferenceRequest",
+    "ParticleVectorizer",
+    "ProgramSession",
+    "SMCResult",
+    "VectorRunResult",
+    "VectorizationUnsupported",
+    "available_engines",
+    "clear_session_cache",
+    "get_engine",
+    "register_engine",
+    "smc",
+    "vectorized_importance",
+]

@@ -1,0 +1,330 @@
+"""The inference-engine registry: one request interface, many runtimes.
+
+An :class:`InferenceEngine` takes a prepared
+:class:`~repro.engine.session.ProgramSession` and an
+:class:`InferenceRequest` and returns an :class:`EngineResult` — a uniform
+facade over posterior means, evidence estimates, and effective sample sizes
+regardless of which algorithm produced them.  Engines self-register under a
+name so the CLI (and any serving layer built on sessions) can select them
+with a string:
+
+======================  =====================================================
+``is``                  importance sampling, all particles in lockstep
+``is-sequential``       the original one-particle-at-a-time loop
+``smc``                 Sequential Monte Carlo (systematic resampling +
+                        ESS-triggered rejuvenation)
+``mh``                  parallel Metropolis–Hastings chains (independence
+                        proposal from the guide) with split-chain pooling
+======================  =====================================================
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.semantics import traces as tr
+from repro.errors import InferenceError
+from repro.utils.rng import SeedLike, ensure_rng, fork_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.session import ProgramSession
+
+
+@dataclass
+class InferenceRequest:
+    """One inference request against a prepared model/guide session."""
+
+    num_particles: int = 1000
+    #: Observed values, wrapped as provider-sent messages in order; mutually
+    #: exclusive with ``obs_trace`` (which takes precedence when given).
+    obs_values: Optional[Sequence[object]] = None
+    obs_trace: Optional[Sequence[tr.Message]] = None
+    seed: SeedLike = None
+    model_args: Tuple[object, ...] = ()
+    guide_args: Tuple[object, ...] = ()
+    #: SMC-specific knobs.
+    ess_threshold: float = 0.5
+    rejuvenate: bool = True
+    #: MH-specific knobs.
+    num_chains: int = 4
+    burn_in: int = 100
+
+    def resolved_obs_trace(self) -> Optional[tr.Trace]:
+        if self.obs_trace is not None:
+            return tuple(self.obs_trace)
+        if self.obs_values is not None:
+            return tuple(tr.ValP(v) for v in self.obs_values)
+        return None
+
+
+class EngineResult(abc.ABC):
+    """Uniform summary facade over one engine's output.
+
+    ``raw`` is the engine-specific result object for callers that need the
+    full detail (per-particle weights, chains, traces, ...).
+    """
+
+    def __init__(self, raw: object):
+        self.raw = raw
+
+    @abc.abstractmethod
+    def posterior_mean(self, site_index: int) -> float:
+        """Posterior mean of the ``site_index``-th latent value."""
+
+    def log_evidence(self) -> Optional[float]:
+        return None
+
+    def effective_sample_size(self) -> Optional[float]:
+        return None
+
+    def diagnostics(self) -> Dict[str, object]:
+        return {}
+
+
+class InferenceEngine(abc.ABC):
+    """An inference algorithm exposed through the engine registry."""
+
+    name: str = "engine"
+    description: str = ""
+
+    @abc.abstractmethod
+    def run(self, session: "ProgramSession", request: InferenceRequest) -> EngineResult:
+        """Execute the request against the session's model/guide pair."""
+
+
+_REGISTRY: Dict[str, InferenceEngine] = {}
+
+
+def register_engine(engine: InferenceEngine) -> InferenceEngine:
+    """Register an engine instance under its ``name`` (latest wins)."""
+    _REGISTRY[engine.name] = engine
+    return engine
+
+
+def get_engine(name: str) -> InferenceEngine:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise InferenceError(f"unknown inference engine {name!r} (known: {known})")
+
+
+def available_engines() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Importance-sampling engines (vectorized and sequential)
+# ---------------------------------------------------------------------------
+
+
+class ImportanceEngineResult(EngineResult):
+    """Adapter over both importance-sampling result flavours."""
+
+    def posterior_mean(self, site_index: int) -> float:
+        return self.raw.posterior_expectation_of_site(site_index)
+
+    def log_evidence(self) -> Optional[float]:
+        return float(self.raw.log_evidence())
+
+    def effective_sample_size(self) -> Optional[float]:
+        return float(self.raw.effective_sample_size())
+
+    def diagnostics(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"num_samples": self.raw.num_samples}
+        run = getattr(self.raw, "run", None)
+        if run is not None:
+            out["num_groups"] = run.num_groups
+            out["vectorized"] = run.vectorized
+        return out
+
+
+class VectorizedImportanceEngine(InferenceEngine):
+    name = "is"
+    description = "importance sampling, all particles executed in lockstep"
+
+    def run(self, session: "ProgramSession", request: InferenceRequest) -> EngineResult:
+        from repro.engine.vectorize import vectorized_importance
+
+        result = vectorized_importance(
+            session.model_program,
+            session.guide_program,
+            session.model_entry,
+            session.guide_entry,
+            obs_trace=request.resolved_obs_trace(),
+            num_particles=request.num_particles,
+            rng=ensure_rng(request.seed),
+            model_args=request.model_args,
+            guide_args=request.guide_args,
+            latent_channel=session.latent_channel,
+            obs_channel=session.obs_channel,
+        )
+        return ImportanceEngineResult(result)
+
+
+class SequentialImportanceEngine(InferenceEngine):
+    name = "is-sequential"
+    description = "importance sampling, one particle at a time (reference path)"
+
+    def run(self, session: "ProgramSession", request: InferenceRequest) -> EngineResult:
+        from repro.inference.importance import importance_sampling
+
+        result = importance_sampling(
+            session.model_program,
+            session.guide_program,
+            session.model_entry,
+            session.guide_entry,
+            obs_trace=request.resolved_obs_trace(),
+            num_samples=request.num_particles,
+            rng=ensure_rng(request.seed),
+            model_args=request.model_args,
+            guide_args=request.guide_args,
+            latent_channel=session.latent_channel,
+            obs_channel=session.obs_channel,
+        )
+        return ImportanceEngineResult(result)
+
+
+# ---------------------------------------------------------------------------
+# Sequential Monte Carlo
+# ---------------------------------------------------------------------------
+
+
+class SMCEngineResult(EngineResult):
+    def posterior_mean(self, site_index: int) -> float:
+        return self.raw.posterior_mean(site_index)
+
+    def log_evidence(self) -> Optional[float]:
+        return float(self.raw.log_evidence())
+
+    def effective_sample_size(self) -> Optional[float]:
+        return float(self.raw.effective_sample_size())
+
+    def diagnostics(self) -> Dict[str, object]:
+        return {
+            "ess_history": list(self.raw.ess_history),
+            "resample_steps": list(self.raw.resample_steps),
+            "rejuvenation_rates": list(self.raw.rejuvenation_rates),
+        }
+
+
+class SMCEngine(InferenceEngine):
+    name = "smc"
+    description = "Sequential Monte Carlo: systematic resampling + rejuvenation"
+
+    def run(self, session: "ProgramSession", request: InferenceRequest) -> EngineResult:
+        from repro.engine.smc import smc
+
+        result = smc(
+            session.model_program,
+            session.guide_program,
+            session.model_entry,
+            session.guide_entry,
+            obs_trace=request.resolved_obs_trace(),
+            num_particles=request.num_particles,
+            rng=ensure_rng(request.seed),
+            ess_threshold=request.ess_threshold,
+            rejuvenate=request.rejuvenate,
+            model_args=request.model_args,
+            guide_args=request.guide_args,
+            latent_channel=session.latent_channel,
+            obs_channel=session.obs_channel,
+        )
+        return SMCEngineResult(result)
+
+
+# ---------------------------------------------------------------------------
+# Parallel Metropolis–Hastings chains
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ParallelMHSummary:
+    """Pooled summary over independent MH chains."""
+
+    chains: List[object] = field(default_factory=list)
+
+    @property
+    def num_chains(self) -> int:
+        return len(self.chains)
+
+    def acceptance_rates(self) -> List[float]:
+        return [chain.acceptance_rate for chain in self.chains]
+
+    def pooled_site_values(self, site_index: int) -> np.ndarray:
+        values: List[float] = []
+        for chain in self.chains:
+            values.extend(chain.site_values(site_index))
+        if not values:
+            raise InferenceError(f"no chain state has a latent value at index {site_index}")
+        return np.asarray(values)
+
+    def gelman_rubin(self, site_index: int) -> float:
+        """Split-free R̂ across chains (between/within variance ratio)."""
+        per_chain = [np.asarray(chain.site_values(site_index)) for chain in self.chains]
+        per_chain = [c for c in per_chain if len(c) >= 2]
+        if len(per_chain) < 2:
+            return float("nan")
+        length = min(len(c) for c in per_chain)
+        matrix = np.stack([c[:length] for c in per_chain])
+        within = float(np.mean(np.var(matrix, axis=1, ddof=1)))
+        between = float(length * np.var(np.mean(matrix, axis=1), ddof=1))
+        if within == 0.0:
+            return float("nan")
+        variance = (length - 1) / length * within + between / length
+        return float(np.sqrt(variance / within))
+
+
+class ParallelMHEngineResult(EngineResult):
+    def posterior_mean(self, site_index: int) -> float:
+        return float(np.mean(self.raw.pooled_site_values(site_index)))
+
+    def diagnostics(self) -> Dict[str, object]:
+        return {
+            "num_chains": self.raw.num_chains,
+            "acceptance_rates": self.raw.acceptance_rates(),
+            "gelman_rubin_site0": self.raw.gelman_rubin(0),
+        }
+
+
+class ParallelMHEngine(InferenceEngine):
+    name = "mh"
+    description = "independent Metropolis–Hastings chains with pooled estimates"
+
+    def run(self, session: "ProgramSession", request: InferenceRequest) -> EngineResult:
+        from repro.inference.mcmc import independence_proposal, metropolis_hastings
+
+        if request.num_chains <= 0:
+            raise InferenceError("num_chains must be positive")
+        samples_per_chain = max(1, request.num_particles // request.num_chains)
+        rngs = fork_rng(ensure_rng(request.seed), request.num_chains)
+        proposal_args = independence_proposal(request.guide_args)
+        summary = ParallelMHSummary()
+        for chain_rng in rngs:
+            summary.chains.append(
+                metropolis_hastings(
+                    session.model_program,
+                    session.guide_program,
+                    session.model_entry,
+                    session.guide_entry,
+                    obs_trace=request.resolved_obs_trace(),
+                    num_samples=samples_per_chain,
+                    rng=chain_rng,
+                    proposal_args=proposal_args,
+                    model_args=request.model_args,
+                    burn_in=request.burn_in,
+                    latent_channel=session.latent_channel,
+                    obs_channel=session.obs_channel,
+                )
+            )
+        return ParallelMHEngineResult(summary)
+
+
+register_engine(VectorizedImportanceEngine())
+register_engine(SequentialImportanceEngine())
+register_engine(SMCEngine())
+register_engine(ParallelMHEngine())

@@ -1,0 +1,1197 @@
+"""Lockstep vectorized execution of model/guide pairs over a particle axis.
+
+The sequential scheduler (:mod:`repro.core.coroutines.runner`) runs one
+particle at a time: every sample site costs a scalar RNG call, a scalar
+density evaluation, and a full pass through the Python interpreter.  This
+module runs N particles *simultaneously*: environments map variables to
+``(n,)`` NumPy arrays, sample sites resolve with one batched draw/score
+call (:class:`~repro.engine.batched.BatchedDist`), and the coroutine
+scheduler advances one generator pair per *control-flow group* instead of
+one pair per particle.
+
+Control-flow divergence
+-----------------------
+
+Particles share a generator only while they take the same branches.  When a
+branch predicate evaluates to a mixed Boolean array (some particles true,
+some false), the group cannot continue in lockstep: the run aborts with an
+internal split signal, the particle set is partitioned by the predicate, and
+each subgroup re-executes from the start *replaying* every value that was
+already resolved for it (sliced from the aborted group's recorded columns).
+No value is ever redrawn, so the sampling distribution is exactly that of
+the sequential interpreter — splitting only partitions execution.  Recursive
+models (e.g. the Fig. 6 PCFG) therefore still run correctly; they simply
+degrade towards per-particle groups as paths diverge.
+
+Programs that use features outside the vectorized expression language
+(closures applied to arrays, tuple-valued branches, ...) raise
+:class:`VectorizationUnsupported`; :class:`ParticleVectorizer` then discards
+the attempt wholesale and re-runs *every* particle through the sequential
+scheduler.  Discarding all particles keeps the fallback unbiased — dropping
+only the particles that hit the unsupported path would condition the kept
+ones on not having hit it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from collections import deque
+
+from repro.core import ast
+from repro.core.coroutines.runner import (
+    ChannelSpec,
+    CoroutineSpec,
+    DEFAULT_MAX_OPS,
+    run_model_guide,
+)
+from repro.core.semantics import traces as tr
+from repro.dists.base import Distribution
+from repro.engine.batched import BatchedDist
+from repro.errors import ChannelProtocolError, EvaluationError, InferenceError
+from repro.utils.numerics import (
+    effective_sample_size,
+    log_mean_exp,
+    normalize_log_weights,
+    weighted_mean,
+)
+from repro.utils.recursion import deep_recursion
+from repro.utils.rng import ensure_rng
+
+
+class VectorizationUnsupported(Exception):
+    """The program uses a feature outside the vectorized evaluator.
+
+    Internal control-flow signal: :class:`ParticleVectorizer` catches it and
+    falls back to the sequential scheduler for the whole batch.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Vectorized expression evaluation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VecClosure:
+    """A closure whose captured environment may hold particle-axis arrays."""
+
+    env: Dict[str, object]
+    param: str
+    body: ast.Expr
+
+
+def _is_array(value: object) -> bool:
+    return isinstance(value, np.ndarray)
+
+
+def _as_bool_vec(value: object, what: str) -> object:
+    if isinstance(value, bool):
+        return value
+    if _is_array(value) and value.dtype.kind == "b":
+        return value
+    raise EvaluationError(f"{what}: expected a Boolean, got {value!r}")
+
+
+_ARITH = {
+    ast.BinOp.ADD: lambda a, b: a + b,
+    ast.BinOp.SUB: lambda a, b: a - b,
+    ast.BinOp.MUL: lambda a, b: a * b,
+}
+
+_CMP = {
+    ast.BinOp.LT: lambda a, b: a < b,
+    ast.BinOp.LE: lambda a, b: a <= b,
+    ast.BinOp.GT: lambda a, b: a > b,
+    ast.BinOp.GE: lambda a, b: a >= b,
+}
+
+
+def eval_expr_vec(env: Dict[str, object], expr: ast.Expr, n: int) -> object:
+    """Evaluate a pure expression where values may be ``(n,)`` arrays.
+
+    Scalars mean "the same value for every particle".  Divergences from the
+    scalar evaluator: both branches of an ``if`` with an array condition are
+    evaluated strictly (merged with ``np.where``), and partial arithmetic
+    errors in unselected lanes (division by zero, log of a non-positive
+    number) yield ``inf``/``nan`` lanes instead of raising.
+    """
+    if isinstance(expr, ast.Var):
+        if expr.name not in env:
+            raise EvaluationError(f"unbound variable {expr.name!r}")
+        return env[expr.name]
+
+    if isinstance(expr, ast.Triv):
+        return None
+    if isinstance(expr, ast.BoolLit):
+        return expr.value
+    if isinstance(expr, ast.RealLit):
+        return float(expr.value)
+    if isinstance(expr, ast.NatLit):
+        return int(expr.value)
+
+    if isinstance(expr, ast.IfExpr):
+        cond = _as_bool_vec(eval_expr_vec(env, expr.cond, n), "if-condition")
+        if isinstance(cond, bool):
+            return eval_expr_vec(env, expr.then if cond else expr.orelse, n)
+        then_value = eval_expr_vec(env, expr.then, n)
+        else_value = eval_expr_vec(env, expr.orelse, n)
+        for value in (then_value, else_value):
+            if not (_is_array(value) or isinstance(value, (int, float, bool))):
+                raise VectorizationUnsupported(
+                    f"if-expression over a particle axis with non-scalar arm {value!r}"
+                )
+        return np.where(cond, then_value, else_value)
+
+    if isinstance(expr, ast.PrimOp):
+        return _eval_primop_vec(env, expr, n)
+
+    if isinstance(expr, ast.PrimUnOp):
+        return _eval_primunop_vec(env, expr, n)
+
+    if isinstance(expr, ast.Lam):
+        return VecClosure(dict(env), expr.param, expr.body)
+
+    if isinstance(expr, ast.App):
+        func = eval_expr_vec(env, expr.func, n)
+        arg = eval_expr_vec(env, expr.arg, n)
+        if not isinstance(func, VecClosure):
+            raise EvaluationError(f"applying a non-function value {func!r}")
+        call_env = dict(func.env)
+        call_env[func.param] = arg
+        return eval_expr_vec(call_env, func.body, n)
+
+    if isinstance(expr, ast.Let):
+        bound = eval_expr_vec(env, expr.bound, n)
+        inner = dict(env)
+        inner[expr.var] = bound
+        return eval_expr_vec(inner, expr.body, n)
+
+    if isinstance(expr, ast.Tuple_):
+        return tuple(eval_expr_vec(env, item, n) for item in expr.items)
+
+    if isinstance(expr, ast.Proj):
+        value = eval_expr_vec(env, expr.tuple_expr, n)
+        if not isinstance(value, tuple) or not 0 <= expr.index < len(value):
+            raise EvaluationError(f"invalid projection .{expr.index} from {value!r}")
+        return value[expr.index]
+
+    if isinstance(expr, ast.DistExpr):
+        args = [eval_expr_vec(env, a, n) for a in expr.args]
+        for a in args:
+            if not (_is_array(a) or isinstance(a, (int, float))) or isinstance(a, bool):
+                raise EvaluationError(
+                    f"{expr.kind.value} parameter: expected a number, got {a!r}"
+                )
+        return BatchedDist(expr.kind, args, n)
+
+    raise EvaluationError(f"unknown expression node {expr!r}")
+
+
+def _eval_primop_vec(env: Dict[str, object], expr: ast.PrimOp, n: int) -> object:
+    op = expr.op
+    if op in (ast.BinOp.AND, ast.BinOp.OR):
+        left = _as_bool_vec(eval_expr_vec(env, expr.left, n), f"left operand of {op.value}")
+        if isinstance(left, bool):
+            # Preserve scalar short-circuiting.
+            if op is ast.BinOp.AND and not left:
+                return False
+            if op is ast.BinOp.OR and left:
+                return True
+            return _as_bool_vec(
+                eval_expr_vec(env, expr.right, n), f"right operand of {op.value}"
+            )
+        right = _as_bool_vec(eval_expr_vec(env, expr.right, n), f"right operand of {op.value}")
+        combine = np.logical_and if op is ast.BinOp.AND else np.logical_or
+        return combine(left, right)
+
+    left = eval_expr_vec(env, expr.left, n)
+    right = eval_expr_vec(env, expr.right, n)
+
+    if op in (ast.BinOp.EQ, ast.BinOp.NE):
+        if _is_array(left) or _is_array(right):
+            return np.equal(left, right) if op is ast.BinOp.EQ else np.not_equal(left, right)
+        equal = left == right
+        return equal if op is ast.BinOp.EQ else not equal
+
+    if op in _CMP:
+        return _CMP[op](left, right)
+
+    if op in _ARITH:
+        return _ARITH[op](left, right)
+
+    if op is ast.BinOp.DIV:
+        if not _is_array(left) and not _is_array(right):
+            if right == 0.0:
+                raise EvaluationError("division by zero")
+            return left / right
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.asarray(left, dtype=float) / np.asarray(right, dtype=float)
+
+    raise EvaluationError(f"unknown binary operator {op!r}")
+
+
+def _eval_primunop_vec(env: Dict[str, object], expr: ast.PrimUnOp, n: int) -> object:
+    op = expr.op
+    operand = eval_expr_vec(env, expr.operand, n)
+    if op is ast.UnOp.NOT:
+        value = _as_bool_vec(operand, "operand of !")
+        return (not value) if isinstance(value, bool) else np.logical_not(value)
+    if op is ast.UnOp.NEG:
+        return -operand
+    if not _is_array(operand):
+        number = float(operand)
+        if op is ast.UnOp.EXP:
+            return math.exp(number)
+        if op is ast.UnOp.LOG:
+            if number <= 0.0:
+                raise EvaluationError(f"log of a non-positive number {number}")
+            return math.log(number)
+        if op is ast.UnOp.SQRT:
+            if number < 0.0:
+                raise EvaluationError(f"sqrt of a negative number {number}")
+            return math.sqrt(number)
+    else:
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            if op is ast.UnOp.EXP:
+                return np.exp(operand)
+            if op is ast.UnOp.LOG:
+                return np.log(operand)
+            if op is ast.UnOp.SQRT:
+                return np.sqrt(operand)
+    raise EvaluationError(f"unknown unary operator {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Vectorized channel operations and command interpretation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VOp:
+    channel: str
+
+
+@dataclass
+class VOpSendSample(VOp):
+    dist: BatchedDist
+
+
+@dataclass
+class VOpRecvSample(VOp):
+    dist: BatchedDist
+
+
+@dataclass
+class VOpSendBranch(VOp):
+    pred: object  # bool, or (n,) Boolean array
+
+
+@dataclass
+class VOpRecvBranch(VOp):
+    pass
+
+
+@dataclass
+class VOpFold(VOp):
+    pass
+
+
+@dataclass
+class VOpObserve(VOp):
+    dist: BatchedDist
+    values: object
+
+
+@dataclass
+class VOpPureBranch(VOp):
+    """A non-communicating conditional whose predicate spans the particle axis."""
+
+    pred: object
+
+
+def _eval_dist_vec(env: Dict[str, object], expr: ast.Expr, n: int) -> BatchedDist:
+    value = eval_expr_vec(env, expr, n)
+    if isinstance(value, BatchedDist):
+        return value
+    if isinstance(value, Distribution):
+        return BatchedDist.from_scalar(value, n)
+    raise EvaluationError(f"sample command expects a distribution, got {value!r}")
+
+
+def interpret_command_vec(program: ast.Program, cmd: ast.Command, env: Dict[str, object], n: int):
+    """Interpret ``cmd`` as a coroutine over a particle axis of size ``n``."""
+    if isinstance(cmd, ast.Ret):
+        return eval_expr_vec(env, cmd.expr, n)
+
+    if isinstance(cmd, ast.Bnd):
+        first = yield from interpret_command_vec(program, cmd.first, env, n)
+        inner = dict(env)
+        inner[cmd.var] = first
+        result = yield from interpret_command_vec(program, cmd.second, inner, n)
+        return result
+
+    if isinstance(cmd, ast.SampleRecv):
+        dist = _eval_dist_vec(env, cmd.dist, n)
+        value = yield VOpRecvSample(cmd.channel, dist)
+        return value
+
+    if isinstance(cmd, ast.SampleSend):
+        dist = _eval_dist_vec(env, cmd.dist, n)
+        value = yield VOpSendSample(cmd.channel, dist)
+        return value
+
+    if isinstance(cmd, ast.CondSend):
+        predicate = _as_bool_vec(eval_expr_vec(env, cmd.cond, n), "branch predicate")
+        selection = yield VOpSendBranch(cmd.channel, predicate)
+        branch = cmd.then if selection else cmd.orelse
+        result = yield from interpret_command_vec(program, branch, env, n)
+        return result
+
+    if isinstance(cmd, ast.CondRecv):
+        selection = yield VOpRecvBranch(cmd.channel)
+        branch = cmd.then if selection else cmd.orelse
+        result = yield from interpret_command_vec(program, branch, env, n)
+        return result
+
+    if isinstance(cmd, ast.CondPure):
+        predicate = _as_bool_vec(eval_expr_vec(env, cmd.cond, n), "branch predicate")
+        if not isinstance(predicate, bool):
+            predicate = yield VOpPureBranch("", predicate)
+        branch = cmd.then if predicate else cmd.orelse
+        result = yield from interpret_command_vec(program, branch, env, n)
+        return result
+
+    if isinstance(cmd, ast.Call):
+        try:
+            callee = program.procedure(cmd.proc)
+        except KeyError as exc:
+            raise EvaluationError(f"call to unknown procedure {cmd.proc!r}") from exc
+        argument = eval_expr_vec(env, cmd.arg, n)
+        call_env = _bind_arguments_vec(callee, argument)
+        for channel in (callee.consumes, callee.provides):
+            if channel is not None:
+                yield VOpFold(channel)
+        result = yield from interpret_command_vec(program, callee.body, call_env, n)
+        return result
+
+    if isinstance(cmd, ast.Observe):
+        dist = _eval_dist_vec(env, cmd.dist, n)
+        value = eval_expr_vec(env, cmd.value, n)
+        yield VOpObserve("", dist, value)
+        return None
+
+    raise EvaluationError(f"unknown command node {cmd!r}")
+
+
+def interpret_procedure_vec(program: ast.Program, entry: str, args: Sequence[object], n: int):
+    procedure = program.procedure(entry)
+    if len(args) != len(procedure.params):
+        raise EvaluationError(
+            f"{entry} expects {len(procedure.params)} arguments, got {len(args)}"
+        )
+    env = dict(zip(procedure.params, args))
+    return interpret_command_vec(program, procedure.body, env, n)
+
+
+def _bind_arguments_vec(procedure: ast.Procedure, argument: object) -> Dict[str, object]:
+    params = procedure.params
+    if len(params) == 0:
+        return {}
+    if len(params) == 1:
+        return {params[0]: argument}
+    if not isinstance(argument, tuple) or len(argument) != len(params):
+        raise EvaluationError(
+            f"{procedure.name} expects {len(params)} arguments, got {argument!r}"
+        )
+    return dict(zip(params, argument))
+
+
+# ---------------------------------------------------------------------------
+# The vectorized scheduler
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VecMessage:
+    """One resolved protocol message for a particle group.
+
+    ``payload`` is a ``(group,)`` array for sample values that differ per
+    particle, or a plain scalar when every particle shares the value (branch
+    selections are always uniform within a group by construction).
+    """
+
+    kind: str  # 'val' | 'dir' | 'fold'
+    provider: bool  # sent by the channel's provider?
+    payload: object = None
+
+    def sliced(self, mask: np.ndarray) -> "VecMessage":
+        payload = self.payload[mask] if isinstance(self.payload, np.ndarray) else self.payload
+        return VecMessage(self.kind, self.provider, payload)
+
+
+class _SplitRequired(Exception):
+    """A branch predicate diverged: the group must be partitioned."""
+
+    def __init__(self, mask: np.ndarray, channel: Optional[str], provider: Optional[bool]):
+        super().__init__("particle group diverged at a branch")
+        self.mask = np.asarray(mask, dtype=bool)
+        self.channel = channel
+        self.provider = provider
+
+
+@dataclass
+class _VecTask:
+    name: str
+    generator: object
+    log_weight: np.ndarray
+    obs_scores: List[object] = field(default_factory=list)
+    finished: bool = False
+    value: object = None
+    started: bool = False
+    pending_op: Optional[VOp] = None
+    pending_send: object = None
+
+
+@dataclass
+class _VecChannelState:
+    spec: ChannelSpec
+    log: List[VecMessage]
+    to_consumer: Deque[Tuple[str, object]] = field(default_factory=deque)
+    to_provider: Deque[Tuple[str, object]] = field(default_factory=deque)
+    recorded: List[VecMessage] = field(default_factory=list)
+    replay_cursor: Optional[tr.TraceCursor] = None
+    log_pos: int = 0
+    fold_waiting: Optional[str] = None
+    fold_passes: set = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.spec.replay is not None:
+            self.replay_cursor = tr.TraceCursor(self.spec.replay)
+
+    def outgoing(self, sender_is_provider: bool) -> Deque[Tuple[str, object]]:
+        return self.to_consumer if sender_is_provider else self.to_provider
+
+    def incoming(self, receiver_is_provider: bool) -> Deque[Tuple[str, object]]:
+        return self.to_provider if receiver_is_provider else self.to_consumer
+
+
+@dataclass
+class _GroupResult:
+    log_weights: Dict[str, np.ndarray]
+    values: Dict[str, object]
+    recorded: Dict[str, List[VecMessage]]
+    obs_scores: Dict[str, List[object]]
+
+
+class _VecScheduler:
+    """Round-robin scheduler over one particle group's coroutine pair.
+
+    Mirrors :class:`repro.core.coroutines.runner._Scheduler` operation by
+    operation; the differences are that values and weights are ``(n,)``
+    arrays, and that resolved messages are recorded as columns so that a
+    split can replay them for each subgroup.
+    """
+
+    def __init__(
+        self,
+        coroutines: Sequence[CoroutineSpec],
+        channels: Sequence[ChannelSpec],
+        rng: np.random.Generator,
+        n: int,
+        logs: Optional[Dict[str, List[VecMessage]]] = None,
+        max_ops: int = DEFAULT_MAX_OPS,
+    ):
+        self.rng = rng
+        self.n = n
+        self.max_ops = max_ops
+        self.ops_handled = 0
+        self.tasks: Dict[str, _VecTask] = {}
+        for spec in coroutines:
+            generator = interpret_procedure_vec(spec.program, spec.entry, spec.args, n)
+            self.tasks[spec.name] = _VecTask(
+                name=spec.name, generator=generator, log_weight=np.zeros(n)
+            )
+        logs = logs or {}
+        self.channels: Dict[str, _VecChannelState] = {
+            spec.name: _VecChannelState(spec, log=logs.get(spec.name, []))
+            for spec in channels
+        }
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _channel(self, name: str) -> _VecChannelState:
+        if name not in self.channels:
+            raise ChannelProtocolError(
+                f"coroutine communicates on undeclared channel {name!r}"
+            )
+        return self.channels[name]
+
+    def _is_provider(self, task: _VecTask, channel: _VecChannelState) -> bool:
+        return channel.spec.provider == task.name
+
+    def _partner_is_live(self, task: _VecTask, channel: _VecChannelState) -> bool:
+        partner = (
+            channel.spec.consumer
+            if self._is_provider(task, channel)
+            else channel.spec.provider
+        )
+        return partner is not None and partner in self.tasks
+
+    def _resolve(
+        self,
+        channel: _VecChannelState,
+        kind: str,
+        provider_sent: bool,
+        fresh: Callable[[], object],
+    ) -> object:
+        """Resolve and record the next protocol message on ``channel``.
+
+        Channels bound to an external replay trace always resolve from that
+        trace (it is deterministic); all other channels consume the group
+        replay log when one is present, so a subgroup re-execution reuses
+        exactly the values its particles already drew.
+        """
+        if channel.replay_cursor is None and channel.log_pos < len(channel.log):
+            entry = channel.log[channel.log_pos]
+            channel.log_pos += 1
+            if entry.kind != kind:
+                raise ChannelProtocolError(
+                    f"group replay on {channel.spec.name!r}: expected a {kind} "
+                    f"message, found a {entry.kind} message"
+                )
+            payload = entry.payload
+        else:
+            payload = fresh()
+        channel.recorded.append(VecMessage(kind, provider_sent, payload))
+        return payload
+
+    def _replay_value(self, channel: _VecChannelState, what: str) -> object:
+        assert channel.replay_cursor is not None
+        message = channel.replay_cursor.take(tr.Message, what)
+        if not isinstance(message, (tr.ValP, tr.ValC)):
+            raise ChannelProtocolError(
+                f"{what}: replay trace provides {message}, expected a sample value"
+            )
+        return message.value
+
+    def _replay_branch(self, channel: _VecChannelState, what: str) -> bool:
+        assert channel.replay_cursor is not None
+        message = channel.replay_cursor.take(tr.Message, what)
+        if not isinstance(message, (tr.DirP, tr.DirC)):
+            raise ChannelProtocolError(
+                f"{what}: replay trace provides {message}, expected a branch selection"
+            )
+        return bool(message.value)
+
+    def _uniform_selection(self, pred: object, channel: str, provider: bool) -> bool:
+        if isinstance(pred, bool):
+            return pred
+        pred = np.asarray(pred, dtype=bool)
+        if pred.all():
+            return True
+        if not pred.any():
+            return False
+        raise _SplitRequired(pred, channel, provider)
+
+    # -- op handlers -----------------------------------------------------------
+
+    def _handle(self, task: _VecTask, op: VOp) -> Tuple[bool, object]:
+        self.ops_handled += 1
+        if self.ops_handled > self.max_ops:
+            raise ChannelProtocolError(
+                f"joint execution exceeded the operation budget ({self.max_ops}); "
+                "the model/guide recursion appears not to terminate"
+            )
+
+        if isinstance(op, VOpObserve):
+            scores = op.dist.log_prob(_broadcast_values(op.values, self.n))
+            task.log_weight = task.log_weight + scores
+            task.obs_scores.append(scores)
+            return True, None
+
+        if isinstance(op, VOpPureBranch):
+            return True, self._uniform_selection(op.pred, None, None)
+
+        channel = self._channel(op.channel)
+        provider = self._is_provider(task, channel)
+
+        if isinstance(op, VOpSendSample):
+            def fresh():
+                if channel.replay_cursor is not None:
+                    return self._replay_value(channel, f"send on {op.channel}")
+                return op.dist.sample(self.rng)
+
+            value = self._resolve(channel, "val", provider, fresh)
+            scores = op.dist.log_prob(_broadcast_values(value, self.n))
+            task.log_weight = task.log_weight + scores
+            if not self._partner_is_live(task, channel):
+                task.obs_scores.append(scores)
+            else:
+                channel.outgoing(provider).append(("val", value))
+            return True, value
+
+        if isinstance(op, VOpRecvSample):
+            if self._partner_is_live(task, channel):
+                incoming = channel.incoming(provider)
+                if not incoming:
+                    return False, None
+                kind, value = incoming.popleft()
+                if kind != "val":
+                    raise ChannelProtocolError(
+                        f"receive on {op.channel}: expected a sample value, got a {kind} message"
+                    )
+            else:
+                def fresh():
+                    if channel.replay_cursor is not None:
+                        return self._replay_value(channel, f"receive on {op.channel}")
+                    # Generate mode: prior simulation from the receiver's dist.
+                    return op.dist.sample(self.rng)
+
+                value = self._resolve(channel, "val", not provider, fresh)
+            task.log_weight = task.log_weight + op.dist.log_prob(
+                _broadcast_values(value, self.n)
+            )
+            return True, value
+
+        if isinstance(op, VOpSendBranch):
+            def fresh():
+                if channel.replay_cursor is not None:
+                    return self._replay_branch(channel, f"branch on {op.channel}")
+                return self._uniform_selection(op.pred, op.channel, provider)
+
+            selection = self._resolve(channel, "dir", provider, fresh)
+            mismatch = np.not_equal(op.pred, selection)
+            if np.any(mismatch):
+                task.log_weight = np.where(mismatch, -np.inf, task.log_weight)
+            if self._partner_is_live(task, channel):
+                channel.outgoing(provider).append(("dir", selection))
+            return True, selection
+
+        if isinstance(op, VOpRecvBranch):
+            if self._partner_is_live(task, channel):
+                incoming = channel.incoming(provider)
+                if not incoming:
+                    return False, None
+                kind, selection = incoming.popleft()
+                if kind != "dir":
+                    raise ChannelProtocolError(
+                        f"receive on {op.channel}: expected a branch selection, got a {kind} message"
+                    )
+            else:
+                def fresh():
+                    if channel.replay_cursor is None:
+                        raise ChannelProtocolError(
+                            f"receive of a branch selection on {op.channel!r} with no "
+                            "partner and no replay trace"
+                        )
+                    return self._replay_branch(channel, f"branch on {op.channel}")
+
+                selection = self._resolve(channel, "dir", not provider, fresh)
+            return True, selection
+
+        if isinstance(op, VOpFold):
+            if not self._partner_is_live(task, channel):
+                if channel.replay_cursor is not None:
+                    channel.replay_cursor.take(tr.Fold, f"call marker on {op.channel}")
+                    if provider:
+                        channel.recorded.append(VecMessage("fold", True))
+                elif provider:
+                    self._resolve(channel, "fold", True, lambda: None)
+                return True, None
+            if task.name in channel.fold_passes:
+                channel.fold_passes.discard(task.name)
+                return True, None
+            if channel.fold_waiting is None:
+                channel.fold_waiting = task.name
+                return False, None
+            if channel.fold_waiting == task.name:
+                return False, None
+            other = channel.fold_waiting
+            channel.fold_waiting = None
+            channel.fold_passes.add(other)
+            self._resolve(channel, "fold", True, lambda: None)
+            return True, None
+
+        raise ChannelProtocolError(f"unknown channel operation {op!r}")
+
+    # -- the scheduling loop ---------------------------------------------------
+
+    def _step(self, task: _VecTask) -> bool:
+        progressed = False
+        while not task.finished:
+            try:
+                if not task.started:
+                    task.started = True
+                    op = next(task.generator)
+                elif task.pending_op is not None:
+                    op = task.pending_op
+                    task.pending_op = None
+                else:
+                    op = task.generator.send(task.pending_send)
+                    task.pending_send = None
+            except StopIteration as stop:
+                task.finished = True
+                task.value = stop.value
+                return True
+
+            ready, value = self._handle(task, op)
+            if not ready:
+                task.pending_op = op
+                return progressed
+            task.pending_send = value
+            progressed = True
+        return progressed
+
+    def run(self) -> _GroupResult:
+        with deep_recursion():
+            return self._run_loop()
+
+    def _run_loop(self) -> _GroupResult:
+        pending = deque(self.tasks.values())
+        while any(not task.finished for task in self.tasks.values()):
+            progressed_any = False
+            for _ in range(len(pending)):
+                task = pending.popleft()
+                pending.append(task)
+                if task.finished:
+                    continue
+                if self._step(task):
+                    progressed_any = True
+            if not progressed_any:
+                blocked = [t.name for t in self.tasks.values() if not t.finished]
+                raise ChannelProtocolError(
+                    "deadlock: coroutines "
+                    + ", ".join(blocked)
+                    + " are all blocked waiting for messages; the model and guide "
+                    "do not follow the same guidance protocol"
+                )
+        return _GroupResult(
+            log_weights={name: task.log_weight for name, task in self.tasks.items()},
+            values={name: task.value for name, task in self.tasks.items()},
+            recorded={name: state.recorded for name, state in self.channels.items()},
+            obs_scores={name: task.obs_scores for name, task in self.tasks.items()},
+        )
+
+
+def _broadcast_values(value: object, n: int) -> object:
+    """Lift a shared scalar to the particle axis for batched scoring."""
+    if isinstance(value, np.ndarray):
+        return value
+    if isinstance(value, bool):
+        return np.full(n, value, dtype=bool)
+    if isinstance(value, (int, float, np.integer, np.floating, np.bool_)):
+        return np.full(n, value)
+    return [value] * n  # exotic payloads take the scalar-loop path
+
+
+def _to_python(value: object) -> object:
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+# ---------------------------------------------------------------------------
+# The particle vectorizer and its result
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Leaf:
+    """One finished control-flow group: indices plus columnar results."""
+
+    indices: np.ndarray
+    model_log_weights: np.ndarray
+    guide_log_weights: np.ndarray
+    recorded: Dict[str, List[VecMessage]]
+    obs_scores: Optional[List[object]]  # model-side likelihood terms, in order
+    model_value: object = None
+    guide_value: object = None
+
+
+class ParticleVectorizer:
+    """Runs a model/guide pair for N particles in lockstep.
+
+    The public entry point is :meth:`run`; the channel topology mirrors
+    :func:`repro.core.coroutines.run_model_guide` (guide provides the latent
+    channel, model provides the observation channel, observations replayed
+    from ``obs_trace`` when given).
+    """
+
+    def __init__(
+        self,
+        model_program: ast.Program,
+        guide_program: ast.Program,
+        model_entry: str,
+        guide_entry: str,
+        obs_trace: Optional[Sequence[tr.Message]] = None,
+        model_args: Tuple[object, ...] = (),
+        guide_args: Tuple[object, ...] = (),
+        latent_channel: str = "latent",
+        obs_channel: str = "obs",
+        max_ops: int = DEFAULT_MAX_OPS,
+        max_splits: int = 10_000,
+    ):
+        self.model_program = model_program
+        self.guide_program = guide_program
+        self.model_entry = model_entry
+        self.guide_entry = guide_entry
+        self.obs_trace = tuple(obs_trace) if obs_trace is not None else None
+        self.model_args = model_args
+        self.guide_args = guide_args
+        self.latent_channel = latent_channel
+        self.obs_channel = obs_channel
+        self.max_ops = max_ops
+        self.max_splits = max_splits
+
+        model_proc = model_program.procedure(model_entry)
+        self._channel_specs = [
+            ChannelSpec(name=latent_channel, provider="guide", consumer="model")
+        ]
+        if model_proc.provides == obs_channel:
+            self._channel_specs.append(
+                ChannelSpec(
+                    name=obs_channel, provider="model", consumer=None, replay=self.obs_trace
+                )
+            )
+        self._coroutine_specs = [
+            CoroutineSpec(name="model", program=model_program, entry=model_entry, args=model_args),
+            CoroutineSpec(name="guide", program=guide_program, entry=guide_entry, args=guide_args),
+        ]
+
+    def run(self, num_particles: int, rng=None) -> "VectorRunResult":
+        if num_particles <= 0:
+            raise InferenceError("num_particles must be positive")
+        rng = ensure_rng(rng)
+        try:
+            leaves = self._run_vectorized(num_particles, rng)
+            vectorized = True
+        except VectorizationUnsupported:
+            # Unsupported feature somewhere in the batch: discard every draw
+            # and redo the whole batch sequentially, which keeps the result
+            # unbiased (see module docstring).
+            leaves = self._run_sequential(num_particles, rng)
+            vectorized = False
+        return VectorRunResult(
+            num_particles,
+            leaves,
+            latent_channel=self.latent_channel,
+            obs_channel=self.obs_channel,
+            vectorized=vectorized,
+        )
+
+    # -- lockstep execution with group splitting -------------------------------
+
+    def _run_vectorized(self, num_particles: int, rng) -> List[_Leaf]:
+        stack: List[Tuple[np.ndarray, Dict[str, List[VecMessage]]]] = [
+            (np.arange(num_particles), {})
+        ]
+        leaves: List[_Leaf] = []
+        splits = 0
+        while stack:
+            indices, logs = stack.pop()
+            scheduler = _VecScheduler(
+                self._coroutine_specs,
+                self._channel_specs,
+                rng,
+                n=len(indices),
+                logs=logs,
+                max_ops=self.max_ops,
+            )
+            try:
+                result = scheduler.run()
+            except _SplitRequired as split:
+                splits += 1
+                if splits > self.max_splits:
+                    raise InferenceError(
+                        f"vectorized execution exceeded {self.max_splits} control-flow "
+                        "splits; use the sequential engine for this model"
+                    ) from split
+                stack.extend(self._partition(scheduler, indices, split))
+                continue
+            leaves.append(
+                _Leaf(
+                    indices=indices,
+                    model_log_weights=result.log_weights["model"],
+                    guide_log_weights=result.log_weights["guide"],
+                    recorded=result.recorded,
+                    obs_scores=result.obs_scores["model"],
+                    model_value=result.values["model"],
+                    guide_value=result.values["guide"],
+                )
+            )
+        return leaves
+
+    def _partition(self, scheduler: _VecScheduler, indices, split: _SplitRequired):
+        subgroups = []
+        for selection in (True, False):
+            mask = split.mask if selection else ~split.mask
+            logs: Dict[str, List[VecMessage]] = {}
+            for name, state in scheduler.channels.items():
+                # External-replay channels re-resolve from their own trace.
+                if state.replay_cursor is not None:
+                    continue
+                logs[name] = [message.sliced(mask) for message in state.recorded]
+            if split.channel is not None:
+                logs.setdefault(split.channel, []).append(
+                    VecMessage("dir", split.provider, selection)
+                )
+            subgroups.append((indices[mask], logs))
+        return subgroups
+
+    # -- whole-batch sequential fallback ---------------------------------------
+
+    def _run_sequential(self, num_particles: int, rng) -> List[_Leaf]:
+        leaves = []
+        for i in range(num_particles):
+            joint = run_model_guide(
+                self.model_program,
+                self.guide_program,
+                self.model_entry,
+                self.guide_entry,
+                obs_trace=self.obs_trace,
+                rng=rng,
+                model_args=self.model_args,
+                guide_args=self.guide_args,
+                latent_channel=self.latent_channel,
+                obs_channel=self.obs_channel,
+            )
+            recorded = {
+                name: [_vec_message_of(m) for m in trace]
+                for name, trace in joint.traces.items()
+            }
+            leaves.append(
+                _Leaf(
+                    indices=np.asarray([i]),
+                    model_log_weights=np.asarray([joint.log_weights["model"]]),
+                    guide_log_weights=np.asarray([joint.log_weights["guide"]]),
+                    recorded=recorded,
+                    obs_scores=None,
+                    model_value=joint.values["model"],
+                    guide_value=joint.values["guide"],
+                )
+            )
+        return leaves
+
+
+def _vec_message_of(message: tr.Message) -> VecMessage:
+    if isinstance(message, tr.ValP):
+        return VecMessage("val", True, message.value)
+    if isinstance(message, tr.ValC):
+        return VecMessage("val", False, message.value)
+    if isinstance(message, tr.DirP):
+        return VecMessage("dir", True, message.value)
+    if isinstance(message, tr.DirC):
+        return VecMessage("dir", False, message.value)
+    return VecMessage("fold", True)
+
+
+class VectorRunResult:
+    """Columnar result of a vectorized multi-particle run.
+
+    Per-particle quantities are exposed as ``(n,)`` arrays assembled from the
+    control-flow groups; per-particle traces are materialised lazily (one
+    tuple of messages per particle) only when explicitly requested, so the
+    hot inference path never touches per-particle Python objects.
+    """
+
+    def __init__(
+        self,
+        num_particles: int,
+        leaves: List[_Leaf],
+        latent_channel: str = "latent",
+        obs_channel: str = "obs",
+        vectorized: bool = True,
+    ):
+        self.num_particles = num_particles
+        self.leaves = leaves
+        self.latent_channel = latent_channel
+        self.obs_channel = obs_channel
+        self.vectorized = vectorized
+
+        self.model_log_weights = np.empty(num_particles)
+        self.guide_log_weights = np.empty(num_particles)
+        for leaf in leaves:
+            self.model_log_weights[leaf.indices] = leaf.model_log_weights
+            self.guide_log_weights[leaf.indices] = leaf.guide_log_weights
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.leaves)
+
+    def log_weights(self) -> np.ndarray:
+        """Importance weights ``log(w_m / w_g)`` with zero-weight guarding."""
+        with np.errstate(invalid="ignore"):
+            weights = self.model_log_weights - self.guide_log_weights
+        return np.where(np.isneginf(self.guide_log_weights), -np.inf, weights)
+
+    def obs_score_matrix(self) -> Optional[np.ndarray]:
+        """Per-particle, per-observation log-likelihood terms (``(n, T)``).
+
+        ``None`` when the run fell back to the sequential scheduler (which
+        does not decompose the model weight).  Groups whose control path
+        emits fewer observation messages than the longest path are padded
+        with zero contributions.
+        """
+        if any(leaf.obs_scores is None for leaf in self.leaves):
+            return None
+        num_steps = max((len(leaf.obs_scores) for leaf in self.leaves), default=0)
+        matrix = np.zeros((self.num_particles, num_steps))
+        for leaf in self.leaves:
+            for t, scores in enumerate(leaf.obs_scores):
+                matrix[leaf.indices, t] = scores
+        return matrix
+
+    def _latent_columns(self, leaf: _Leaf) -> List[object]:
+        return [
+            m.payload
+            for m in leaf.recorded.get(self.latent_channel, [])
+            if m.kind == "val"
+        ]
+
+    def site_values(self, index: int) -> np.ndarray:
+        """Values of the ``index``-th latent sample site, ``nan`` where absent."""
+        out = np.full(self.num_particles, np.nan)
+        for leaf in self.leaves:
+            columns = self._latent_columns(leaf)
+            if len(columns) > index:
+                column = columns[index]
+                if isinstance(column, np.ndarray):
+                    out[leaf.indices] = column.astype(float)
+                else:
+                    out[leaf.indices] = float(column)
+        return out
+
+    def _locate(self, particle: int) -> Tuple[_Leaf, int]:
+        if not 0 <= particle < self.num_particles:
+            raise IndexError(f"no particle {particle} in this run")
+        if not hasattr(self, "_leaf_of"):
+            self._leaf_of = np.empty(self.num_particles, dtype=int)
+            self._pos_of = np.empty(self.num_particles, dtype=int)
+            for leaf_id, leaf in enumerate(self.leaves):
+                self._leaf_of[leaf.indices] = leaf_id
+                self._pos_of[leaf.indices] = np.arange(len(leaf.indices))
+        return self.leaves[int(self._leaf_of[particle])], int(self._pos_of[particle])
+
+    def trace_for(self, particle: int, channel: Optional[str] = None) -> tr.Trace:
+        """Materialise one particle's guidance trace on ``channel``."""
+        channel = channel or self.latent_channel
+        leaf, j = self._locate(particle)
+        messages: List[tr.Message] = []
+        for m in leaf.recorded.get(channel, []):
+            payload = m.payload[j] if isinstance(m.payload, np.ndarray) else m.payload
+            payload = _to_python(payload)
+            if m.kind == "val":
+                messages.append(tr.ValP(payload) if m.provider else tr.ValC(payload))
+            elif m.kind == "dir":
+                messages.append(tr.DirP(payload) if m.provider else tr.DirC(payload))
+            else:
+                messages.append(tr.Fold())
+        return tuple(messages)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized importance sampling
+# ---------------------------------------------------------------------------
+
+
+class VectorizedISResult:
+    """Importance-sampling summary over a vectorized run (columnar)."""
+
+    def __init__(self, run: VectorRunResult):
+        self.run = run
+        self._log_weights = run.log_weights()
+
+    @property
+    def num_samples(self) -> int:
+        return self.run.num_particles
+
+    @property
+    def log_weights(self) -> np.ndarray:
+        return self._log_weights
+
+    def log_evidence(self) -> float:
+        return log_mean_exp(self._log_weights)
+
+    def normalized_weights(self) -> np.ndarray:
+        return normalize_log_weights(self._log_weights)
+
+    def effective_sample_size(self) -> float:
+        return effective_sample_size(self._log_weights)
+
+    def posterior_expectation_of_site(self, index: int) -> float:
+        """Posterior mean of the ``index``-th latent site in protocol order.
+
+        Mirrors :meth:`ImportanceResult.posterior_expectation_of_site`:
+        particles whose trace does not reach the site are excluded and the
+        weights renormalised over the rest.
+        """
+        values = self.run.site_values(index)
+        keep = ~np.isnan(values)
+        if not np.any(keep):
+            raise InferenceError(f"no particle has a latent value at index {index}")
+        return weighted_mean(values[keep], self._log_weights[keep])
+
+    def to_importance_result(self):
+        """Materialise per-particle samples for scalar-path compatibility."""
+        from repro.inference.importance import ImportanceResult, ImportanceSample
+
+        samples = []
+        for i in range(self.num_samples):
+            samples.append(
+                ImportanceSample(
+                    latent_trace=self.run.trace_for(i),
+                    log_weight=float(self._log_weights[i]),
+                    model_log_weight=float(self.run.model_log_weights[i]),
+                    guide_log_weight=float(self.run.guide_log_weights[i]),
+                    model_value=None,
+                    guide_value=None,
+                )
+            )
+        return ImportanceResult(samples)
+
+
+def vectorized_importance(
+    model_program: ast.Program,
+    guide_program: ast.Program,
+    model_entry: str,
+    guide_entry: str,
+    obs_trace: Optional[Sequence[tr.Message]],
+    num_particles: int,
+    rng=None,
+    model_args: Tuple[object, ...] = (),
+    guide_args: Tuple[object, ...] = (),
+    latent_channel: str = "latent",
+    obs_channel: str = "obs",
+    raise_on_all_zero: bool = True,
+) -> VectorizedISResult:
+    """Importance sampling with all particles executed in lockstep.
+
+    The estimator is identical to :func:`repro.inference.importance_sampling`
+    (same proposal, same weights); only the execution strategy differs.
+    """
+    vectorizer = ParticleVectorizer(
+        model_program,
+        guide_program,
+        model_entry,
+        guide_entry,
+        obs_trace=obs_trace,
+        model_args=model_args,
+        guide_args=guide_args,
+        latent_channel=latent_channel,
+        obs_channel=obs_channel,
+    )
+    result = VectorizedISResult(vectorizer.run(num_particles, rng))
+    if raise_on_all_zero and not np.any(np.isfinite(result.log_weights)):
+        raise InferenceError(
+            "all importance weights are zero: the guide's proposals never land "
+            "in the model's support (the model/guide pair is not absolutely continuous)"
+        )
+    return result

@@ -37,8 +37,22 @@ from repro.utils.rng import ensure_rng
 ProposalArgs = Callable[[tr.Trace], Tuple[object, ...]]
 
 
-def _independence_proposal(_old: tr.Trace) -> Tuple[object, ...]:
-    return ()
+def independence_proposal(args: Tuple[object, ...] = ()) -> ProposalArgs:
+    """A proposal-argument function that ignores the previous latent trace.
+
+    The returned function is marked ``trace_independent``, which lets chain
+    initialisation skip the prior simulation it otherwise runs to seed
+    trace-dependent proposals.
+    """
+
+    def proposal(_old: tr.Trace) -> Tuple[object, ...]:
+        return args
+
+    proposal.trace_independent = True  # type: ignore[attr-defined]
+    return proposal
+
+
+_independence_proposal = independence_proposal()
 
 
 @dataclass
@@ -216,6 +230,21 @@ def _initial_state(
         return _MHState(latent=initial_trace, model_log_weight=model_lw)
 
     for _ in range(max_init_attempts):
+        # Trace-dependent proposals receive a genuine previous trace even on
+        # the very first step: seed each attempt with a fresh prior draw
+        # rather than handing ``proposal_args`` an empty trace it may not be
+        # prepared to index into.  Independence proposals ignore the trace,
+        # so skip the prior simulation (and its RNG draws) on that path.
+        if getattr(proposal_args, "trace_independent", False):
+            previous: tr.Trace = ()
+        else:
+            previous = prior_initial_trace(
+                model_program,
+                model_entry,
+                rng=rng,
+                model_args=model_args,
+                latent_channel=latent_channel,
+            )
         joint = run_model_guide(
             model_program,
             proposal_program,
@@ -224,7 +253,7 @@ def _initial_state(
             obs_trace=obs_trace,
             rng=rng,
             model_args=model_args,
-            guide_args=proposal_args(()),
+            guide_args=proposal_args(previous),
             latent_channel=latent_channel,
             obs_channel=obs_channel,
         )

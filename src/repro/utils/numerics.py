@@ -9,7 +9,17 @@ import numpy as np
 
 
 def log_sum_exp(log_values: Sequence[float]) -> float:
-    """Stable ``log(sum(exp(x_i)))``; returns ``-inf`` for an empty input."""
+    """Stable ``log(sum(exp(x_i)))``; returns ``-inf`` for an empty input.
+
+    Accepts lists and NumPy arrays; array inputs take a vectorized path (the
+    particle engines call this with 10k+ element weight vectors).
+    """
+    if isinstance(log_values, np.ndarray):
+        kept = log_values[log_values > -np.inf]
+        if kept.size == 0:
+            return -math.inf
+        peak = float(np.max(kept))
+        return peak + math.log(float(np.sum(np.exp(kept - peak))))
     finite = [x for x in log_values if x > -math.inf]
     if not finite:
         return -math.inf

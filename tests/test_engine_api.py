@@ -1,0 +1,253 @@
+"""The inference-engine registry, SMC engine, and program sessions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.semantics import traces as tr
+from repro.engine import (
+    InferenceRequest,
+    ProgramSession,
+    available_engines,
+    clear_session_cache,
+    get_engine,
+    smc,
+)
+from repro.engine.smc import systematic_resample
+from repro.errors import InferenceError
+from repro.models import get_benchmark
+
+#: Conjugate normal-normal posterior mean for the "weight" model at y = 9.5.
+WEIGHT_POSTERIOR_MEAN = (8.5 / 1.0 + 9.5 / 0.5625) / (1.0 / 1.0 + 1.0 / 0.5625)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_session_cache():
+    clear_session_cache()
+    yield
+    clear_session_cache()
+
+
+@pytest.fixture
+def ex1_session():
+    bench = get_benchmark("ex-1")
+    return ProgramSession.from_sources(bench.model_source, bench.guide_source)
+
+
+class TestRegistry:
+    def test_all_engines_registered(self):
+        assert {"is", "is-sequential", "smc", "mh"} <= set(available_engines())
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(InferenceError, match="unknown inference engine"):
+            get_engine("does-not-exist")
+
+    def test_every_engine_estimates_the_fig2_posterior(self, ex1_session):
+        means = {}
+        for engine in ["is", "is-sequential", "smc", "mh"]:
+            result = ex1_session.infer(
+                engine, num_particles=2000, obs_values=[0.8], seed=0
+            )
+            means[engine] = result.posterior_mean(0)
+        # All engines target the same posterior (mean ~2.8, prior mean 2.0).
+        for engine, mean in means.items():
+            assert mean > 2.2, (engine, mean)
+            assert abs(mean - means["is"]) < 0.35, (engine, means)
+
+    def test_request_object_and_kwargs_are_exclusive(self, ex1_session):
+        request = InferenceRequest(num_particles=10, obs_values=[0.8])
+        with pytest.raises(InferenceError):
+            ex1_session.infer("is", request=request, num_particles=20)
+
+
+class TestProgramSession:
+    def test_from_sources_is_cached(self):
+        bench = get_benchmark("ex-1")
+        first = ProgramSession.from_sources(bench.model_source, bench.guide_source)
+        second = ProgramSession.from_sources(bench.model_source, bench.guide_source)
+        assert first is second
+
+    def test_certified_pair(self, ex1_session):
+        assert ex1_session.certified
+        assert ex1_session.certification_reason is None
+        ex1_session.require_certified()
+        assert ex1_session.model_entry == "Model"
+        assert ex1_session.guide_entry == "Guide1"
+
+    def test_uncertified_pair_reports_reason(self):
+        bench = get_benchmark("ex-1")
+        from repro.models.library import EX1_GUIDE_UNSOUND_IS_SOURCE
+
+        session = ProgramSession.from_sources(
+            bench.model_source, EX1_GUIDE_UNSOUND_IS_SOURCE
+        )
+        assert not session.certified
+        assert session.certification_reason
+        with pytest.raises(InferenceError, match="not certified"):
+            session.require_certified()
+
+    def test_typecheck_can_be_skipped(self):
+        bench = get_benchmark("ex-1")
+        session = ProgramSession.from_sources(
+            bench.model_source, bench.guide_source, typecheck=False
+        )
+        assert session.check is None
+        with pytest.raises(InferenceError, match="skipped typechecking"):
+            session.require_certified()
+
+    def test_obs_trace_takes_precedence_over_values(self):
+        request = InferenceRequest(obs_values=[1.0], obs_trace=(tr.ValP(2.0),))
+        assert request.resolved_obs_trace() == (tr.ValP(2.0),)
+        assert InferenceRequest(obs_values=[1.0]).resolved_obs_trace() == (tr.ValP(1.0),)
+        assert InferenceRequest().resolved_obs_trace() is None
+
+
+class TestSMC:
+    def test_recovers_conjugate_posterior(self):
+        bench = get_benchmark("weight")
+        result = smc(
+            bench.model_program(), bench.guide_program(),
+            bench.model_entry, bench.guide_entry,
+            obs_trace=(tr.ValP(9.5),), num_particles=4000,
+            rng=np.random.default_rng(0), guide_args=(8.5, 0.0),
+        )
+        assert result.posterior_mean(0) == pytest.approx(WEIGHT_POSTERIOR_MEAN, abs=0.15)
+        assert math.isfinite(result.log_evidence())
+
+    def test_multi_step_annealing_resamples_on_ess_collapse(self):
+        bench = get_benchmark("kalman")
+        obs_trace = tuple(tr.ValP(v) for v in bench.obs_values)
+        result = smc(
+            bench.model_program(), bench.guide_program(),
+            bench.model_entry, bench.guide_entry,
+            obs_trace=obs_trace, num_particles=1500,
+            rng=np.random.default_rng(0), ess_threshold=0.9,
+        )
+        assert len(result.ess_history) == len(bench.obs_values)
+        assert result.resample_steps, "a 0.9 ESS threshold must trigger resampling"
+        assert len(result.rejuvenation_rates) == len(result.resample_steps)
+        # Pointwise agreement with importance sampling on the same pair.
+        from repro.inference import importance_sampling
+
+        reference = importance_sampling(
+            bench.model_program(), bench.guide_program(),
+            bench.model_entry, bench.guide_entry,
+            obs_trace=obs_trace, num_samples=4000, rng=np.random.default_rng(1),
+        )
+        assert result.posterior_mean(3) == pytest.approx(
+            reference.posterior_expectation_of_site(3), abs=0.3
+        )
+
+    def test_rejuvenation_can_be_disabled(self):
+        bench = get_benchmark("kalman")
+        obs_trace = tuple(tr.ValP(v) for v in bench.obs_values)
+        result = smc(
+            bench.model_program(), bench.guide_program(),
+            bench.model_entry, bench.guide_entry,
+            obs_trace=obs_trace, num_particles=500,
+            rng=np.random.default_rng(0), ess_threshold=0.9, rejuvenate=False,
+        )
+        assert result.rejuvenation_rates == []
+
+    def test_branch_dependent_observation_counts_are_handled(self):
+        """Regression: rejuvenation used to crash (or silently broadcast) when
+        a proposal run's obs-score matrix had a different width than the
+        current population's — which happens whenever the number of observe
+        statements depends on a latent branch."""
+        from repro.core.parser import parse_program
+
+        model = parse_program(
+            """
+            proc M() consume latent provide obs {
+              gate <- sample.recv{latent}(Ber(0.5));
+              _ <- sample.send{obs}(Normal(0.0, 1.0));
+              if gate {
+                observe(Normal(0.0, 1.0), 0.3);
+                observe(Normal(0.0, 1.0), 0.4);
+                return(gate)
+              } else {
+                return(gate)
+              }
+            }
+            """
+        )
+        guide = parse_program(
+            """
+            proc G() provide latent {
+              gate <- sample.send{latent}(Ber(0.5));
+              return(gate)
+            }
+            """
+        )
+        for seed in range(4):
+            try:
+                result = smc(
+                    model, guide, "M", "G",
+                    obs_trace=(tr.ValP(0.1),), num_particles=16,
+                    rng=np.random.default_rng(seed), ess_threshold=1.01,
+                )
+            except InferenceError as err:
+                # A proposal path revealed more steps than the schedule: the
+                # engine must refuse loudly, never broadcast-corrupt weights.
+                assert "branch-dependent" in str(err)
+            else:
+                assert math.isfinite(result.log_evidence())
+
+    def test_requires_observations(self):
+        bench = get_benchmark("ex-1")
+        with pytest.raises(InferenceError, match="non-empty observation trace"):
+            smc(
+                bench.model_program(), bench.guide_program(),
+                bench.model_entry, bench.guide_entry,
+                obs_trace=None, num_particles=10,
+            )
+
+    def test_log_evidence_matches_importance_sampling(self):
+        bench = get_benchmark("ex-1")
+        obs_trace = (tr.ValP(0.8),)
+        result = smc(
+            bench.model_program(), bench.guide_program(),
+            bench.model_entry, bench.guide_entry,
+            obs_trace=obs_trace, num_particles=4000, rng=np.random.default_rng(2),
+        )
+        from repro.inference import importance_sampling
+
+        reference = importance_sampling(
+            bench.model_program(), bench.guide_program(),
+            bench.model_entry, bench.guide_entry,
+            obs_trace=obs_trace, num_samples=4000, rng=np.random.default_rng(3),
+        )
+        assert result.log_evidence() == pytest.approx(reference.log_evidence(), abs=0.2)
+
+
+class TestSystematicResample:
+    def test_concentrated_weights_select_the_heavy_particle(self):
+        weights = np.asarray([0.0, 0.0, 1.0, 0.0])
+        indices = systematic_resample(weights, np.random.default_rng(0))
+        assert np.all(indices == 2)
+
+    def test_uniform_weights_cover_all_particles(self):
+        weights = np.full(8, 1.0 / 8.0)
+        indices = systematic_resample(weights, np.random.default_rng(0))
+        assert sorted(indices) == list(range(8))
+
+
+class TestParallelMH:
+    def test_pooled_chains_recover_conjugate_posterior(self):
+        bench = get_benchmark("weight")
+        session = ProgramSession.from_sources(bench.model_source, bench.guide_source)
+        result = session.infer(
+            "mh",
+            num_particles=4000,
+            num_chains=4,
+            burn_in=150,
+            obs_values=[9.5],
+            seed=0,
+            guide_args=(9.0, 0.0),
+        )
+        assert result.posterior_mean(0) == pytest.approx(WEIGHT_POSTERIOR_MEAN, abs=0.2)
+        diagnostics = result.diagnostics()
+        assert diagnostics["num_chains"] == 4
+        assert all(0.0 < rate <= 1.0 for rate in diagnostics["acceptance_rates"])
+        assert diagnostics["gelman_rubin_site0"] == pytest.approx(1.0, abs=0.2)

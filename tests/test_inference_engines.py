@@ -187,6 +187,40 @@ class TestMetropolisHastings:
         assert np.mean(flags) < 0.5
         assert result.acceptance_rate > 0.0
 
+    def test_trace_dependent_proposal_survives_chain_start(self, fig5_model):
+        """Regression: ``_initial_state`` used to call ``proposal_args(())``.
+
+        A proposal that indexes into the previous latent trace without a
+        length guard crashed at chain initialisation (IndexError on the
+        empty tuple).  Initialisation now seeds each attempt with a prior
+        draw, so unguarded trace-dependent proposals work from step one.
+        """
+        proposal = parse_program(
+            """
+            proc Prop(v0: preal) provide latent {
+              v <- sample.send{latent}(Gamma(v0, 1.0));
+              if.recv{latent} {
+                return(v)
+              } else {
+                m <- sample.send{latent}(Unif);
+                return(v)
+              }
+            }
+            """
+        )
+
+        def proposal_args(old_trace):
+            # No length guard on purpose: relies on a real previous trace.
+            return (float(tr.sample_values(old_trace)[0]) + 1.0,)
+
+        result = metropolis_hastings(
+            fig5_model, proposal, "Model", "Prop",
+            obs_trace=(tr.ValP(0.8),), num_samples=80, burn_in=20,
+            rng=np.random.default_rng(21), proposal_args=proposal_args,
+        )
+        assert result.num_samples == 80
+        assert result.acceptance_rate > 0.0
+
     def test_chain_has_requested_length(self, fig5_model, fig5_guide):
         result = metropolis_hastings(
             fig5_model, fig5_guide, "Model", "Guide1",
