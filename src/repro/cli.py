@@ -7,6 +7,8 @@ Usage (after ``python setup.py develop`` / ``pip install -e .``)::
     python -m repro.cli compile      MODEL.gt GUIDE.gt   # emit mini-Pyro Python code
     python -m repro.cli run-is       MODEL.gt GUIDE.gt --obs 0.8 --particles 1000
     python -m repro.cli run-smc      MODEL.gt GUIDE.gt --obs 0.8 --particles 1000
+    python -m repro.cli run-svi      MODEL.gt GUIDE.gt --obs 0.8 --steps 50 \
+                                     --param loc=8.5 --param log_scale=0.0
     python -m repro.cli benchmarks                       # list the bundled benchmarks
 
 ``run-is`` executes on the vectorized particle engine by default; pass
@@ -19,6 +21,7 @@ and ``--guide-entry``.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from pathlib import Path
 from typing import Optional
@@ -28,7 +31,7 @@ from repro.core.ast import Program
 from repro.core.parser import parse_program
 from repro.core.typecheck import infer_guide_types
 from repro.engine import ProgramSession
-from repro.errors import ReproError
+from repro.errors import InferenceError, ReproError
 from repro.models import all_benchmarks
 from repro.utils.pretty import pretty_guide_type, pretty_type_table
 
@@ -162,6 +165,73 @@ def cmd_run_smc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_param_specs(specs, what: str) -> dict:
+    """Parse repeated ``name=value`` CLI arguments into a dict."""
+    out = {}
+    for spec in specs or []:
+        name, sep, value = spec.partition("=")
+        if not sep or not name:
+            raise InferenceError(f"{what} expects name=value, got {spec!r}")
+        out[name] = value
+    return out
+
+
+def cmd_run_svi(args: argparse.Namespace) -> int:
+    from repro.engine.svi import guide_entry_params
+
+    session = _session_for(args)
+    if _refuse_uncertified(session, args):
+        return 1
+    guide_proc_params = guide_entry_params(session.guide_program, session.guide_entry)
+
+    inits = {}
+    for name, value in _parse_param_specs(args.param, "--param").items():
+        try:
+            inits[name] = float(value)
+        except ValueError:
+            raise InferenceError(f"--param {name} expects a numeric value, got {value!r}")
+    constraints = _parse_param_specs(args.constraint, "--constraint")
+    if not inits and guide_proc_params:
+        # No explicit initial values: start each parameter at its transform's
+        # unconstrained origin (0.0 for real, softplus(0)=log 2 ~ 0.69 for
+        # positive, sigmoid(0)=0.5 for unit).
+        defaults = {"positive": math.log(2.0), "unit": 0.5}
+        inits = {
+            name: defaults.get(constraints.get(name, "real"), 0.0)
+            for name in guide_proc_params
+        }
+        print(f"no --param given: initialising {dict(inits)}")
+
+    num_particles = _particle_count(args)
+    result = session.infer(
+        args.engine,
+        num_particles=num_particles,
+        obs_values=args.obs or None,
+        seed=args.seed,
+        guide_params=inits or None,
+        param_constraints=constraints or None,
+        num_steps=args.steps,
+        optimizer=args.optimizer,
+        learning_rate=args.lr,
+        rao_blackwellize=args.rao_blackwellize,
+        final_particles=args.final_particles,
+    )
+    diagnostics = result.diagnostics()
+    history = diagnostics.get("elbo_history", [])
+    print(f"engine                  : {diagnostics.get('engine', args.engine)}")
+    print(f"optimisation steps      : {diagnostics.get('num_steps', 0)}")
+    if history:
+        print(f"ELBO trajectory         : {history[0]:.4f} -> {history[-1]:.4f}")
+    fitted = diagnostics.get("fitted_params", {})
+    if fitted:
+        rendered = ", ".join(f"{k}={v:.4f}" for k, v in fitted.items())
+        print(f"fitted parameters       : {rendered}")
+    # Evidence/ESS/posterior all come from the final pass through the fitted
+    # guide, so report that pass's particle count, not the fit batch size.
+    _print_engine_summary(result, args.final_particles or num_particles)
+    return 0
+
+
 def cmd_benchmarks(_args: argparse.Namespace) -> int:
     print(f"{'name':<12} {'selected':<9} {'inference':<9} {'LOC':>4}  description")
     for bench in all_benchmarks():
@@ -226,6 +296,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_smc.add_argument("--no-rejuvenation", action="store_true",
                        help="disable the post-resampling MH rejuvenation move")
     p_smc.set_defaults(func=cmd_run_smc)
+
+    p_svi = sub.add_parser("run-svi", help="fit the guide's parameters by SVI, then query the posterior")
+    add_pair_arguments(p_svi)
+    add_inference_arguments(p_svi)
+    p_svi.add_argument("--engine", choices=["svi", "svi-fd"], default="svi",
+                       help="batched score-function SVI or the sequential finite-difference path")
+    p_svi.add_argument("--steps", type=int, default=30,
+                       help="number of gradient steps")
+    p_svi.add_argument("--optimizer", choices=["adam", "sgd"], default="adam")
+    p_svi.add_argument("--lr", type=float, default=0.05, help="learning rate")
+    p_svi.add_argument("--param", action="append", default=None, metavar="NAME=INIT",
+                       help="initial value for a guide parameter (repeatable); "
+                            "defaults to 0.0 per guide parameter")
+    p_svi.add_argument("--constraint", action="append", default=None, metavar="NAME=KIND",
+                       help="constraint transform for a parameter: real, positive, or unit "
+                            "(simplex needs vector initial values, library API only)")
+    p_svi.add_argument("--rao-blackwellize", action="store_true",
+                       help="use per-site Rao-Blackwellized learning signals")
+    p_svi.add_argument("--final-particles", type=int, default=None,
+                       help="particles for the posterior pass through the fitted guide")
+    p_svi.set_defaults(func=cmd_run_svi)
 
     p_bench = sub.add_parser("benchmarks", help="list the bundled benchmark programs")
     p_bench.set_defaults(func=cmd_benchmarks)

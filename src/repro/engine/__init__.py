@@ -14,9 +14,17 @@ simultaneously over NumPy arrays instead of N sequential interpreter runs:
 ``smc``
     A Sequential Monte Carlo engine (systematic resampling, ESS-triggered
     independence-MH rejuvenation) built on the vectorized runtime.
+``params``
+    Constrained variational parameters: softplus/sigmoid/softmax transforms
+    and the :class:`ParamStore` the optimisers update in place.
+``svi``
+    Batched stochastic variational inference: lockstep ELBO estimation,
+    score-function (REINFORCE) gradients over rescored control-flow groups
+    with a leave-one-out baseline and optional per-site
+    Rao-Blackwellization.
 ``api``
     The :class:`InferenceEngine` registry unifying vectorized importance
-    sampling, parallel MH chains, and SMC behind one request interface.
+    sampling, parallel MH chains, SMC, and SVI behind one request interface.
 ``session``
     :class:`ProgramSession` — parse, typecheck, and certify a model/guide
     pair once, then serve repeated inference requests from a cache.
@@ -31,8 +39,16 @@ from repro.engine.api import (
     register_engine,
 )
 from repro.engine.batched import BatchedDist
+from repro.engine.params import ParamStore, Transform, get_transform, store_from_inits
 from repro.engine.session import ProgramSession, clear_session_cache
 from repro.engine.smc import SMCResult, smc
+from repro.engine.svi import (
+    ScoreGradient,
+    VectorizedSVIResult,
+    elbo_and_score_gradient,
+    estimate_elbo_batched,
+    fit_svi,
+)
 from repro.engine.vectorize import (
     ParticleVectorizer,
     VectorRunResult,
@@ -45,15 +61,24 @@ __all__ = [
     "EngineResult",
     "InferenceEngine",
     "InferenceRequest",
+    "ParamStore",
     "ParticleVectorizer",
     "ProgramSession",
     "SMCResult",
+    "ScoreGradient",
+    "Transform",
     "VectorRunResult",
     "VectorizationUnsupported",
+    "VectorizedSVIResult",
     "available_engines",
     "clear_session_cache",
+    "elbo_and_score_gradient",
+    "estimate_elbo_batched",
+    "fit_svi",
+    "get_transform",
     "get_engine",
     "register_engine",
     "smc",
+    "store_from_inits",
     "vectorized_importance",
 ]

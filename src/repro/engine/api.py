@@ -15,6 +15,9 @@ with a string:
                         ESS-triggered rejuvenation)
 ``mh``                  parallel Metropolis–Hastings chains (independence
                         proposal from the guide) with split-chain pooling
+``svi``                 batched score-function SVI on the lockstep runtime
+                        (posterior queries via the fitted guide)
+``svi-fd``              sequential finite-difference SVI (reference path)
 ======================  =====================================================
 """
 
@@ -52,6 +55,21 @@ class InferenceRequest:
     #: MH-specific knobs.
     num_chains: int = 4
     burn_in: int = 100
+    #: SVI-specific knobs.  ``guide_params`` maps the guide entry procedure's
+    #: parameters to constrained initial values (optimised when given;
+    #: without it the guide runs fixed at ``guide_args``);
+    #: ``param_constraints`` selects a transform per parameter
+    #: (``real``/``positive``/``unit``/``simplex``, default ``real``).
+    num_steps: int = 30
+    optimizer: str = "adam"
+    learning_rate: float = 0.05
+    guide_params: Optional[Dict[str, object]] = None
+    param_constraints: Optional[Dict[str, str]] = None
+    rao_blackwellize: bool = False
+    score_epsilon: float = 1e-4
+    #: Particle count for the final posterior pass through the fitted guide
+    #: (defaults to ``num_particles``).
+    final_particles: Optional[int] = None
 
     def resolved_obs_trace(self) -> Optional[tr.Trace]:
         if self.obs_trace is not None:

@@ -449,6 +449,11 @@ class _VecTask:
     generator: object
     log_weight: np.ndarray
     obs_scores: List[object] = field(default_factory=list)
+    #: Per-sample-site log-density terms in this task's op order, as
+    #: ``(channel, (n,) scores)`` pairs.  The SVI engine uses the guide's
+    #: entries as per-site score-function components and the model's entries
+    #: to build Rao-Blackwellized learning signals.
+    site_scores: List[Tuple[str, np.ndarray]] = field(default_factory=list)
     finished: bool = False
     value: object = None
     started: bool = False
@@ -485,6 +490,7 @@ class _GroupResult:
     values: Dict[str, object]
     recorded: Dict[str, List[VecMessage]]
     obs_scores: Dict[str, List[object]]
+    site_scores: Dict[str, List[Tuple[str, np.ndarray]]]
 
 
 class _VecScheduler:
@@ -504,10 +510,12 @@ class _VecScheduler:
         n: int,
         logs: Optional[Dict[str, List[VecMessage]]] = None,
         max_ops: int = DEFAULT_MAX_OPS,
+        strict_replay: bool = False,
     ):
         self.rng = rng
         self.n = n
         self.max_ops = max_ops
+        self.strict_replay = strict_replay
         self.ops_handled = 0
         self.tasks: Dict[str, _VecTask] = {}
         for spec in coroutines:
@@ -565,6 +573,17 @@ class _VecScheduler:
                 )
             payload = entry.payload
         else:
+            if self.strict_replay and channel.replay_cursor is None:
+                # Rescoring mode: a resolution past the end of the recorded
+                # log means the coroutines took a different path than the
+                # recorded run (e.g. a parameter-dependent pure branch
+                # flipped) — drawing fresh values would silently score a
+                # different trace.
+                raise ChannelProtocolError(
+                    f"rescore on {channel.spec.name!r} ran past the recorded "
+                    "message log; the replayed execution diverged from the "
+                    "recorded control path"
+                )
             payload = fresh()
         channel.recorded.append(VecMessage(kind, provider_sent, payload))
         return payload
@@ -628,6 +647,7 @@ class _VecScheduler:
             value = self._resolve(channel, "val", provider, fresh)
             scores = op.dist.log_prob(_broadcast_values(value, self.n))
             task.log_weight = task.log_weight + scores
+            task.site_scores.append((op.channel, scores))
             if not self._partner_is_live(task, channel):
                 task.obs_scores.append(scores)
             else:
@@ -652,9 +672,9 @@ class _VecScheduler:
                     return op.dist.sample(self.rng)
 
                 value = self._resolve(channel, "val", not provider, fresh)
-            task.log_weight = task.log_weight + op.dist.log_prob(
-                _broadcast_values(value, self.n)
-            )
+            scores = op.dist.log_prob(_broadcast_values(value, self.n))
+            task.log_weight = task.log_weight + scores
+            task.site_scores.append((op.channel, scores))
             return True, value
 
         if isinstance(op, VOpSendBranch):
@@ -774,6 +794,7 @@ class _VecScheduler:
             values={name: task.value for name, task in self.tasks.items()},
             recorded={name: state.recorded for name, state in self.channels.items()},
             obs_scores={name: task.obs_scores for name, task in self.tasks.items()},
+            site_scores={name: task.site_scores for name, task in self.tasks.items()},
         )
 
 
@@ -814,6 +835,11 @@ class _Leaf:
     obs_scores: Optional[List[object]]  # model-side likelihood terms, in order
     model_value: object = None
     guide_value: object = None
+    #: Per-site ``(channel, scores)`` ledgers in each task's op order; ``None``
+    #: when the group came from the sequential fallback (which does not
+    #: decompose weights per site).
+    model_site_scores: Optional[List[Tuple[str, np.ndarray]]] = None
+    guide_site_scores: Optional[List[Tuple[str, np.ndarray]]] = None
 
 
 class ParticleVectorizer:
@@ -865,6 +891,9 @@ class ParticleVectorizer:
             CoroutineSpec(name="model", program=model_program, entry=model_entry, args=model_args),
             CoroutineSpec(name="guide", program=guide_program, entry=guide_entry, args=guide_args),
         ]
+        self._replay_channels = {
+            spec.name for spec in self._channel_specs if spec.replay is not None
+        }
 
     def run(self, num_particles: int, rng=None) -> "VectorRunResult":
         if num_particles <= 0:
@@ -886,6 +915,46 @@ class ParticleVectorizer:
             obs_channel=self.obs_channel,
             vectorized=vectorized,
         )
+
+    def rescore_group(self, leaf: _Leaf, rng=None) -> _GroupResult:
+        """Re-execute one finished control-flow group with every resolution replayed.
+
+        Every sample value and branch selection comes from the group's
+        recorded log (external-replay channels re-resolve from their own
+        trace), so no randomness is consumed: the run only *rescores* the
+        recorded trace under this vectorizer's programs and arguments.  This
+        is the primitive behind score-function gradients: build a vectorizer
+        with perturbed guide arguments and rescore the groups drawn at the
+        unperturbed point to measure how the guide density responds.
+
+        Raises :class:`ChannelProtocolError` when the replayed execution
+        diverges from the recorded control path (consumes more or fewer
+        messages than the log holds, or messages of the wrong kind) — e.g. a
+        pure branch on a perturbed argument flipping arms.
+        """
+        logs = {
+            name: list(messages)
+            for name, messages in leaf.recorded.items()
+            if name not in self._replay_channels
+        }
+        scheduler = _VecScheduler(
+            self._coroutine_specs,
+            self._channel_specs,
+            ensure_rng(rng),
+            n=len(leaf.indices),
+            logs=logs,
+            max_ops=self.max_ops,
+            strict_replay=True,
+        )
+        result = scheduler.run()
+        for name, state in scheduler.channels.items():
+            if state.replay_cursor is None and state.log_pos < len(state.log):
+                raise ChannelProtocolError(
+                    f"rescore on {name!r} consumed only {state.log_pos} of "
+                    f"{len(state.log)} recorded messages; the replayed "
+                    "execution diverged from the recorded control path"
+                )
+        return result
 
     # -- lockstep execution with group splitting -------------------------------
 
@@ -925,6 +994,8 @@ class ParticleVectorizer:
                     obs_scores=result.obs_scores["model"],
                     model_value=result.values["model"],
                     guide_value=result.values["guide"],
+                    model_site_scores=result.site_scores["model"],
+                    guide_site_scores=result.site_scores["guide"],
                 )
             )
         return leaves

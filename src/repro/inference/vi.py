@@ -14,16 +14,24 @@ guide types certify (Thm. 5.2).
 Because the substrate is pure numpy (no autograd), the optimiser ascends
 the ELBO with central finite-difference gradients over a common-random-
 numbers estimator, which is adequate for the small parameter vectors used
-by the paper's benchmarks (2–8 parameters).
+by the paper's benchmarks (2–8 parameters).  This sequential path is kept
+as the ``svi-fd`` reference engine; the production path is the batched
+score-function optimiser on the lockstep particle runtime
+(:mod:`repro.engine.svi`, engine name ``svi``), which replaces the
+``2·dim + 1`` sequential ELBO sweeps per step with one vectorized sampling
+pass plus two vectorized rescoring passes per parameter coordinate.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only dependency
+    from repro.minipyro.infer.optim import Optimizer
 
 from repro.core import ast
 from repro.core.coroutines import run_model_guide
@@ -135,6 +143,7 @@ def svi(
     theta_projection: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     latent_channel: str = "latent",
     obs_channel: str = "obs",
+    optimizer: Optional["Optimizer"] = None,
 ) -> SVIResult:
     """Maximise the ELBO by finite-difference gradient ascent.
 
@@ -148,11 +157,21 @@ def svi(
         Particles per ELBO evaluation.
     learning_rate:
         Step size for plain gradient ascent (with a 1/sqrt(t) decay).
+        Ignored when ``optimizer`` is given.
     fd_epsilon:
         Central-difference perturbation size.
+    optimizer:
+        Optional :class:`repro.minipyro.infer.optim.Optimizer` (Adam/SGD)
+        applied to the finite-difference gradient, so the ``svi-fd`` engine
+        honours the same optimiser choice as the vectorized ``svi`` engine.
+        Defaults to plain gradient ascent with a 1/sqrt(t) decayed step.
     theta_projection:
         Optional projection applied after each step (e.g. clamp a scale
-        parameter to stay positive).  Defaults to the identity.
+        parameter to stay positive).  Defaults to the identity.  Prefer the
+        constraint transforms of :class:`repro.engine.params.ParamStore`
+        (used by the ``svi``/``svi-fd`` engines) for new code — they
+        reparameterise instead of clamping, so the optimiser never sees the
+        constraint boundary.
     """
     rng = ensure_rng(rng)
     theta = np.asarray(list(theta0), dtype=float)
@@ -181,6 +200,14 @@ def svi(
     for step in range(num_steps):
         seed = int(rng.integers(0, 2**31 - 1))
         base = elbo_at(theta, seed)
+        if not math.isfinite(base):
+            # The guide left the model's support (or the estimate degenerated
+            # to nan) at this θ: finite differences around a non-finite base
+            # measure nothing, so record the failure and keep θ fixed instead
+            # of taking an unclamped step on a garbage gradient.
+            result.elbo_history.append(base)
+            result.theta_history.append(theta.copy())
+            continue
         gradient = np.zeros_like(theta)
         for i in range(theta.size):
             bump = np.zeros_like(theta)
@@ -192,11 +219,16 @@ def svi(
             else:
                 gradient[i] = (plus - minus) / (2.0 * fd_epsilon)
 
-        step_size = learning_rate / math.sqrt(1.0 + step)
         norm = float(np.linalg.norm(gradient))
         if norm > 10.0:
             gradient = gradient * (10.0 / norm)
-        theta = projection(theta + step_size * gradient)
+        if optimizer is not None:
+            params = {"theta": theta.copy()}
+            optimizer.update(params, {"theta": gradient})
+            theta = projection(np.asarray(params["theta"], dtype=float))
+        else:
+            step_size = learning_rate / math.sqrt(1.0 + step)
+            theta = projection(theta + step_size * gradient)
 
         result.elbo_history.append(base)
         result.theta_history.append(theta.copy())

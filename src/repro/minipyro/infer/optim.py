@@ -1,4 +1,11 @@
-"""Parameter-store optimisers for mini-Pyro SVI."""
+"""Parameter-store optimisers shared by mini-Pyro SVI and the vectorized engine.
+
+The updates are written against a ``name -> value`` dict where values are
+floats or NumPy arrays (all arithmetic is elementwise), so the same
+implementations serve both the compiled mini-Pyro runtime's global parameter
+store and the unconstrained-value dict of
+:class:`repro.engine.params.ParamStore`.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +15,12 @@ import numpy as np
 
 
 class Optimizer:
-    """Base class: updates the parameter store in place from a gradient dict."""
+    """Base class: updates the parameter store in place from a gradient dict.
+
+    Both dicts map parameter names to scalars or same-shaped arrays; the
+    direction is *ascent* (gradients of an objective being maximised, e.g.
+    the ELBO).
+    """
 
     def update(self, params: Dict[str, float], grads: Dict[str, float]) -> None:
         raise NotImplementedError

@@ -12,6 +12,8 @@
 
 from repro.models.library import (
     Benchmark,
+    COIN_GUIDE_PARAM_SOURCE,
+    WEIGHT_GUIDE_POSITIVE_SOURCE,
     all_benchmarks,
     get_benchmark,
     selected_benchmarks,
@@ -20,6 +22,8 @@ from repro.models.library import (
 
 __all__ = [
     "Benchmark",
+    "COIN_GUIDE_PARAM_SOURCE",
+    "WEIGHT_GUIDE_POSITIVE_SOURCE",
     "all_benchmarks",
     "selected_benchmarks",
     "get_benchmark",

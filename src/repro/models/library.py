@@ -904,6 +904,28 @@ EX1_GUIDE_VI_SOURCE = _EX1_GUIDE_VI
 EX1_GUIDE_UNSOUND_IS_SOURCE = _EX1_GUIDE_UNSOUND_IS
 EX1_GUIDE_UNSOUND_VI_SOURCE = _EX1_GUIDE_UNSOUND_VI
 
+# Parameterized guide variants used by the SVI engines and their gradient
+# tests: the weight guide with a *directly* positive scale (constrained by a
+# ParamStore softplus transform rather than exp-reparameterized inside the
+# program), and a Beta guide exposing the coin model's proposal as two
+# positive shape parameters.
+_WEIGHT_GUIDE_POSITIVE = """
+proc WeighGuideP(loc: real, scale: preal) provide latent {
+  weight <- sample.send{latent}(Normal(loc, scale));
+  return(weight)
+}
+"""
+
+_COIN_GUIDE_PARAM = """
+proc CoinGuideP(a: preal, b: preal) provide latent {
+  bias <- sample.send{latent}(Beta(a, b));
+  return(bias)
+}
+"""
+
+WEIGHT_GUIDE_POSITIVE_SOURCE = _WEIGHT_GUIDE_POSITIVE
+COIN_GUIDE_PARAM_SOURCE = _COIN_GUIDE_PARAM
+
 
 def all_benchmarks() -> List[Benchmark]:
     """Every benchmark, selected and extra, in registry order."""

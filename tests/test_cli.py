@@ -112,6 +112,87 @@ class TestRunIS:
         ]) == 1
 
 
+class TestRunSVI:
+    @pytest.fixture
+    def weight_files(self, tmp_path):
+        from repro.models import get_benchmark
+
+        bench = get_benchmark("weight")
+        model = tmp_path / "weight_model.gt"
+        guide = tmp_path / "weight_guide.gt"
+        model.write_text(bench.model_source)
+        guide.write_text(bench.guide_source)
+        return str(model), str(guide)
+
+    def test_fits_parameters_and_reports_posterior(self, weight_files, capsys):
+        model_file, guide_file = weight_files
+        code = main([
+            "run-svi", model_file, guide_file,
+            "--obs", "9.5", "--particles", "64", "--steps", "10",
+            "--lr", "0.1", "--seed", "1",
+            "--param", "loc=8.5", "--param", "log_scale=0.0",
+            "--final-particles", "500",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ELBO trajectory" in out
+        assert "fitted parameters" in out
+        assert "posterior mean" in out
+
+    def test_finite_difference_engine_selectable(self, weight_files, capsys):
+        model_file, guide_file = weight_files
+        code = main([
+            "run-svi", model_file, guide_file, "--engine", "svi-fd",
+            "--obs", "9.5", "--particles", "8", "--steps", "2", "--seed", "1",
+            "--param", "loc=8.5", "--param", "log_scale=0.0",
+        ])
+        assert code == 0
+        assert "engine                  : svi-fd" in capsys.readouterr().out
+
+    def test_non_numeric_param_reports_clean_error(self, weight_files, capsys):
+        model_file, guide_file = weight_files
+        code = main([
+            "run-svi", model_file, guide_file,
+            "--obs", "9.5", "--param", "loc=abc",
+        ])
+        assert code == 2
+        assert "expects a numeric value" in capsys.readouterr().err
+
+    def test_malformed_param_spec_reports_clean_error(self, weight_files, capsys):
+        model_file, guide_file = weight_files
+        code = main([
+            "run-svi", model_file, guide_file, "--obs", "9.5", "--param", "loc",
+        ])
+        assert code == 2
+        assert "expects name=value" in capsys.readouterr().err
+
+    def test_unit_constraint_default_init_is_valid(self, weight_files, capsys):
+        # Regression: the auto-init for a unit-constrained parameter used to
+        # be 1.0, which the sigmoid inverse rejects as outside (0, 1).
+        model_file, guide_file = weight_files
+        code = main([
+            "run-svi", model_file, guide_file,
+            "--obs", "9.5", "--particles", "16", "--steps", "1", "--seed", "1",
+            "--constraint", "log_scale=real", "--constraint", "loc=unit",
+        ])
+        assert code == 0
+        assert "'loc': 0.5" in capsys.readouterr().out
+
+    def test_defaults_parameters_when_none_given(self, weight_files, capsys):
+        model_file, guide_file = weight_files
+        code = main([
+            "run-svi", model_file, guide_file,
+            "--obs", "9.5", "--particles", "16", "--steps", "1", "--seed", "1",
+        ])
+        assert code == 0
+        assert "no --param given" in capsys.readouterr().out
+
+    def test_refuses_uncertified_pair_without_force(self, model_file, bad_guide_file):
+        assert main([
+            "run-svi", model_file, bad_guide_file, "--obs", "0.8", "--steps", "1",
+        ]) == 1
+
+
 class TestBenchmarksListing:
     def test_lists_all_benchmarks(self, capsys):
         assert main(["benchmarks"]) == 0

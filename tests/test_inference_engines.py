@@ -297,6 +297,46 @@ class TestVariationalInference:
         assert result.theta[0] == pytest.approx(WEIGHT_POSTERIOR_MEAN, abs=0.35)
         assert result.num_steps == 40
 
+    def test_non_finite_base_elbo_does_not_step(self):
+        """Regression: a non-finite base ELBO used to keep stepping.
+
+        When the guide proposes outside the model's support the ELBO
+        estimate is ``-inf``; the optimiser previously recorded it and then
+        took an *unclamped* step from whatever the perturbed evaluations
+        happened to return.  It must now record the failure and leave θ
+        untouched for that step.
+        """
+        model = parse_program(
+            """
+            proc M() consume latent provide obs {
+              v <- sample.recv{latent}(Gamma(2.0, 1.0));
+              _ <- sample.send{obs}(Normal(v, 1.0));
+              return(v)
+            }
+            """
+        )
+        guide = parse_program(
+            """
+            proc G(loc: real) provide latent {
+              v <- sample.send{latent}(Normal(loc, 1.0));
+              return(v)
+            }
+            """
+        )
+
+        def family(theta):
+            return guide, "G", (float(theta[0]),)
+
+        # loc = -40: every proposal is negative, i.e. outside Gamma support.
+        result = svi(
+            model, family, theta0=[-40.0], model_entry="M",
+            obs_trace=(tr.ValP(1.0),), num_steps=6, num_particles=8,
+            learning_rate=0.5, rng=np.random.default_rng(20),
+        )
+        assert result.elbo_history == [-math.inf] * 6
+        assert all(float(t[0]) == pytest.approx(-40.0) for t in result.theta_history)
+        assert float(result.theta[0]) == pytest.approx(-40.0)
+
     def test_elbo_estimate_reports_particles(self):
         model, entry, family = self._weight_family()
         estimate = estimate_elbo(
