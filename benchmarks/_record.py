@@ -1,0 +1,109 @@
+"""Machine-readable benchmark results: the ``BENCH_results.json`` artifact.
+
+Every benchmark harness funnels its measurements through :func:`record`, so
+one run of ``pytest benchmarks`` leaves behind a single JSON artifact that CI
+uploads (see the ``fast-benchmarks`` job in ``.github/workflows/ci.yml``).
+The file accumulates entries across test files within a run — each entry is
+one measurement:
+
+.. code-block:: json
+
+    {"schema": 1,
+     "entries": [{"suite": "compiled_backend", "model": "switching",
+                  "engine": "is", "backend": "compiled", "particles": 10000,
+                  "wall_time_s": 0.0118, "speedup": 4.4,
+                  "baseline": "interp", "extra": {...}}]}
+
+``wall_time_s`` is the best-of-N wall time of the measured configuration;
+``speedup`` (optional) is relative to the named ``baseline``.  The output
+path defaults to ``BENCH_results.json`` in the current directory and can be
+redirected with ``REPRO_BENCH_RESULTS``.  Writes are load-modify-write per
+record, which is plenty for the handful of entries a benchmark run emits;
+stale files from a previous run are reset by the session-scoped
+:func:`reset_results` autouse fixture in ``benchmarks/conftest.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Optional
+
+SCHEMA_VERSION = 1
+
+
+def results_path() -> Path:
+    return Path(os.environ.get("REPRO_BENCH_RESULTS", "BENCH_results.json"))
+
+
+def _load() -> dict:
+    path = results_path()
+    if path.exists():
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            if isinstance(data, dict) and data.get("schema") == SCHEMA_VERSION:
+                return data
+        except (OSError, json.JSONDecodeError):
+            pass
+    return {"schema": SCHEMA_VERSION, "created_at": time.strftime("%Y-%m-%dT%H:%M:%S"), "entries": []}
+
+
+def reset_results() -> None:
+    """Start a fresh artifact (called once per benchmark session)."""
+    path = results_path()
+    if path.exists():
+        path.unlink()
+
+
+def record(
+    suite: str,
+    model: str,
+    engine: str,
+    wall_time_s: float,
+    backend: str = "interp",
+    particles: Optional[int] = None,
+    speedup: Optional[float] = None,
+    baseline: Optional[str] = None,
+    **extra,
+) -> None:
+    """Append one measurement to the ``BENCH_results.json`` artifact.
+
+    ``suite`` names the harness (usually the benchmark file's topic),
+    ``model``/``engine``/``backend``/``particles`` identify the measured
+    configuration, and ``speedup`` relates it to ``baseline`` when the
+    harness measured a comparison.  Extra keyword fields land under
+    ``extra`` untouched — use them for harness-specific detail (group
+    counts, tolerance margins, paper-reported numbers).
+    """
+    data = _load()
+    entry = {
+        "suite": suite,
+        "model": model,
+        "engine": engine,
+        "backend": backend,
+        "particles": particles,
+        "wall_time_s": float(wall_time_s),
+    }
+    if speedup is not None:
+        entry["speedup"] = float(speedup)
+    if baseline is not None:
+        entry["baseline"] = baseline
+    if extra:
+        entry["extra"] = extra
+    data["entries"].append(entry)
+    results_path().write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+
+def best_of(repeats: int, thunk):
+    """Best-of-N wall time helper shared by the harnesses.
+
+    Returns ``(best_seconds, last_result)``.
+    """
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = thunk()
+        best = min(best, time.perf_counter() - start)
+    return best, result

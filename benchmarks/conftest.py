@@ -1,0 +1,12 @@
+"""Benchmark-session fixtures: one fresh ``BENCH_results.json`` per run."""
+
+import pytest
+
+import _record
+
+
+@pytest.fixture(scope="session", autouse=True)
+def fresh_bench_results():
+    """Reset the results artifact once at the start of a benchmark session."""
+    _record.reset_results()
+    yield

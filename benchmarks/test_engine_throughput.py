@@ -18,11 +18,11 @@ Table-2 benchmark model (``ex-1``, the paper's Fig. 5 pair):
 from __future__ import annotations
 
 import os
-import time
 
 import numpy as np
 import pytest
 
+import _record
 from repro.core.semantics import traces as tr
 from repro.engine import smc, vectorized_importance
 from repro.inference import importance_sampling
@@ -44,13 +44,7 @@ def _pair():
     return bench.model_program(), bench.guide_program(), bench.model_entry, bench.guide_entry
 
 
-def _best_of(repeats: int, thunk):
-    best, result = float("inf"), None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = thunk()
-        best = min(best, time.perf_counter() - start)
-    return best, result
+_best_of = _record.best_of
 
 
 def test_vectorized_is_10k_particles_at_least_5x_faster():
@@ -80,6 +74,12 @@ def test_vectorized_is_10k_particles_at_least_5x_faster():
         f"\nex-1 @ {NUM_PARTICLES} particles: sequential {seq_seconds*1e3:.1f}ms, "
         f"vectorized {vec_seconds*1e3:.1f}ms ({vec_result.run.num_groups} "
         f"control-flow groups) -> {speedup:.1f}x"
+    )
+    _record.record(
+        suite="engine_throughput", model="ex-1", engine="is", backend="interp",
+        particles=NUM_PARTICLES, wall_time_s=vec_seconds,
+        speedup=speedup, baseline="is-sequential",
+        sequential_wall_time_s=seq_seconds,
     )
     assert speedup >= MIN_SPEEDUP
 
@@ -112,9 +112,16 @@ def test_smc_recovers_fig2_posterior():
     model, guide, model_entry, guide_entry = _pair()
     obs = (tr.ValP(OBSERVED_Z),)
 
-    smc_result = smc(
-        model, guide, model_entry, guide_entry,
-        obs_trace=obs, num_particles=4000, rng=np.random.default_rng(0),
+    smc_seconds, smc_result = _best_of(
+        1,
+        lambda: smc(
+            model, guide, model_entry, guide_entry,
+            obs_trace=obs, num_particles=4000, rng=np.random.default_rng(0),
+        ),
+    )
+    _record.record(
+        suite="engine_throughput", model="ex-1", engine="smc", backend="interp",
+        particles=4000, wall_time_s=smc_seconds,
     )
     is_result = importance_sampling(
         model, guide, model_entry, guide_entry,

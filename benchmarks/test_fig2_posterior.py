@@ -17,8 +17,12 @@ Run with ``pytest benchmarks/test_fig2_posterior.py --benchmark-only``.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
+
+import _record
 
 from repro.core.coroutines import run_prior
 from repro.core.semantics import traces as tr
@@ -57,7 +61,12 @@ def _prior_x_samples(rng_seed: int = 1):
 
 def test_fig2_posterior_series(benchmark):
     """Regenerate Figure 2's two density curves and check their shape."""
+    start = time.perf_counter()
     result = benchmark.pedantic(_run_inference, iterations=1, rounds=1)
+    _record.record(
+        suite="fig2_posterior", model="ex-1", engine="is-sequential",
+        particles=NUM_PARTICLES, wall_time_s=time.perf_counter() - start,
+    )
 
     posterior_x = [float(s.latent_values[0]) for s in result.samples]
     posterior_weights = result.log_weights

@@ -22,13 +22,14 @@ Run with ``pytest benchmarks/test_soundness_ablation.py --benchmark-only``.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
-import pytest
+import _record
 
 from repro.analysis import absolute_continuity_certificate, empirical_support_check
 from repro.core.parser import parse_program
 from repro.core.semantics import traces as tr
-from repro.errors import ChannelProtocolError, InferenceError
 from repro.inference import importance_sampling
 from repro.models import get_benchmark
 from repro.models.library import (
@@ -91,6 +92,7 @@ def test_sound_guide_produces_healthy_importance_weights(benchmark):
     model = _model()
     guide, entry = _sound_is_guide()
 
+    start = time.perf_counter()
     result = benchmark.pedantic(
         lambda: importance_sampling(
             model, guide, "Model", entry, obs_trace=OBS, num_samples=400,
@@ -98,6 +100,11 @@ def test_sound_guide_produces_healthy_importance_weights(benchmark):
         ),
         iterations=1,
         rounds=1,
+    )
+    _record.record(
+        suite="soundness_ablation", model="ex-1", engine="is-sequential",
+        particles=400, wall_time_s=time.perf_counter() - start,
+        guide="Guide1 (sound)",
     )
     ess = result.effective_sample_size()
     print(f"\nsound IS guide: effective sample size {ess:.1f} / 400")

@@ -17,10 +17,10 @@ particle counts; the speedup assertion holds in both configurations.
 from __future__ import annotations
 
 import os
-import time
 
 import pytest
 
+import _record
 from repro.engine import ProgramSession
 from repro.models import get_benchmark
 
@@ -53,13 +53,7 @@ def _fit(session: ProgramSession, engine: str, guide_params, obs_values, **overr
     return session.infer(engine, **kwargs)
 
 
-def _best_of(repeats: int, thunk):
-    best, result = float("inf"), None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = thunk()
-        best = min(best, time.perf_counter() - start)
-    return best, result
+_best_of = _record.best_of
 
 
 @pytest.mark.parametrize(
@@ -86,6 +80,12 @@ def test_vectorized_svi_at_least_5x_faster_than_finite_differences(name, guide_p
         f"\n{name} SVI ({NUM_STEPS} steps x {NUM_PARTICLES} particles, "
         f"{len(guide_params)} params): finite-difference {fd_seconds*1e3:.1f}ms, "
         f"vectorized {vec_seconds*1e3:.1f}ms -> {speedup:.1f}x"
+    )
+    _record.record(
+        suite="svi_throughput", model=name, engine="svi", backend="interp",
+        particles=NUM_PARTICLES, wall_time_s=vec_seconds,
+        speedup=speedup, baseline="svi-fd",
+        fd_wall_time_s=fd_seconds, num_steps=NUM_STEPS,
     )
     assert speedup >= MIN_SPEEDUP
 

@@ -17,7 +17,11 @@ Run with ``pytest benchmarks/test_table1_expressiveness.py --benchmark-only``.
 
 from __future__ import annotations
 
+import time
+
 import pytest
+
+import _record
 
 from repro.baselines import trace_type_check
 from repro.core.typecheck import check_model_guide_pair, infer_guide_types
@@ -53,7 +57,7 @@ def _baseline_accepts(bench) -> bool:
 def test_table1_row(benchmark, bench):
     """One Table 1 row: measure type checking and compare verdicts to the paper."""
     if not bench.expressible:
-        result = benchmark(lambda: False)
+        benchmark(lambda: False)
         assert bench.paper_table1.typechecks_ours is False
         return
 
@@ -87,7 +91,12 @@ def test_table1_report(benchmark):
             )
         return rows
 
-    rows = benchmark(build_rows)
+    start = time.perf_counter()
+    rows = benchmark.pedantic(build_rows, iterations=1, rounds=1)
+    _record.record(
+        suite="table1_expressiveness", model="all-selected", engine="typecheck",
+        wall_time_s=time.perf_counter() - start, num_rows=len(rows),
+    )
 
     header = f"{'program':<12} {'T? (ours)':<10} {'LOC (ours)':<11} {'TP? (prior)':<12} {'LOC (paper)':<11}"
     lines = ["", "Table 1 — expressiveness (measured vs paper)", header, "-" * len(header)]

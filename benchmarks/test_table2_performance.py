@@ -29,6 +29,7 @@ from typing import Dict
 import numpy as np
 import pytest
 
+import _record
 from repro.compiler import compile_pair, load_compiled
 from repro.core.typecheck import infer_guide_types
 from repro.minipyro import clear_param_store
@@ -165,6 +166,15 @@ def test_table2_report(benchmark):
         iterations=1,
         rounds=1,
     )
+    for row in rows.values():
+        _record.record(
+            suite="table2_performance", model=row.name, engine=row.algorithm,
+            wall_time_s=row.generated_inference_s,
+            codegen_ms=row.codegen_ms,
+            handwritten_wall_time_s=row.handwritten_inference_s,
+            generated_loc=row.generated_loc,
+            handwritten_loc=row.handwritten_loc,
+        )
 
     header = (
         f"{'program':<10} {'BI':<4} {'CG(ms)':>8} {'GLOC':>6} {'GI(s)':>8} "

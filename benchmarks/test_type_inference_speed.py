@@ -14,6 +14,7 @@ import time
 
 import pytest
 
+import _record
 from repro.core.typecheck import infer_guide_types
 from repro.models import all_benchmarks
 
@@ -51,6 +52,11 @@ def test_type_inference_speed_report(benchmark):
     for name, elapsed in rows:
         lines.append(f"{name:<12} {elapsed:>10.3f}")
     worst = max(elapsed for _, elapsed in rows)
+    for name, elapsed in rows:
+        _record.record(
+            suite="type_inference_speed", model=name, engine="guide-type-inference",
+            wall_time_s=elapsed / 1000.0,
+        )
     lines.append(f"slowest benchmark: {worst:.3f} ms (paper: a few milliseconds)")
     print("\n".join(lines))
 

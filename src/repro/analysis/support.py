@@ -22,7 +22,6 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.core import ast
 from repro.core import types as ty

@@ -106,6 +106,18 @@ def _refuse_uncertified(session: ProgramSession, args: argparse.Namespace) -> bo
     return False
 
 
+def _print_backend(session, diagnostics: dict) -> None:
+    """Report which particle runtime actually served the request."""
+    backend = diagnostics.get("backend")
+    if backend is None and session.compiled_backend_supported is None:
+        return
+    if session.compiled_fallback_reason is not None:
+        print(f"backend                 : interp (compiled fallback: "
+              f"{session.compiled_fallback_reason})")
+    elif backend is not None:
+        print(f"backend                 : {backend}")
+
+
 def _print_engine_summary(result, num_particles: int) -> None:
     print(f"particles               : {num_particles}")
     log_evidence = result.log_evidence()
@@ -131,11 +143,13 @@ def cmd_run_is(args: argparse.Namespace) -> int:
         num_particles=num_particles,
         obs_values=args.obs or None,  # empty --obs means prior predictive
         seed=args.seed,
+        backend=args.backend,
     )
     _print_engine_summary(result, num_particles)
     diagnostics = result.diagnostics()
     if "num_groups" in diagnostics:
         print(f"control-flow groups     : {diagnostics['num_groups']}")
+    _print_backend(session, diagnostics)
     return 0
 
 
@@ -154,6 +168,7 @@ def cmd_run_smc(args: argparse.Namespace) -> int:
         seed=args.seed,
         ess_threshold=args.ess_threshold,
         rejuvenate=not args.no_rejuvenation,
+        backend=args.backend,
     )
     _print_engine_summary(result, num_particles)
     diagnostics = result.diagnostics()
@@ -162,6 +177,7 @@ def cmd_run_smc(args: argparse.Namespace) -> int:
     rates = diagnostics["rejuvenation_rates"]
     if rates:
         print(f"rejuvenation acceptance : {', '.join(f'{r:.2f}' for r in rates)}")
+    _print_backend(session, diagnostics)
     return 0
 
 
@@ -215,6 +231,7 @@ def cmd_run_svi(args: argparse.Namespace) -> int:
         learning_rate=args.lr,
         rao_blackwellize=args.rao_blackwellize,
         final_particles=args.final_particles,
+        backend=args.backend,
     )
     diagnostics = result.diagnostics()
     history = diagnostics.get("elbo_history", [])
@@ -229,6 +246,7 @@ def cmd_run_svi(args: argparse.Namespace) -> int:
     # Evidence/ESS/posterior all come from the final pass through the fitted
     # guide, so report that pass's particle count, not the fit batch size.
     _print_engine_summary(result, args.final_particles or num_particles)
+    _print_backend(session, diagnostics)
     return 0
 
 
@@ -279,6 +297,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--force", action="store_true",
                        help="run even if the pair is not certified")
+        p.add_argument("--backend", choices=["interp", "compiled"], default="interp",
+                       help="particle runtime: the lockstep interpreter, or fused "
+                            "batched kernels compiled per model/guide pair "
+                            "(bitwise-identical results; falls back to interp "
+                            "for recursive programs)")
 
     p_is = sub.add_parser("run-is", help="run importance sampling on a pair")
     add_pair_arguments(p_is)

@@ -14,7 +14,16 @@ uses Python generators for coroutine switching:
   exercised exactly as it is by handwritten mini-Pyro code.
 """
 
-from repro.compiler.codegen import CompiledModule, compile_pair, compile_program, load_compiled
+from repro.compiler.codegen import (
+    CompiledModule,
+    FusedKernel,
+    compile_fused_pair,
+    compile_pair,
+    compile_program,
+    fused_unsupported_reason,
+    load_compiled,
+    load_fused,
+)
 from repro.compiler.runtime import (
     CompiledImportanceResults,
     run_compiled_pair,
@@ -23,6 +32,10 @@ from repro.compiler.runtime import (
 )
 
 __all__ = [
+    "FusedKernel",
+    "compile_fused_pair",
+    "fused_unsupported_reason",
+    "load_fused",
     "compile_program",
     "compile_pair",
     "load_compiled",

@@ -1,0 +1,605 @@
+"""Runtime support for fused batched kernels (the compiled backend).
+
+:func:`repro.compiler.codegen.compile_fused_pair` emits, for a model/guide
+pair, one straight-line Python function over ``(rng, n)`` that resolves every
+sample site with a single batched call and accumulates per-particle
+log-weights in preallocated arrays.  This module is the emitted code's
+standard library: expression helpers that mirror the vectorized evaluator's
+semantics (:func:`repro.engine.vectorize.eval_expr_vec`), per-family sample
+and score helpers that consume the RNG and compute densities *bitwise
+identically* to the interpretive runtime's :class:`~repro.engine.batched.BatchedDist`,
+and the branch-partitioning machinery that dispatches divergent particle
+groups through compiled sub-kernels.
+
+Bitwise contract
+----------------
+
+Every helper here must produce, lane for lane, the same bits the interpretive
+vectorizer produces for the same program point — that is what licenses the
+conformance suite's exact compiled-vs-interp comparisons and makes
+``backend="compiled"`` a pure execution-strategy change.  Three kinds of
+freedom are exploited, none of which change results:
+
+* masked support checks are dropped when the value's *provenance* (the family
+  that sampled it) proves support membership — ``np.where(ok, x, _)`` with an
+  all-true mask is the identity (see ``*_log_prob_inbounds`` in
+  :mod:`repro.dists`);
+* scalar parameters are kept scalar instead of broadcast to ``(n,)`` arrays —
+  NumPy scalar-array arithmetic broadcasts to the same lanewise values;
+* loop-invariant scalar subexpressions are hoisted and computed once.
+
+The RNG stream is pinned by always issuing exactly the draw calls
+:class:`~repro.engine.batched.BatchedDist` would issue, with the same
+scalar-vs-array parameter dispatch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import ast
+from repro.core.semantics import traces as tr
+from repro.dists.base import Distribution
+from repro.dists.continuous import (
+    beta_log_prob_inbounds,
+    beta_log_prob_kernel,
+    gamma_log_prob_inbounds,
+    gamma_log_prob_kernel,
+    normal_log_prob_inbounds,
+    normal_log_prob_kernel,
+    uniform01_log_prob_inbounds,
+    uniform01_log_prob_kernel,
+)
+from repro.dists.discrete import (
+    bernoulli_log_prob_kernel,
+    geometric_log_prob_inbounds,
+    geometric_log_prob_kernel,
+    poisson_log_prob_inbounds,
+    poisson_log_prob_kernel,
+)
+from repro.engine.batched import BatchedDist, _require_all
+from repro.engine.vectorize import (
+    VecMessage,
+    VectorizationUnsupported,
+    _broadcast_values,
+    _Leaf,
+)
+from repro.errors import ChannelProtocolError, EvaluationError, TraceTypeMismatch
+
+__all__ = [
+    "as_bool",
+    "bind_args",
+    "uniform_or_none",
+]
+
+_ULP0 = math.ulp(0.0)
+_CLIP_EPS = 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Argument binding and expression semantics (mirror eval_expr_vec)
+# ---------------------------------------------------------------------------
+
+
+def bind_args(entry: str, nparams: int, args: Sequence[object]) -> Tuple[object, ...]:
+    """Mirror ``interpret_procedure_vec``'s arity check for an entry point."""
+    args = tuple(args)
+    if len(args) != nparams:
+        raise EvaluationError(f"{entry} expects {nparams} arguments, got {len(args)}")
+    return args
+
+
+def as_bool(value: object, what: str) -> object:
+    """Mirror the vectorized evaluator's Boolean screening."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, np.ndarray) and value.dtype.kind == "b":
+        return value
+    raise EvaluationError(f"{what}: expected a Boolean, got {value!r}")
+
+
+def ifexp(cond: object, then, orelse):
+    """Strict-both-arms array conditional / lazy scalar conditional.
+
+    Mirrors ``eval_expr_vec``'s ``IfExpr`` case exactly, including the
+    :class:`VectorizationUnsupported` screen on non-scalar arms — the
+    compiled runner catches it and takes the same whole-batch sequential
+    fallback the interpretive vectorizer takes.
+    """
+    cond = as_bool(cond, "if-condition")
+    if isinstance(cond, bool):
+        return then() if cond else orelse()
+    then_value, else_value = then(), orelse()
+    for value in (then_value, else_value):
+        if not (isinstance(value, np.ndarray) or isinstance(value, (int, float, bool))):
+            raise VectorizationUnsupported(
+                f"if-expression over a particle axis with non-scalar arm {value!r}"
+            )
+    return np.where(cond, then_value, else_value)
+
+
+def and_(left: object, right):
+    left = as_bool(left, "left operand of &&")
+    if isinstance(left, bool):
+        if not left:
+            return False
+        return as_bool(right(), "right operand of &&")
+    return np.logical_and(left, as_bool(right(), "right operand of &&"))
+
+
+def or_(left: object, right):
+    left = as_bool(left, "left operand of ||")
+    if isinstance(left, bool):
+        if left:
+            return True
+        return as_bool(right(), "right operand of ||")
+    return np.logical_or(left, as_bool(right(), "right operand of ||"))
+
+
+def not_(value: object) -> object:
+    value = as_bool(value, "operand of !")
+    return (not value) if isinstance(value, bool) else np.logical_not(value)
+
+
+def eq(left: object, right: object) -> object:
+    if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
+        return np.equal(left, right)
+    return left == right
+
+
+def ne(left: object, right: object) -> object:
+    if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
+        return np.not_equal(left, right)
+    return left != right
+
+
+def div(left: object, right: object) -> object:
+    if not isinstance(left, np.ndarray) and not isinstance(right, np.ndarray):
+        if right == 0.0:
+            raise EvaluationError("division by zero")
+        return left / right
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.asarray(left, dtype=float) / np.asarray(right, dtype=float)
+
+
+def _unop(value: object, scalar_fn, array_fn, domain_check=None, domain_msg=None):
+    if not isinstance(value, np.ndarray):
+        number = float(value)
+        if domain_check is not None and not domain_check(number):
+            raise EvaluationError(domain_msg.format(number))
+        return scalar_fn(number)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        return array_fn(value)
+
+
+def exp_(value: object) -> object:
+    return _unop(value, math.exp, np.exp)
+
+
+def log_(value: object) -> object:
+    return _unop(
+        value, math.log, np.log,
+        domain_check=lambda x: x > 0.0,
+        domain_msg="log of a non-positive number {}",
+    )
+
+
+def sqrt_(value: object) -> object:
+    return _unop(
+        value, math.sqrt, np.sqrt,
+        domain_check=lambda x: x >= 0.0,
+        domain_msg="sqrt of a negative number {}",
+    )
+
+
+def proj(value: object, index: int) -> object:
+    if not isinstance(value, tuple) or not 0 <= index < len(value):
+        raise EvaluationError(f"invalid projection .{index} from {value!r}")
+    return value[index]
+
+
+# ---------------------------------------------------------------------------
+# Distribution construction (generic paths — exact BatchedDist parity)
+# ---------------------------------------------------------------------------
+
+
+def make_batched(kind: ast.DistKind, args: Sequence[object], n: int) -> BatchedDist:
+    """Mirror ``eval_expr_vec``'s ``DistExpr`` case (argument screening included)."""
+    for a in args:
+        if not (isinstance(a, np.ndarray) or isinstance(a, (int, float))) or isinstance(a, bool):
+            raise EvaluationError(f"{kind.value} parameter: expected a number, got {a!r}")
+    return BatchedDist(kind, list(args), n)
+
+
+def as_batched(value: object, n: int) -> BatchedDist:
+    """Mirror ``_eval_dist_vec`` for non-literal distribution expressions."""
+    if isinstance(value, BatchedDist):
+        return value
+    if isinstance(value, Distribution):
+        return BatchedDist.from_scalar(value, n)
+    raise EvaluationError(f"sample command expects a distribution, got {value!r}")
+
+
+def scalar_dist(kind: ast.DistKind, args: Sequence[object]) -> Distribution:
+    """Mirror ``BatchedDist``'s shared-parameter construction exactly."""
+    from repro.dists.factory import make_distribution
+
+    return make_distribution(kind, [float(a) for a in args])
+
+
+def score_scalar(dist: Distribution, value: object, n: int) -> np.ndarray:
+    """Score through a scalar distribution's batch API, as the interpreter does."""
+    return dist.log_prob_batch(_broadcast_values(value, n))
+
+
+def bind_call(name: str, nparams: int, argument: object) -> Tuple[object, ...]:
+    """Mirror ``_bind_arguments_vec`` for multi-parameter procedure calls."""
+    if not isinstance(argument, tuple) or len(argument) != nparams:
+        raise EvaluationError(f"{name} expects {nparams} arguments, got {argument!r}")
+    return argument
+
+
+def score_dist(dist: BatchedDist, value: object, n: int) -> np.ndarray:
+    """Score through a :class:`BatchedDist` exactly as the interpreter does."""
+    return dist.log_prob(_broadcast_values(value, n))
+
+
+# ---------------------------------------------------------------------------
+# Per-family parameter checks (mirror BatchedDist._validate lanewise)
+# ---------------------------------------------------------------------------
+
+
+def chk_normal(mean, stddev) -> None:
+    _require_all(np.isfinite(mean), ast.DistKind.NORMAL, "mean must be a finite real")
+    _require_all(
+        np.isfinite(stddev) & (np.asarray(stddev) > 0.0),
+        ast.DistKind.NORMAL,
+        "stddev must be positive",
+    )
+
+
+def chk_gamma(shape, rate) -> None:
+    _require_all(
+        np.isfinite(shape) & (np.asarray(shape) > 0.0),
+        ast.DistKind.GAMMA,
+        "shape must be positive",
+    )
+    _require_all(
+        np.isfinite(rate) & (np.asarray(rate) > 0.0),
+        ast.DistKind.GAMMA,
+        "rate must be positive",
+    )
+
+
+def chk_beta(alpha, beta) -> None:
+    _require_all(
+        np.isfinite(alpha) & (np.asarray(alpha) > 0.0),
+        ast.DistKind.BETA,
+        "alpha must be positive",
+    )
+    _require_all(
+        np.isfinite(beta) & (np.asarray(beta) > 0.0),
+        ast.DistKind.BETA,
+        "beta must be positive",
+    )
+
+
+def chk_unit(kind: ast.DistKind, p) -> None:
+    p = np.asarray(p)
+    _require_all((p > 0.0) & (p < 1.0), kind, "p must lie in (0, 1)")
+
+
+def chk_pois(rate) -> None:
+    _require_all(
+        np.isfinite(rate) & (np.asarray(rate) > 0.0),
+        ast.DistKind.POIS,
+        "rate must be positive",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Per-family batched samplers (array-parameter fast paths)
+#
+# Each mirrors the corresponding branch of ``BatchedDist.sample`` verbatim so
+# the RNG stream is consumed identically; parameters arrive unbroadcast
+# (scalars stay scalar), which NumPy's generators treat identically.
+# ---------------------------------------------------------------------------
+
+
+def samp_normal(rng: np.random.Generator, n: int, mean, stddev) -> np.ndarray:
+    return rng.normal(mean, stddev, size=n)
+
+
+def samp_gamma(rng: np.random.Generator, n: int, shape, rate) -> np.ndarray:
+    return np.maximum(rng.gamma(shape, 1.0 / rate, size=n), _ULP0)
+
+
+def samp_beta(rng: np.random.Generator, n: int, alpha, beta) -> np.ndarray:
+    return np.clip(rng.beta(alpha, beta, size=n), _CLIP_EPS, 1.0 - _CLIP_EPS)
+
+
+def samp_unif(rng: np.random.Generator, n: int) -> np.ndarray:
+    return np.clip(rng.random(n), _CLIP_EPS, 1.0 - _CLIP_EPS)
+
+
+def samp_ber(rng: np.random.Generator, n: int, p) -> np.ndarray:
+    return rng.random(n) < p
+
+
+def samp_geo(rng: np.random.Generator, n: int, p) -> np.ndarray:
+    return rng.geometric(p, size=n) - 1
+
+
+def samp_pois(rng: np.random.Generator, n: int, rate) -> np.ndarray:
+    return rng.poisson(rate, size=n)
+
+
+# ---------------------------------------------------------------------------
+# Per-family score helpers
+#
+# ``score_<family>_in`` requires the value's provenance to prove support
+# membership (codegen only emits it then); ``score_<family>_full`` replicates
+# the masked kernel path for arbitrary float batches; the ``*_at`` variants
+# score one shared scalar value (a replayed observation) against the whole
+# group, skipping the interpreter's ``np.full`` broadcast when the scalar is
+# representative.  All fall back to the exact BatchedDist path on any input
+# the fast expressions do not cover (bools, exotic payloads).
+# ---------------------------------------------------------------------------
+
+
+def _is_plain_number(value: object) -> bool:
+    if isinstance(value, (bool, np.bool_)):
+        return False
+    return isinstance(value, (int, float, np.integer, np.floating))
+
+
+def _fallback_score(kind: ast.DistKind, params: Sequence[object], value, n: int) -> np.ndarray:
+    return score_dist(make_batched(kind, params, n), value, n)
+
+
+def _spread(lp, ok: bool, n: int) -> np.ndarray:
+    """Lift a scalar lane value to the group, mirroring the masked where."""
+    if not ok:
+        return np.full(n, -np.inf)
+    if np.ndim(lp) == 0:
+        return np.full(n, lp)
+    return lp
+
+
+def score_normal_in(mean, stddev, x) -> np.ndarray:
+    return normal_log_prob_inbounds(mean, stddev, x)
+
+
+def score_normal_at(mean, stddev, y, n: int) -> np.ndarray:
+    if not _is_plain_number(y):
+        return _fallback_score(ast.DistKind.NORMAL, (mean, stddev), y, n)
+    ok = bool(np.isfinite(y))
+    with np.errstate(over="ignore"):
+        lp = normal_log_prob_inbounds(mean, stddev, y if ok else 0.0)
+    return _spread(lp, ok, n)
+
+
+def score_gamma_in(shape, rate, x) -> np.ndarray:
+    return gamma_log_prob_inbounds(shape, rate, x)
+
+
+def score_gamma_at(shape, rate, y, n: int) -> np.ndarray:
+    if not _is_plain_number(y):
+        return _fallback_score(ast.DistKind.GAMMA, (shape, rate), y, n)
+    ok = bool(np.isfinite(y)) and y > 0.0
+    lp = gamma_log_prob_inbounds(shape, rate, y if ok else 1.0)
+    return _spread(lp, ok, n)
+
+
+def score_beta_in(alpha, beta, x) -> np.ndarray:
+    return beta_log_prob_inbounds(alpha, beta, x)
+
+
+def score_beta_at(alpha, beta, y, n: int) -> np.ndarray:
+    if not _is_plain_number(y):
+        return _fallback_score(ast.DistKind.BETA, (alpha, beta), y, n)
+    ok = 0.0 < y < 1.0
+    lp = beta_log_prob_inbounds(alpha, beta, y if ok else 0.5)
+    return _spread(lp, ok, n)
+
+
+def score_unif_in(x) -> np.ndarray:
+    return uniform01_log_prob_inbounds(x)
+
+
+def score_unif_at(y, n: int) -> np.ndarray:
+    if not _is_plain_number(y):
+        return _fallback_score(ast.DistKind.UNIF, (), y, n)
+    return np.full(n, 0.0 if 0.0 < y < 1.0 else -np.inf)
+
+
+def score_ber_in(p, x) -> np.ndarray:
+    return bernoulli_log_prob_kernel(p, x)
+
+
+def score_ber_at(p, y, n: int) -> np.ndarray:
+    if not isinstance(y, (bool, np.bool_)):
+        return _fallback_score(ast.DistKind.BER, (p,), y, n)
+    lp = np.log(p) if y else np.log1p(-p)
+    return _spread(lp, True, n)
+
+
+def score_geo_in(p, x) -> np.ndarray:
+    return geometric_log_prob_inbounds(p, x)
+
+
+def score_geo_at(p, y, n: int) -> np.ndarray:
+    if not _is_plain_number(y):
+        return _fallback_score(ast.DistKind.GEO, (p,), y, n)
+    ok = bool(np.isfinite(y)) and float(y).is_integer() and y >= 0
+    lp = geometric_log_prob_inbounds(p, float(y) if ok else 0.0)
+    return _spread(lp, ok, n)
+
+
+def score_pois_in(rate, x) -> np.ndarray:
+    return poisson_log_prob_inbounds(rate, x)
+
+
+def score_pois_at(rate, y, n: int) -> np.ndarray:
+    if not _is_plain_number(y):
+        return _fallback_score(ast.DistKind.POIS, (rate,), y, n)
+    ok = bool(np.isfinite(y)) and float(y).is_integer() and y >= 0
+    lp = poisson_log_prob_inbounds(rate, float(y) if ok else 0.0)
+    return _spread(lp, ok, n)
+
+
+_FULL_KERNELS = {
+    ast.DistKind.NORMAL: normal_log_prob_kernel,
+    ast.DistKind.GAMMA: gamma_log_prob_kernel,
+    ast.DistKind.BETA: beta_log_prob_kernel,
+    ast.DistKind.GEO: geometric_log_prob_kernel,
+    ast.DistKind.POIS: poisson_log_prob_kernel,
+}
+
+
+def score_full(kind: ast.DistKind, params: Sequence[object], value, n: int) -> np.ndarray:
+    """Masked-kernel scoring for values of unknown provenance.
+
+    Mirrors ``BatchedDist.log_prob``'s array-parameter dispatch, including the
+    dtype screens that shunt Boolean/object batches to the exact scalar loop.
+    """
+    arr = np.asarray(value)
+    if kind is ast.DistKind.BER:
+        if arr.dtype.kind != "b":
+            return _fallback_score(kind, params, value, n)
+        return bernoulli_log_prob_kernel(params[0], arr)
+    if arr.dtype == object or arr.dtype.kind == "b":
+        return _fallback_score(kind, params, value, n)
+    x = arr.astype(float, copy=False)
+    if kind is ast.DistKind.UNIF:
+        return uniform01_log_prob_kernel(x)
+    kernel = _FULL_KERNELS.get(kind)
+    if kernel is None:
+        return _fallback_score(kind, params, value, n)
+    return kernel(*params, x)
+
+
+# ---------------------------------------------------------------------------
+# Branch resolution and group partitioning
+# ---------------------------------------------------------------------------
+
+
+def uniform_or_none(pred: object) -> Optional[bool]:
+    """``True``/``False`` when the predicate is uniform, ``None`` when mixed."""
+    if isinstance(pred, bool):
+        return pred
+    pred = np.asarray(pred, dtype=bool)
+    if pred.all():
+        return True
+    if not pred.any():
+        return False
+    return None
+
+
+def take(value: object, mask: np.ndarray) -> object:
+    """Slice one live variable down to a subgroup (tuples recurse)."""
+    if isinstance(value, np.ndarray):
+        return value[mask]
+    if isinstance(value, tuple):
+        return tuple(take(item, mask) for item in value)
+    return value
+
+
+def slc_msgs(
+    messages: list,
+    mask: np.ndarray,
+    dir_provider: Optional[bool] = None,
+    selection: bool = False,
+) -> list:
+    """Slice a recorded-message column set for a subgroup.
+
+    When the split is a communicated branch, the subgroup's log additionally
+    carries the branch selection — exactly what the interpretive partitioner
+    appends before re-execution.
+    """
+    out = [message.sliced(mask) for message in messages]
+    if dir_provider is not None:
+        out.append(VecMessage("dir", dir_provider, selection))
+    return out
+
+
+def slc_arrs(arrays: list, mask: np.ndarray) -> list:
+    return [a[mask] if isinstance(a, np.ndarray) else a for a in arrays]
+
+
+def slc_led(ledger: list, mask: np.ndarray) -> list:
+    return [(channel, scores[mask]) for channel, scores in ledger]
+
+
+def val_msg(provider: bool, payload: object) -> VecMessage:
+    return VecMessage("val", provider, payload)
+
+
+def dir_msg(provider: bool, selection: bool) -> VecMessage:
+    return VecMessage("dir", provider, selection)
+
+
+def fold_msg() -> VecMessage:
+    return VecMessage("fold", True)
+
+
+# ---------------------------------------------------------------------------
+# Observation replay (mirror the scheduler's TraceCursor usage)
+# ---------------------------------------------------------------------------
+
+
+def obs_value(obs: Sequence[tr.Message], position: int, what: str) -> object:
+    if position >= len(obs):
+        raise TraceTypeMismatch(
+            f"{what}: expected a Message message but the trace is exhausted"
+        )
+    message = obs[position]
+    if not isinstance(message, (tr.ValP, tr.ValC)):
+        raise ChannelProtocolError(
+            f"{what}: replay trace provides {message}, expected a sample value"
+        )
+    return message.value
+
+
+def obs_fold(obs: Sequence[tr.Message], position: int, what: str) -> None:
+    if position >= len(obs):
+        raise TraceTypeMismatch(
+            f"{what}: expected a Fold message but the trace is exhausted"
+        )
+    message = obs[position]
+    if not isinstance(message, tr.Fold):
+        raise TraceTypeMismatch(
+            f"{what}: expected a Fold message but found {message}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Leaf assembly
+# ---------------------------------------------------------------------------
+
+
+def make_leaf(
+    indices: np.ndarray,
+    lw_model: np.ndarray,
+    lw_guide: np.ndarray,
+    recorded: dict,
+    obs_scores: list,
+    model_value: object,
+    guide_value: object,
+    model_site_scores: list,
+    guide_site_scores: list,
+) -> _Leaf:
+    return _Leaf(
+        indices=indices,
+        model_log_weights=lw_model,
+        guide_log_weights=lw_guide,
+        recorded=recorded,
+        obs_scores=obs_scores,
+        model_value=model_value,
+        guide_value=guide_value,
+        model_site_scores=model_site_scores,
+        guide_site_scores=guide_site_scores,
+    )

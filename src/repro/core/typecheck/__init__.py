@@ -10,6 +10,13 @@
     "Type-inference algorithm").
 """
 
+#: Version of the typechecking pipeline (basic types + guide-type inference).
+#: Bump on any change that can alter inference results or certificates:
+#: caches keyed by program source (e.g. the ProgramSession cache, compiled
+#: fused kernels) include this value so a compiler/typechecker change can
+#: never replay stale cached artifacts.
+TYPECHECKER_VERSION = "2021.guide-types.3"
+
 from repro.core.typecheck.basic import (
     BasicSignature,
     check_program_basic,
@@ -24,6 +31,7 @@ from repro.core.typecheck.guide_infer import (
 )
 
 __all__ = [
+    "TYPECHECKER_VERSION",
     "BasicSignature",
     "check_program_basic",
     "infer_expr_type",

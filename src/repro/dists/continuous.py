@@ -35,6 +35,48 @@ def normal_log_prob_kernel(mean, stddev, x: np.ndarray) -> np.ndarray:
     return np.where(ok, lp, -np.inf)
 
 
+# -- in-bounds kernels -----------------------------------------------------------
+#
+# Each ``*_log_prob_inbounds`` function computes exactly what the masked
+# kernel above it computes *when every value is in the support*: the masking
+# ``np.where(ok, x, neutral)`` passes ``x`` through unchanged and the final
+# ``np.where(ok, lp, -inf)`` passes ``lp`` through unchanged, so dropping
+# both is a pure strength reduction with bitwise-identical results (the
+# arithmetic expressions keep the masked kernels' association order).  The
+# compiled batched backend calls these when the value's provenance (the
+# family that sampled it) proves support membership; anything else must go
+# through the masked kernel.  ``tests/test_fused_codegen.py`` pins the
+# bitwise agreement per family.
+
+
+def normal_log_prob_inbounds(mean, stddev, x: np.ndarray) -> np.ndarray:
+    """``normal_log_prob_kernel`` for values known to be finite reals."""
+    with np.errstate(over="ignore"):
+        z = (x - mean) / stddev
+        return -0.5 * z * z - np.log(stddev) - 0.5 * LOG_2PI
+
+
+def gamma_log_prob_inbounds(shape, rate, x: np.ndarray) -> np.ndarray:
+    """``gamma_log_prob_kernel`` for values known to be finite and positive."""
+    from scipy.special import gammaln
+
+    with np.errstate(over="ignore"):
+        return shape * np.log(rate) - gammaln(shape) + (shape - 1.0) * np.log(x) - rate * x
+
+
+def beta_log_prob_inbounds(alpha, beta, x: np.ndarray) -> np.ndarray:
+    """``beta_log_prob_kernel`` for values known to lie in the open (0, 1)."""
+    from scipy.special import gammaln
+
+    log_beta_fn = gammaln(alpha) + gammaln(beta) - gammaln(alpha + beta)
+    return (alpha - 1.0) * np.log(x) + (beta - 1.0) * np.log1p(-x) - log_beta_fn
+
+
+def uniform01_log_prob_inbounds(x: np.ndarray) -> np.ndarray:
+    """``uniform01_log_prob_kernel`` for values known to lie in the open (0, 1)."""
+    return np.zeros(np.shape(x))
+
+
 def gamma_log_prob_kernel(shape, rate, x: np.ndarray) -> np.ndarray:
     from scipy.special import gammaln
 

@@ -51,6 +51,28 @@ def poisson_log_prob_kernel(rate, x: np.ndarray) -> np.ndarray:
     return np.where(ok, lp, -np.inf)
 
 
+# -- in-bounds kernels -----------------------------------------------------------
+#
+# Like the ``*_log_prob_inbounds`` kernels in :mod:`repro.dists.continuous`:
+# bitwise-equal to the masked kernels above when every value is in the
+# support (here: a non-negative integer array).  ``np.where(ok, x, 0.0)``
+# converts the integer batch to float; the in-bounds variants reproduce that
+# conversion through the same arithmetic, which promotes exactly.
+
+
+def geometric_log_prob_inbounds(p, x: np.ndarray) -> np.ndarray:
+    """``geometric_log_prob_kernel`` for values known to be naturals."""
+    return x * np.log1p(-p) + np.log(p)
+
+
+def poisson_log_prob_inbounds(rate, x: np.ndarray) -> np.ndarray:
+    """``poisson_log_prob_kernel`` for values known to be naturals."""
+    from scipy.special import gammaln
+
+    with np.errstate(over="ignore"):
+        return x * np.log(rate) - rate - gammaln(x + 1.0)
+
+
 class Bernoulli(Distribution):
     """Bernoulli distribution ``Ber(p)`` with support 𝟚 = {true, false}."""
 

@@ -38,6 +38,13 @@ from repro.engine.api import (
     get_engine,
     register_engine,
 )
+from repro.engine.backend import (
+    BACKENDS,
+    CompiledParticleRunner,
+    clear_kernel_cache,
+    fused_kernel_for,
+    make_particle_runner,
+)
 from repro.engine.batched import BatchedDist
 from repro.engine.params import ParamStore, Transform, get_transform, store_from_inits
 from repro.engine.session import ProgramSession, clear_session_cache
@@ -57,7 +64,9 @@ from repro.engine.vectorize import (
 )
 
 __all__ = [
+    "BACKENDS",
     "BatchedDist",
+    "CompiledParticleRunner",
     "EngineResult",
     "InferenceEngine",
     "InferenceRequest",
@@ -71,7 +80,10 @@ __all__ = [
     "VectorizationUnsupported",
     "VectorizedSVIResult",
     "available_engines",
+    "clear_kernel_cache",
     "clear_session_cache",
+    "fused_kernel_for",
+    "make_particle_runner",
     "elbo_and_score_gradient",
     "estimate_elbo_batched",
     "fit_svi",

@@ -42,6 +42,15 @@ class InferenceRequest:
     """One inference request against a prepared model/guide session."""
 
     num_particles: int = 1000
+    #: Particle-runtime backend: ``"interp"`` runs the lockstep coroutine
+    #: interpreter; ``"compiled"`` runs the fused batched kernel emitted by
+    #: :func:`repro.compiler.codegen.compile_fused_pair` (bitwise-identical
+    #: results, no per-site op dispatch), falling back to the interpreter
+    #: for pairs outside the compiled fragment (e.g. recursion) — the
+    #: decision is recorded on the session and surfaced in diagnostics.
+    #: Engines that never touch the vectorized runtime (``is-sequential``,
+    #: ``mh``, ``svi-fd``) ignore this field.
+    backend: str = "interp"
     #: Observed values, wrapped as provider-sent messages in order; mutually
     #: exclusive with ``obs_trace`` (which takes precedence when given).
     obs_values: Optional[Sequence[object]] = None
@@ -70,6 +79,11 @@ class InferenceRequest:
     #: Particle count for the final posterior pass through the fitted guide
     #: (defaults to ``num_particles``).
     final_particles: Optional[int] = None
+
+    def resolved_backend(self) -> str:
+        from repro.engine.backend import validate_backend
+
+        return validate_backend(self.backend)
 
     def resolved_obs_trace(self) -> Optional[tr.Trace]:
         if self.obs_trace is not None:
@@ -158,6 +172,7 @@ class ImportanceEngineResult(EngineResult):
         if run is not None:
             out["num_groups"] = run.num_groups
             out["vectorized"] = run.vectorized
+            out["backend"] = run.backend
         return out
 
 
@@ -180,6 +195,8 @@ class VectorizedImportanceEngine(InferenceEngine):
             guide_args=request.guide_args,
             latent_channel=session.latent_channel,
             obs_channel=session.obs_channel,
+            backend=request.resolved_backend(),
+            session=session,
         )
         return ImportanceEngineResult(result)
 
@@ -223,11 +240,14 @@ class SMCEngineResult(EngineResult):
         return float(self.raw.effective_sample_size())
 
     def diagnostics(self) -> Dict[str, object]:
-        return {
+        out = {
             "ess_history": list(self.raw.ess_history),
             "resample_steps": list(self.raw.resample_steps),
             "rejuvenation_rates": list(self.raw.rejuvenation_rates),
         }
+        if self.raw.runs:
+            out["backend"] = self.raw.runs[0].backend
+        return out
 
 
 class SMCEngine(InferenceEngine):
@@ -251,6 +271,8 @@ class SMCEngine(InferenceEngine):
             guide_args=request.guide_args,
             latent_channel=session.latent_channel,
             obs_channel=session.obs_channel,
+            backend=request.resolved_backend(),
+            session=session,
         )
         return SMCEngineResult(result)
 

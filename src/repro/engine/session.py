@@ -15,7 +15,11 @@ from typing import Optional, Tuple
 
 from repro.core.ast import Program
 from repro.core.parser import parse_program
-from repro.core.typecheck import check_model_guide_pair, infer_guide_types
+from repro.core.typecheck import (
+    TYPECHECKER_VERSION,
+    check_model_guide_pair,
+    infer_guide_types,
+)
 from repro.engine.api import EngineResult, InferenceRequest, get_engine
 from repro.errors import InferenceError
 
@@ -58,6 +62,14 @@ class ProgramSession:
 
         self._model_guide_types = None
         self._guide_guide_types = None
+        self._fused = None
+        #: Compiled-backend feature check, filled in lazily by
+        #: :meth:`fused_kernel`: ``None`` until a compiled-backend request
+        #: arrives, then ``True``/``False``.
+        self.compiled_backend_supported: Optional[bool] = None
+        #: Why the compiled backend fell back to the interpreter (``None``
+        #: while undecided or when the pair compiles).
+        self.compiled_fallback_reason: Optional[str] = None
         self.check = None
         if typecheck:
             # check_model_guide_pair runs guide-type inference on both
@@ -110,6 +122,31 @@ class ProgramSession:
                 f"model/guide pair is not certified: {self.check.reason}"
             )
 
+    # -- compiled backend ------------------------------------------------------
+
+    def fused_kernel(self):
+        """The pair's fused batched kernel, compiled once and cached.
+
+        Returns ``(kernel, None)`` when the pair is inside the compiled
+        fragment and ``(None, reason)`` otherwise; the decision is recorded
+        on :attr:`compiled_backend_supported` / :attr:`compiled_fallback_reason`.
+        """
+        if self._fused is None:
+            from repro.engine.backend import fused_kernel_for
+
+            self._fused = fused_kernel_for(
+                self.model_program,
+                self.guide_program,
+                self.model_entry,
+                self.guide_entry,
+                latent_channel=self.latent_channel,
+                obs_channel=self.obs_channel,
+            )
+            kernel, reason = self._fused
+            self.compiled_backend_supported = kernel is not None
+            self.compiled_fallback_reason = reason
+        return self._fused
+
     # -- serving ---------------------------------------------------------------
 
     def infer(
@@ -139,6 +176,7 @@ class ProgramSession:
         typecheck: bool = True,
     ) -> "ProgramSession":
         key = (
+            TYPECHECKER_VERSION,
             model_source,
             guide_source,
             model_entry,

@@ -26,13 +26,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from repro.core import ast
 from repro.core.semantics import traces as tr
-from repro.engine.vectorize import ParticleVectorizer, VectorRunResult
+from repro.engine.vectorize import VectorRunResult
 from repro.errors import InferenceError
 from repro.utils.numerics import (
     effective_sample_size,
@@ -127,8 +127,15 @@ def smc(
     guide_args: Tuple[object, ...] = (),
     latent_channel: str = "latent",
     obs_channel: str = "obs",
+    backend: str = "interp",
+    session=None,
 ) -> SMCResult:
-    """Run Sequential Monte Carlo with ``num_particles`` lockstep particles."""
+    """Run Sequential Monte Carlo with ``num_particles`` lockstep particles.
+
+    ``backend="compiled"`` draws every population (initial and rejuvenation
+    proposals) through the fused batched kernel when available; results are
+    bitwise-identical to the interpretive backend under the same seed.
+    """
     if num_particles <= 0:
         raise InferenceError("num_particles must be positive")
     if obs_trace is None or len(obs_trace) == 0:
@@ -138,7 +145,9 @@ def smc(
         )
     rng = ensure_rng(rng)
 
-    vectorizer = ParticleVectorizer(
+    from repro.engine.backend import make_particle_runner
+
+    vectorizer = make_particle_runner(
         model_program,
         guide_program,
         model_entry,
@@ -148,6 +157,8 @@ def smc(
         guide_args=guide_args,
         latent_channel=latent_channel,
         obs_channel=obs_channel,
+        backend=backend,
+        session=session,
     )
 
     def fresh_population() -> Tuple[VectorRunResult, np.ndarray, np.ndarray, np.ndarray]:

@@ -92,14 +92,19 @@ def estimate_elbo_batched(
     guide_args: Tuple[object, ...] = (),
     latent_channel: str = "latent",
     obs_channel: str = "obs",
+    backend: str = "interp",
+    session=None,
 ) -> ELBOEstimate:
     """Monte-Carlo ELBO with all particles drawn in one lockstep pass.
 
     Estimator-identical to :func:`repro.inference.vi.estimate_elbo` (same
     per-particle terms, ``-inf`` as soon as any particle leaves the model's
-    support); only the execution strategy differs.
+    support); only the execution strategy differs.  ``backend="compiled"``
+    draws the batch through the fused kernel when the pair supports it.
     """
-    vectorizer = ParticleVectorizer(
+    from repro.engine.backend import make_particle_runner
+
+    vectorizer = make_particle_runner(
         model_program,
         guide_program,
         model_entry,
@@ -109,6 +114,8 @@ def estimate_elbo_batched(
         guide_args=guide_args,
         latent_channel=latent_channel,
         obs_channel=obs_channel,
+        backend=backend,
+        session=session,
     )
     run = vectorizer.run(num_particles, ensure_rng(rng))
     terms = run.log_weights()
@@ -157,6 +164,8 @@ def elbo_and_score_gradient(
     obs_channel: str = "obs",
     rao_blackwellize: bool = False,
     score_epsilon: float = DEFAULT_SCORE_EPSILON,
+    backend: str = "interp",
+    session=None,
 ) -> ScoreGradient:
     """Estimate the ELBO and its score-function gradient in one batch.
 
@@ -180,8 +189,13 @@ def elbo_and_score_gradient(
     rng = ensure_rng(rng)
     param_names = guide_entry_params(guide_program, guide_entry)
 
-    def vectorizer_at(at: ParamStore) -> ParticleVectorizer:
-        return ParticleVectorizer(
+    from repro.engine.backend import make_particle_runner
+
+    def vectorizer_at(at: ParamStore, at_backend: str = "interp") -> ParticleVectorizer:
+        # The sampling pass honours the backend choice; the ±ε *rescoring*
+        # passes replay recorded groups through the interpreter either way
+        # (rescore_group is interpretive machinery, shared by both runners).
+        return make_particle_runner(
             model_program,
             guide_program,
             model_entry,
@@ -191,9 +205,11 @@ def elbo_and_score_gradient(
             guide_args=at.guide_args(param_names),
             latent_channel=latent_channel,
             obs_channel=obs_channel,
+            backend=at_backend,
+            session=session,
         )
 
-    run = vectorizer_at(store).run(num_particles, rng)
+    run = vectorizer_at(store, backend).run(num_particles, rng)
     f = run.log_weights()
     finite = np.isfinite(f)
     num_finite = int(finite.sum())
@@ -349,6 +365,8 @@ def fit_svi(
     rao_blackwellize: bool = False,
     score_epsilon: float = DEFAULT_SCORE_EPSILON,
     grad_clip_norm: Optional[float] = 10.0,
+    backend: str = "interp",
+    session=None,
 ) -> VectorizedSVIResult:
     """Maximise the ELBO with batched score-function gradient ascent.
 
@@ -382,6 +400,8 @@ def fit_svi(
             obs_channel=obs_channel,
             rao_blackwellize=rao_blackwellize,
             score_epsilon=score_epsilon,
+            backend=backend,
+            session=session,
         )
         result.elbo_history.append(estimate.finite_mean)
         result.num_infinite_history.append(estimate.num_infinite)
@@ -474,6 +494,9 @@ class SVIEngineResult(EngineResult):
         }
         if hasattr(raw, "num_infinite_history"):
             out["num_infinite_history"] = list(raw.num_infinite_history)
+        run = getattr(self._importance, "run", None)
+        if run is not None:
+            out["backend"] = run.backend
         return out
 
 
@@ -503,6 +526,8 @@ class VectorizedSVIEngine(InferenceEngine):
             obs_channel=session.obs_channel,
             rao_blackwellize=request.rao_blackwellize,
             score_epsilon=request.score_epsilon,
+            backend=request.resolved_backend(),
+            session=session,
         )
         final_args = store.guide_args(param_names) if store.size else request.guide_args
         importance = vectorized_importance(
@@ -517,6 +542,8 @@ class VectorizedSVIEngine(InferenceEngine):
             guide_args=final_args,
             latent_channel=session.latent_channel,
             obs_channel=session.obs_channel,
+            backend=request.resolved_backend(),
+            session=session,
         )
         return SVIEngineResult(fit, importance, self.name)
 

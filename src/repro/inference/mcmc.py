@@ -21,7 +21,7 @@ the paper's treatment of traces as first-class proposal inputs.  The default
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -623,6 +623,167 @@ proc BurglaryGuide() provide latent {
 }
 """
 
+# Two divergent-control-flow time series: at every step the model announces a
+# branch over the latent channel (``if.send``), so a lockstep particle
+# population fractures into up to 2^T control-flow groups.  These are the
+# stress tests for branch handling in the particle runtimes: the interpretive
+# vectorizer re-executes every group from scratch when it splits, while the
+# compiled backend partitions index sets and dispatches compiled sub-kernels.
+
+_SWITCHING_MODEL = """
+proc Switching() consume latent provide obs {
+  x1 <- sample.recv{latent}(Normal(0.0, 1.0));
+  m1 <- if.send{latent} x1 > 0.0 {
+    _ <- sample.send{obs}(Normal(x1 + 1.0, 0.5));
+    return(x1 + 1.0)
+  } else {
+    _ <- sample.send{obs}(Normal(x1 - 1.0, 2.0));
+    return(x1 * 0.5 - 1.0)
+  };
+  x2 <- sample.recv{latent}(Normal(m1, 1.0));
+  m2 <- if.send{latent} x2 > 0.0 {
+    _ <- sample.send{obs}(Normal(x2 + 1.0, 0.5));
+    return(x2 + 1.0)
+  } else {
+    _ <- sample.send{obs}(Normal(x2 - 1.0, 2.0));
+    return(x2 * 0.5 - 1.0)
+  };
+  x3 <- sample.recv{latent}(Normal(m2, 1.0));
+  m3 <- if.send{latent} x3 > 0.0 {
+    _ <- sample.send{obs}(Normal(x3 + 1.0, 0.5));
+    return(x3 + 1.0)
+  } else {
+    _ <- sample.send{obs}(Normal(x3 - 1.0, 2.0));
+    return(x3 * 0.5 - 1.0)
+  };
+  x4 <- sample.recv{latent}(Normal(m3, 1.0));
+  m4 <- if.send{latent} x4 > 0.0 {
+    _ <- sample.send{obs}(Normal(x4 + 1.0, 0.5));
+    return(x4 + 1.0)
+  } else {
+    _ <- sample.send{obs}(Normal(x4 - 1.0, 2.0));
+    return(x4 * 0.5 - 1.0)
+  };
+  x5 <- sample.recv{latent}(Normal(m4, 1.0));
+  m5 <- if.send{latent} x5 > 0.0 {
+    _ <- sample.send{obs}(Normal(x5 + 1.0, 0.5));
+    return(x5 + 1.0)
+  } else {
+    _ <- sample.send{obs}(Normal(x5 - 1.0, 2.0));
+    return(x5 * 0.5 - 1.0)
+  };
+  return(x5)
+}
+"""
+
+_SWITCHING_GUIDE = """
+proc SwitchingGuide() provide latent {
+  x1 <- sample.send{latent}(Normal(0.0, 1.5));
+  s1 <- if.recv{latent} { return(x1) } else { return(x1) };
+  x2 <- sample.send{latent}(Normal(x1, 1.5));
+  s2 <- if.recv{latent} { return(x2) } else { return(x2) };
+  x3 <- sample.send{latent}(Normal(x2, 1.5));
+  s3 <- if.recv{latent} { return(x3) } else { return(x3) };
+  x4 <- sample.send{latent}(Normal(x3, 1.5));
+  s4 <- if.recv{latent} { return(x4) } else { return(x4) };
+  x5 <- sample.send{latent}(Normal(x4, 1.5));
+  s5 <- if.recv{latent} { return(x5) } else { return(x5) };
+  return(x5)
+}
+"""
+
+_JUMP_MODEL = """
+proc Jump() consume latent provide obs {
+  x1 <- sample.recv{latent}(Normal(0.0, 1.0));
+  m1 <- if.send{latent} x1 < 1.0 {
+    _ <- sample.send{obs}(Normal(x1, 0.5));
+    return(x1)
+  } else {
+    j1 <- sample.recv{latent}(Gamma(2.0, 2.0));
+    _ <- sample.send{obs}(Normal(x1 + j1, 1.5));
+    return(x1 + j1)
+  };
+  x2 <- sample.recv{latent}(Normal(m1, 1.0));
+  m2 <- if.send{latent} x2 < 1.0 {
+    _ <- sample.send{obs}(Normal(x2, 0.5));
+    return(x2)
+  } else {
+    j2 <- sample.recv{latent}(Gamma(2.0, 2.0));
+    _ <- sample.send{obs}(Normal(x2 + j2, 1.5));
+    return(x2 + j2)
+  };
+  x3 <- sample.recv{latent}(Normal(m2, 1.0));
+  m3 <- if.send{latent} x3 < 1.0 {
+    _ <- sample.send{obs}(Normal(x3, 0.5));
+    return(x3)
+  } else {
+    j3 <- sample.recv{latent}(Gamma(2.0, 2.0));
+    _ <- sample.send{obs}(Normal(x3 + j3, 1.5));
+    return(x3 + j3)
+  };
+  x4 <- sample.recv{latent}(Normal(m3, 1.0));
+  m4 <- if.send{latent} x4 < 1.0 {
+    _ <- sample.send{obs}(Normal(x4, 0.5));
+    return(x4)
+  } else {
+    j4 <- sample.recv{latent}(Gamma(2.0, 2.0));
+    _ <- sample.send{obs}(Normal(x4 + j4, 1.5));
+    return(x4 + j4)
+  };
+  x5 <- sample.recv{latent}(Normal(m4, 1.0));
+  m5 <- if.send{latent} x5 < 1.0 {
+    _ <- sample.send{obs}(Normal(x5, 0.5));
+    return(x5)
+  } else {
+    j5 <- sample.recv{latent}(Gamma(2.0, 2.0));
+    _ <- sample.send{obs}(Normal(x5 + j5, 1.5));
+    return(x5 + j5)
+  };
+  return(m5)
+}
+"""
+
+_JUMP_GUIDE = """
+proc JumpGuide() provide latent {
+  x1 <- sample.send{latent}(Normal(0.0, 1.2));
+  m1 <- if.recv{latent} {
+    return(x1)
+  } else {
+    j1 <- sample.send{latent}(Gamma(2.0, 1.5));
+    return(x1 + j1)
+  };
+  x2 <- sample.send{latent}(Normal(m1, 1.2));
+  m2 <- if.recv{latent} {
+    return(x2)
+  } else {
+    j2 <- sample.send{latent}(Gamma(2.0, 1.5));
+    return(x2 + j2)
+  };
+  x3 <- sample.send{latent}(Normal(m2, 1.2));
+  m3 <- if.recv{latent} {
+    return(x3)
+  } else {
+    j3 <- sample.send{latent}(Gamma(2.0, 1.5));
+    return(x3 + j3)
+  };
+  x4 <- sample.send{latent}(Normal(m3, 1.2));
+  m4 <- if.recv{latent} {
+    return(x4)
+  } else {
+    j4 <- sample.send{latent}(Gamma(2.0, 1.5));
+    return(x4 + j4)
+  };
+  x5 <- sample.send{latent}(Normal(m4, 1.2));
+  m5 <- if.recv{latent} {
+    return(x5)
+  } else {
+    j5 <- sample.send{latent}(Gamma(2.0, 1.5));
+    return(x5 + j5)
+  };
+  return(m5)
+}
+"""
+
 _SEASONAL_MODEL = """
 proc Seasonal() consume latent provide obs {
   level <- sample.recv{latent}(Normal(0.0, 2.0));
@@ -880,6 +1041,30 @@ def _build_registry() -> Dict[str, Benchmark]:
             guide_entry="BurglaryGuide",
             inference="IS",
             obs_values=(True,),
+            selected=False,
+        ),
+        Benchmark(
+            name="switching",
+            description="Regime-switching time series (5 announced branches)",
+            model_source=_SWITCHING_MODEL,
+            model_entry="Switching",
+            guide_source=_SWITCHING_GUIDE,
+            guide_entry="SwitchingGuide",
+            inference="IS",
+            obs_values=(1.4, 2.1, 2.8, 3.1, 3.9),
+            branch_dependent=True,
+            selected=False,
+        ),
+        Benchmark(
+            name="jump",
+            description="Jump-diffusion walk (branch-dependent latent structure)",
+            model_source=_JUMP_MODEL,
+            model_entry="Jump",
+            guide_source=_JUMP_GUIDE,
+            guide_entry="JumpGuide",
+            inference="IS",
+            obs_values=(0.6, 1.8, 2.4, 3.0, 2.2),
+            branch_dependent=True,
             selected=False,
         ),
         Benchmark(

@@ -7,7 +7,7 @@ specify randomness (a seed, a generator, or nothing).
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

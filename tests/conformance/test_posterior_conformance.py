@@ -14,11 +14,9 @@ Boolean latent sites are exposed as 0/1 by ``site_values``, so the golden
 "mean" of a Bernoulli site is its posterior probability of ``True``.
 """
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
-import numpy as np
 import pytest
 
 from repro.engine import ProgramSession

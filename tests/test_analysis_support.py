@@ -1,7 +1,6 @@
 """Tests for the support / absolute-continuity analyses."""
 
 import numpy as np
-import pytest
 
 from repro.analysis import (
     absolute_continuity_certificate,

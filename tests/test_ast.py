@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import ast
-from repro.core.parser import parse_command, parse_expression, parse_program
+from repro.core.parser import parse_command, parse_expression
 
 
 class TestExprHelpers:

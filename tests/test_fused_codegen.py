@@ -1,0 +1,351 @@
+"""Unit tests for the fused batched backend: codegen, helpers, caching.
+
+The conformance-level guarantee (bitwise-equal runs on whole models) lives
+in ``tests/conformance/test_backend_parity.py``; here we pin the pieces:
+
+* the per-family sample/score helpers in
+  :mod:`repro.compiler.batched_runtime` agree bit-for-bit with
+  :class:`~repro.engine.batched.BatchedDist` on their licensed inputs;
+* the supported-fragment check rejects exactly the features the compiled
+  kernel cannot mirror, with actionable reasons;
+* the emitted source is straight-line (no generators, no op dispatch);
+* kernels are compiled once per session and the session cache key includes
+  the typechecker version, so a compiler change can never replay stale
+  cached artifacts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    compile_fused_pair,
+    fused_unsupported_reason,
+    load_fused,
+)
+from repro.compiler import batched_runtime as rt
+from repro.core import ast
+from repro.core.parser import parse_program
+from repro.engine import ProgramSession, clear_kernel_cache, clear_session_cache
+from repro.engine.batched import BatchedDist
+from repro.errors import CompilationError, InferenceError
+from repro.models import get_benchmark
+
+
+# ---------------------------------------------------------------------------
+# Helper-vs-BatchedDist bitwise agreement
+# ---------------------------------------------------------------------------
+
+
+N = 257  # odd size: exercises any vector-width tail path
+
+
+def _lane(rng, kind):
+    """An in-support value batch drawn by the family's own sampler."""
+    dist = BatchedDist(kind, _params(kind, scalar=True), N)
+    return dist.sample(rng)
+
+
+def _params(kind, scalar):
+    base = {
+        ast.DistKind.NORMAL: (0.3, 1.7),
+        ast.DistKind.GAMMA: (2.0, 1.5),
+        ast.DistKind.BETA: (2.5, 1.5),
+        ast.DistKind.UNIF: (),
+        ast.DistKind.BER: (0.37,),
+        ast.DistKind.GEO: (0.42,),
+        ast.DistKind.POIS: (3.2,),
+    }[kind]
+    if scalar:
+        return list(base)
+    return [np.full(N, p) for p in base]
+
+
+FAST = {
+    ast.DistKind.NORMAL: (rt.score_normal_in, rt.score_normal_at, rt.samp_normal),
+    ast.DistKind.GAMMA: (rt.score_gamma_in, rt.score_gamma_at, rt.samp_gamma),
+    ast.DistKind.BETA: (rt.score_beta_in, rt.score_beta_at, rt.samp_beta),
+    ast.DistKind.UNIF: (rt.score_unif_in, rt.score_unif_at, None),
+    ast.DistKind.BER: (rt.score_ber_in, rt.score_ber_at, rt.samp_ber),
+    ast.DistKind.GEO: (rt.score_geo_in, rt.score_geo_at, rt.samp_geo),
+    ast.DistKind.POIS: (rt.score_pois_in, rt.score_pois_at, rt.samp_pois),
+}
+
+
+@pytest.mark.parametrize("kind", list(FAST), ids=lambda k: k.value)
+@pytest.mark.parametrize("scalar_params", [True, False], ids=["scalar", "array"])
+def test_inbounds_score_helpers_match_batched_dist(kind, scalar_params):
+    rng = np.random.default_rng(0)
+    values = _lane(rng, kind)
+    params = _params(kind, scalar_params)
+    reference = BatchedDist(kind, params, N).log_prob(values)
+    score_in, _, _ = FAST[kind]
+    fast = score_in(*params, values) if params else score_in(values)
+    assert fast.dtype == reference.dtype
+    assert np.array_equal(fast, reference)
+
+
+@pytest.mark.parametrize("kind", list(FAST), ids=lambda k: k.value)
+def test_obs_score_helpers_match_batched_dist(kind):
+    """Scalar observed values score identically to the full-broadcast path."""
+    rng = np.random.default_rng(1)
+    params = _params(kind, scalar=True)
+    dist = BatchedDist(kind, params, N)
+    _, score_at, _ = FAST[kind]
+    draws = _lane(rng, kind)
+    candidates = [draws[0], -1.0, 2.5, float("nan")]
+    if kind is ast.DistKind.BER:
+        candidates = [True, False, 1.0]
+    for y in candidates:
+        y = y.item() if isinstance(y, np.generic) else y
+        reference = rt.score_dist(dist, y, N)
+        fast = score_at(*params, y, N) if params else score_at(y, N)
+        assert np.array_equal(fast, reference, equal_nan=True), (kind, y)
+
+
+@pytest.mark.parametrize("kind", list(FAST), ids=lambda k: k.value)
+def test_array_param_samplers_match_batched_dist(kind):
+    _, _, samp = FAST[kind]
+    if samp is None:
+        assert np.array_equal(
+            rt.samp_unif(np.random.default_rng(5), N),
+            BatchedDist(kind, [], N).sample(np.random.default_rng(5)),
+        )
+        return
+    params = _params(kind, scalar=False)
+    reference = BatchedDist(kind, params, N).sample(np.random.default_rng(5))
+    fast = samp(np.random.default_rng(5), N, *params)
+    assert np.array_equal(fast, reference)
+
+
+def test_score_full_matches_masked_kernels_out_of_support():
+    """Values of unknown provenance go through the masked kernels exactly."""
+    x = np.array([0.5, -1.0, np.nan, np.inf, 3.0])
+    n = len(x)
+    for kind, params in [
+        (ast.DistKind.GAMMA, (np.full(n, 2.0), np.full(n, 1.5))),
+        (ast.DistKind.NORMAL, (np.full(n, 0.0), np.full(n, 2.0))),
+        (ast.DistKind.BETA, (np.full(n, 2.0), np.full(n, 2.0))),
+    ]:
+        reference = BatchedDist(kind, list(params), n).log_prob(x)
+        assert np.array_equal(rt.score_full(kind, params, x, n), reference, equal_nan=True)
+
+
+# ---------------------------------------------------------------------------
+# Supported-fragment check
+# ---------------------------------------------------------------------------
+
+
+GUIDE_MIN = """
+proc G() provide latent {
+  x <- sample.send{latent}(Normal(0.0, 1.0));
+  return(x)
+}
+"""
+
+
+def _reason(model_src, guide_src=GUIDE_MIN, model_entry="M", guide_entry="G"):
+    return fused_unsupported_reason(
+        parse_program(model_src), parse_program(guide_src), model_entry, guide_entry
+    )
+
+
+def test_fragment_accepts_plain_pairs():
+    bench = get_benchmark("lr")
+    assert fused_unsupported_reason(
+        bench.model_program(), bench.guide_program(), bench.model_entry, bench.guide_entry
+    ) is None
+
+
+def test_fragment_rejects_recursion():
+    bench = get_benchmark("ptrace")
+    reason = fused_unsupported_reason(
+        bench.model_program(), bench.guide_program(), bench.model_entry, bench.guide_entry
+    )
+    assert "recursive" in reason
+
+
+def test_fragment_rejects_lambdas():
+    src = """
+proc M() consume latent provide obs {
+  x <- sample.recv{latent}(Normal(0.0, 1.0));
+  f <- return(fun(y) y + 1.0);
+  _ <- sample.send{obs}(Normal(f(x), 1.0));
+  return(x)
+}
+"""
+    assert "higher-order" in _reason(src)
+
+
+def test_fragment_rejects_first_class_distributions():
+    src = """
+proc M() consume latent provide obs {
+  d <- return(Normal(0.0, 1.0));
+  x <- sample.recv{latent}(d);
+  _ <- sample.send{obs}(Normal(x, 1.0));
+  return(x)
+}
+"""
+    assert "first-class distribution" in _reason(src)
+
+
+def test_fragment_rejects_model_receiving_on_obs():
+    src = """
+proc M() consume latent provide obs {
+  x <- sample.recv{latent}(Normal(0.0, 1.0));
+  y <- sample.recv{obs}(Normal(x, 1.0));
+  return(x)
+}
+"""
+    assert "observation channel" in _reason(src)
+
+
+def test_compile_fused_raises_for_unsupported():
+    bench = get_benchmark("marsaglia")
+    with pytest.raises(CompilationError, match="recursive"):
+        compile_fused_pair(
+            bench.model_program(), bench.guide_program(),
+            bench.model_entry, bench.guide_entry,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Emitted-source properties
+# ---------------------------------------------------------------------------
+
+
+def test_fused_source_is_straight_line():
+    bench = get_benchmark("lr")
+    source = compile_fused_pair(
+        bench.model_program(), bench.guide_program(),
+        bench.model_entry, bench.guide_entry,
+    )
+    assert "yield" not in source
+    assert "def fused_kernel(rng, n, obs, model_args, guide_args):" in source
+    # Guide-to-model routing is resolved at compile time: the guide's drawn
+    # variable is scored directly by the model's density, no queues involved.
+    assert "sample_n(rng, n)" in source
+    compile(source, "<fused>", "exec")  # parses and compiles clean
+
+
+def test_fused_kernel_handles_divergent_branches():
+    bench = get_benchmark("ex-1")
+    kernel = load_fused(
+        bench.model_program(), bench.guide_program(),
+        bench.model_entry, bench.guide_entry,
+    )
+    # uniform_or_none partitioning: false subgroup first (interp LIFO order)
+    assert "uniform_or_none" in kernel.source
+    assert "(False, ~" in kernel.source
+    leaves = kernel.run(np.random.default_rng(0), 64, None, (), ())
+    assert len(leaves) == 2
+    covered = np.sort(np.concatenate([leaf.indices for leaf in leaves]))
+    assert np.array_equal(covered, np.arange(64))
+
+
+def test_fused_kernel_entry_arity_errors_match_interp():
+    bench = get_benchmark("weight")
+    kernel = load_fused(
+        bench.model_program(), bench.guide_program(),
+        bench.model_entry, bench.guide_entry,
+    )
+    from repro.errors import EvaluationError
+
+    with pytest.raises(EvaluationError, match="WeighGuide expects 2 arguments"):
+        kernel.run(np.random.default_rng(0), 8, None, (), ())
+
+
+# ---------------------------------------------------------------------------
+# Kernel caching and the versioned session cache key
+# ---------------------------------------------------------------------------
+
+
+def test_session_compiles_kernel_once():
+    bench = get_benchmark("coin")
+    session = ProgramSession(
+        bench.model_program(), bench.guide_program(),
+        bench.model_entry, bench.guide_entry,
+    )
+    kernel1, reason1 = session.fused_kernel()
+    kernel2, _ = session.fused_kernel()
+    assert reason1 is None
+    assert kernel1 is kernel2
+    assert session.compiled_backend_supported is True
+
+
+def test_backend_name_is_validated():
+    bench = get_benchmark("coin")
+    session = ProgramSession(
+        bench.model_program(), bench.guide_program(),
+        bench.model_entry, bench.guide_entry,
+    )
+    with pytest.raises(InferenceError, match="unknown particle backend"):
+        session.infer("is", num_particles=10, obs_values=bench.obs_values,
+                      backend="jit")
+
+
+def test_session_cache_key_includes_typechecker_version(monkeypatch):
+    """Regression: a typechecker/compiler version bump must invalidate
+    memoised sessions, so stale cached kernels can never be replayed."""
+    import repro.engine.session as session_mod
+
+    bench = get_benchmark("weight")
+    clear_session_cache()
+    clear_kernel_cache()
+    s1 = ProgramSession.from_sources(bench.model_source, bench.guide_source)
+    assert ProgramSession.from_sources(bench.model_source, bench.guide_source) is s1
+
+    monkeypatch.setattr(session_mod, "TYPECHECKER_VERSION", "9999.test-bump")
+    s2 = ProgramSession.from_sources(bench.model_source, bench.guide_source)
+    assert s2 is not s1  # the version participates in the key
+
+    monkeypatch.undo()
+    assert ProgramSession.from_sources(bench.model_source, bench.guide_source) is s1
+    clear_session_cache()
+
+
+def test_runtime_tuple_arm_falls_back_like_interp():
+    """Regression: a tuple-typed conditional arm that only *runtime* analysis
+    can see (the arms are variables, not tuple literals) must not crash the
+    compiled backend — both backends take the whole-batch sequential fallback
+    and produce identical results."""
+    from repro.core.semantics import traces as tr
+    from repro.engine import make_particle_runner
+    from repro.engine.backend import CompiledParticleRunner
+
+    model_src = """
+proc M() consume latent provide obs {
+  x <- sample.recv{latent}(Normal(0.0, 1.0));
+  y <- return((let t = (x, 1.0) in if x > 0.0 then t else t).0);
+  _ <- sample.send{obs}(Normal(y, 1.0));
+  return(y)
+}
+"""
+    guide_src = """
+proc G() provide latent {
+  x <- sample.send{latent}(Normal(0.0, 2.0));
+  return(x)
+}
+"""
+    model, guide = parse_program(model_src), parse_program(guide_src)
+    assert fused_unsupported_reason(model, guide, "M", "G") is None
+    obs = (tr.ValP(0.4),)
+    runs = {}
+    for backend in ("interp", "compiled"):
+        runner = make_particle_runner(
+            model_program=model, guide_program=guide, model_entry="M",
+            guide_entry="G", obs_trace=obs, backend=backend,
+        )
+        if backend == "compiled":
+            assert isinstance(runner, CompiledParticleRunner)
+        runs[backend] = runner.run(40, np.random.default_rng(9))
+    for run in runs.values():
+        assert run.vectorized is False  # both hit the sequential fallback
+        assert run.backend == "interp"
+    assert np.array_equal(
+        runs["interp"].model_log_weights, runs["compiled"].model_log_weights
+    )
+    assert np.array_equal(
+        runs["interp"].guide_log_weights, runs["compiled"].guide_log_weights
+    )

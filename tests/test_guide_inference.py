@@ -8,7 +8,6 @@ from repro.core.typecheck import check_model_guide_pair, infer_guide_types
 from repro.core.typecheck.equality import types_equal_up_to_unfolding
 from repro.errors import GuideTypeError, TypeError_
 
-from tests.conftest import FIG5_GUIDE_SOURCE, FIG5_MODEL_SOURCE
 
 
 class TestFig5Protocols:

@@ -20,7 +20,6 @@ from repro.engine.params import ParamStore, get_transform, store_from_inits
 from repro.engine.svi import (
     estimate_elbo_batched,
     fit_svi,
-    guide_entry_params,
     make_optimizer,
 )
 from repro.errors import InferenceError
