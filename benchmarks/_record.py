@@ -3,24 +3,33 @@
 Every benchmark harness funnels its measurements through :func:`record`, so
 one run of ``pytest benchmarks`` leaves behind a single JSON artifact that CI
 uploads (see the ``fast-benchmarks`` job in ``.github/workflows/ci.yml``).
-The file accumulates entries across test files within a run — each entry is
-one measurement:
+
+Entries are grouped into **per-run lists**: each pytest session (or any other
+harness process) appends its measurements to its own run record instead of a
+single flat list.  This fixes the schema-1 behaviour where a second harness
+session in the same CI run deleted the first session's artifact wholesale —
+e.g. the conformance job's pool-path run clobbering the benchmark job's
+numbers when both wrote the same path:
 
 .. code-block:: json
 
-    {"schema": 1,
-     "entries": [{"suite": "compiled_backend", "model": "switching",
-                  "engine": "is", "backend": "compiled", "particles": 10000,
-                  "wall_time_s": 0.0118, "speedup": 4.4,
-                  "baseline": "interp", "extra": {...}}]}
+    {"schema": 2,
+     "runs": [{"run": "12345-1700000000", "started_at": "...",
+               "entries": [{"suite": "compiled_backend", "model": "switching",
+                            "engine": "is", "backend": "compiled",
+                            "particles": 10000, "wall_time_s": 0.0118,
+                            "speedup": 4.4, "baseline": "interp",
+                            "extra": {}}]}]}
 
 ``wall_time_s`` is the best-of-N wall time of the measured configuration;
 ``speedup`` (optional) is relative to the named ``baseline``.  The output
 path defaults to ``BENCH_results.json`` in the current directory and can be
 redirected with ``REPRO_BENCH_RESULTS``.  Writes are load-modify-write per
-record, which is plenty for the handful of entries a benchmark run emits;
-stale files from a previous run are reset by the session-scoped
-:func:`reset_results` autouse fixture in ``benchmarks/conftest.py``.
+record, which is plenty for the handful of entries a benchmark run emits.
+:func:`reset_results` (called once per session by the autouse fixture in
+``benchmarks/conftest.py``) starts a fresh run record and prunes old runs
+beyond :data:`MAX_RUNS`, so local re-runs do not grow the file forever while
+runs within one CI workflow all survive.
 """
 
 from __future__ import annotations
@@ -29,32 +38,109 @@ import json
 import os
 import time
 from pathlib import Path
-from typing import Optional
+from typing import List, Optional
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: How many historical runs one artifact retains (oldest pruned first).
+MAX_RUNS = 8
+
+#: The current process's run identifier; lazily assigned so importing this
+#: module never touches the filesystem.
+_RUN_ID: Optional[str] = None
 
 
 def results_path() -> Path:
+    """Where the artifact lives (``REPRO_BENCH_RESULTS`` overrides)."""
     return Path(os.environ.get("REPRO_BENCH_RESULTS", "BENCH_results.json"))
+
+
+def run_id() -> str:
+    """This process's run identifier (stable for the process lifetime)."""
+    global _RUN_ID
+    if _RUN_ID is None:
+        _RUN_ID = f"{os.getpid()}-{int(time.time())}"
+    return _RUN_ID
+
+
+def _fresh_document() -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "runs": [],
+    }
 
 
 def _load() -> dict:
     path = results_path()
-    if path.exists():
-        try:
-            data = json.loads(path.read_text(encoding="utf-8"))
-            if isinstance(data, dict) and data.get("schema") == SCHEMA_VERSION:
-                return data
-        except (OSError, json.JSONDecodeError):
-            pass
-    return {"schema": SCHEMA_VERSION, "created_at": time.strftime("%Y-%m-%dT%H:%M:%S"), "entries": []}
+    if not path.exists():
+        return _fresh_document()
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return _fresh_document()
+    if not isinstance(data, dict):
+        return _fresh_document()
+    if data.get("schema") == SCHEMA_VERSION:
+        return data
+    if data.get("schema") == 1 and isinstance(data.get("entries"), list):
+        # Migrate a schema-1 artifact in place: its flat entry list becomes
+        # one legacy run, so no measurement is lost across the upgrade.
+        document = _fresh_document()
+        document["runs"].append(
+            {
+                "run": "legacy-schema-1",
+                "started_at": data.get("created_at"),
+                "entries": data["entries"],
+            }
+        )
+        return document
+    return _fresh_document()
+
+
+def _current_run(data: dict) -> dict:
+    for run in data["runs"]:
+        if run.get("run") == run_id():
+            return run
+    run = {
+        "run": run_id(),
+        "started_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "entries": [],
+    }
+    data["runs"].append(run)
+    return run
+
+
+def _write(data: dict) -> None:
+    results_path().write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
 
 
 def reset_results() -> None:
-    """Start a fresh artifact (called once per benchmark session)."""
-    path = results_path()
-    if path.exists():
-        path.unlink()
+    """Start this process's run record afresh (called once per session).
+
+    Other runs' records are preserved (that is the point of schema 2); only
+    runs beyond :data:`MAX_RUNS` are pruned, oldest first.
+    """
+    data = _load()
+    data["runs"] = [run for run in data["runs"] if run.get("run") != run_id()]
+    data["runs"] = data["runs"][-(MAX_RUNS - 1):] if MAX_RUNS > 1 else []
+    _current_run(data)
+    _write(data)
+
+
+def current_run_entries() -> List[dict]:
+    """The entries recorded by this process so far (for tests/reporting)."""
+    data = _load()
+    for run in data["runs"]:
+        if run.get("run") == run_id():
+            return list(run["entries"])
+    return []
+
+
+def all_entries() -> List[dict]:
+    """Every entry across all retained runs, in file order."""
+    data = _load()
+    return [entry for run in data["runs"] for entry in run["entries"]]
 
 
 def record(
@@ -68,14 +154,16 @@ def record(
     baseline: Optional[str] = None,
     **extra,
 ) -> None:
-    """Append one measurement to the ``BENCH_results.json`` artifact.
+    """Append one measurement to this process's run in the artifact.
 
     ``suite`` names the harness (usually the benchmark file's topic),
     ``model``/``engine``/``backend``/``particles`` identify the measured
     configuration, and ``speedup`` relates it to ``baseline`` when the
     harness measured a comparison.  Extra keyword fields land under
     ``extra`` untouched — use them for harness-specific detail (group
-    counts, tolerance margins, paper-reported numbers).
+    counts, tolerance margins, server counters, paper-reported numbers).
+    Entries sharing a key never overwrite each other: measurements
+    accumulate within the run's list.
     """
     data = _load()
     entry = {
@@ -92,8 +180,8 @@ def record(
         entry["baseline"] = baseline
     if extra:
         entry["extra"] = extra
-    data["entries"].append(entry)
-    results_path().write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+    _current_run(data)["entries"].append(entry)
+    _write(data)
 
 
 def best_of(repeats: int, thunk):

@@ -1,4 +1,4 @@
-"""Benchmark-session fixtures: one fresh ``BENCH_results.json`` per run."""
+"""Benchmark-session fixtures: one fresh run record per benchmark session."""
 
 import pytest
 
@@ -7,6 +7,11 @@ import _record
 
 @pytest.fixture(scope="session", autouse=True)
 def fresh_bench_results():
-    """Reset the results artifact once at the start of a benchmark session."""
+    """Open this session's run record in the results artifact.
+
+    Other sessions' runs in the same artifact are preserved (schema 2 keeps
+    per-run entry lists), so two harness invocations in one CI workflow no
+    longer clobber each other's measurements.
+    """
     _record.reset_results()
     yield

@@ -1,0 +1,105 @@
+"""Unit tests for the per-run benchmark artifact (`_record`).
+
+The schema-1 regression these pin: two harness sessions writing the same
+artifact path in one CI run used to clobber each other (`reset_results`
+deleted the whole file), and entries sharing a suite/model key could only be
+told apart by ordering.  Schema 2 keeps one entry list per run.
+"""
+
+import json
+
+import pytest
+
+import _record
+
+
+@pytest.fixture()
+def artifact(tmp_path, monkeypatch):
+    """Point the recorder at a scratch artifact with a controllable run id."""
+    path = tmp_path / "BENCH_results.json"
+    monkeypatch.setenv("REPRO_BENCH_RESULTS", str(path))
+
+    def set_run(run_id):
+        monkeypatch.setattr(_record, "_RUN_ID", run_id)
+
+    return path, set_run
+
+
+def test_entries_accumulate_within_a_run(artifact):
+    path, set_run = artifact
+    set_run("run-a")
+    _record.reset_results()
+    _record.record(suite="s", model="m", engine="is", wall_time_s=0.1)
+    _record.record(suite="s", model="m", engine="is", wall_time_s=0.2)
+
+    entries = _record.current_run_entries()
+    assert [e["wall_time_s"] for e in entries] == [0.1, 0.2]
+
+
+def test_two_sessions_sharing_a_key_both_survive(artifact):
+    """The regression: a second session no longer overwrites the first."""
+    path, set_run = artifact
+    set_run("run-a")
+    _record.reset_results()
+    _record.record(suite="shared", model="m", engine="is", wall_time_s=0.1)
+
+    set_run("run-b")  # a second pytest session in the same CI workflow
+    _record.reset_results()
+    _record.record(suite="shared", model="m", engine="is", wall_time_s=0.9)
+
+    data = json.loads(path.read_text())
+    assert data["schema"] == _record.SCHEMA_VERSION
+    assert [run["run"] for run in data["runs"]] == ["run-a", "run-b"]
+    assert [e["wall_time_s"] for e in _record.all_entries()] == [0.1, 0.9]
+
+
+def test_reset_restarts_only_the_current_run(artifact):
+    path, set_run = artifact
+    set_run("run-a")
+    _record.reset_results()
+    _record.record(suite="s", model="m", engine="is", wall_time_s=0.1)
+
+    set_run("run-b")
+    _record.reset_results()
+    _record.record(suite="s", model="m", engine="is", wall_time_s=0.2)
+
+    set_run("run-a")  # e.g. a pytest re-run within the same process
+    _record.reset_results()
+    assert _record.current_run_entries() == []
+    assert [e["wall_time_s"] for e in _record.all_entries()] == [0.2]
+
+
+def test_schema_1_artifacts_migrate_without_losing_entries(artifact):
+    path, set_run = artifact
+    path.write_text(json.dumps({
+        "schema": 1,
+        "created_at": "2026-01-01T00:00:00",
+        "entries": [{"suite": "old", "model": "m", "engine": "is",
+                     "backend": "interp", "particles": 10, "wall_time_s": 1.0}],
+    }))
+    set_run("run-new")
+    _record.record(suite="new", model="m", engine="is", wall_time_s=0.5)
+
+    data = json.loads(path.read_text())
+    assert data["schema"] == _record.SCHEMA_VERSION
+    assert [run["run"] for run in data["runs"]] == ["legacy-schema-1", "run-new"]
+    assert [e["suite"] for e in _record.all_entries()] == ["old", "new"]
+
+
+def test_old_runs_are_pruned_beyond_the_cap(artifact):
+    path, set_run = artifact
+    for i in range(_record.MAX_RUNS + 3):
+        set_run(f"run-{i}")
+        _record.reset_results()
+        _record.record(suite="s", model="m", engine="is", wall_time_s=float(i))
+    data = json.loads(path.read_text())
+    assert len(data["runs"]) == _record.MAX_RUNS
+    assert data["runs"][-1]["run"] == f"run-{_record.MAX_RUNS + 2}"
+
+
+def test_corrupt_artifact_is_replaced_not_fatal(artifact):
+    path, set_run = artifact
+    path.write_text("{ not json")
+    set_run("run-a")
+    _record.record(suite="s", model="m", engine="is", wall_time_s=0.1)
+    assert len(_record.all_entries()) == 1

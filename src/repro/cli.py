@@ -9,6 +9,7 @@ Usage (after ``python setup.py develop`` / ``pip install -e .``)::
     python -m repro.cli run-smc      MODEL.gt GUIDE.gt --obs 0.8 --particles 1000
     python -m repro.cli run-svi      MODEL.gt GUIDE.gt --obs 0.8 --steps 50 \
                                      --param loc=8.5 --param log_scale=0.0
+    python -m repro.cli serve        --port 7341 --workers 4   # batch-inference server
     python -m repro.cli benchmarks                       # list the bundled benchmarks
 
 ``run-is`` executes on the vectorized particle engine by default; pass
@@ -118,6 +119,20 @@ def _print_backend(session, diagnostics: dict) -> None:
         print(f"backend                 : {backend}")
 
 
+def _print_sharding(args: argparse.Namespace) -> None:
+    """Report the shard plan when the request asked for one."""
+    from repro.engine.shard import plan_info
+
+    if getattr(args, "workers", 1) == 1 and getattr(args, "shards", None) is None:
+        return
+    print(f"sharding                : {plan_info(args.workers, args.shards).describe()}")
+
+
+def _shard_kwargs(args: argparse.Namespace) -> dict:
+    """The request fields carrying the CLI's shard controls."""
+    return {"workers": args.workers, "shards": args.shards}
+
+
 def _print_engine_summary(result, num_particles: int) -> None:
     print(f"particles               : {num_particles}")
     log_evidence = result.log_evidence()
@@ -144,12 +159,14 @@ def cmd_run_is(args: argparse.Namespace) -> int:
         obs_values=args.obs or None,  # empty --obs means prior predictive
         seed=args.seed,
         backend=args.backend,
+        **_shard_kwargs(args),
     )
     _print_engine_summary(result, num_particles)
     diagnostics = result.diagnostics()
     if "num_groups" in diagnostics:
         print(f"control-flow groups     : {diagnostics['num_groups']}")
     _print_backend(session, diagnostics)
+    _print_sharding(args)
     return 0
 
 
@@ -169,6 +186,7 @@ def cmd_run_smc(args: argparse.Namespace) -> int:
         ess_threshold=args.ess_threshold,
         rejuvenate=not args.no_rejuvenation,
         backend=args.backend,
+        **_shard_kwargs(args),
     )
     _print_engine_summary(result, num_particles)
     diagnostics = result.diagnostics()
@@ -178,6 +196,7 @@ def cmd_run_smc(args: argparse.Namespace) -> int:
     if rates:
         print(f"rejuvenation acceptance : {', '.join(f'{r:.2f}' for r in rates)}")
     _print_backend(session, diagnostics)
+    _print_sharding(args)
     return 0
 
 
@@ -232,6 +251,7 @@ def cmd_run_svi(args: argparse.Namespace) -> int:
         rao_blackwellize=args.rao_blackwellize,
         final_particles=args.final_particles,
         backend=args.backend,
+        **_shard_kwargs(args),
     )
     diagnostics = result.diagnostics()
     history = diagnostics.get("elbo_history", [])
@@ -247,6 +267,27 @@ def cmd_run_svi(args: argparse.Namespace) -> int:
     # guide, so report that pass's particle count, not the fit batch size.
     _print_engine_summary(result, args.final_particles or num_particles)
     _print_backend(session, diagnostics)
+    _print_sharding(args)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the async batch-inference server until interrupted."""
+    import asyncio
+
+    from repro.engine.server import run_server
+
+    try:
+        asyncio.run(
+            run_server(
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                batch_window_s=args.batch_window_ms / 1e3,
+            )
+        )
+    except KeyboardInterrupt:
+        print("server stopped")
     return 0
 
 
@@ -302,6 +343,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "batched kernels compiled per model/guide pair "
                             "(bitwise-identical results; falls back to interp "
                             "for recursive programs)")
+        p.add_argument("--workers", type=int, default=1,
+                       help="worker processes for sharded execution (1 = in-process). "
+                            "Results depend on the shard plan, not the pool size — "
+                            "but --shards defaults to one per worker, so pin it "
+                            "when varying --workers for identical numbers")
+        p.add_argument("--shards", type=int, default=None,
+                       help="particle shards with independently derived RNG streams "
+                            "(default: one per worker; results are a pure function "
+                            "of seed, particles, and shards)")
 
     p_is = sub.add_parser("run-is", help="run importance sampling on a pair")
     add_pair_arguments(p_is)
@@ -340,6 +390,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_svi.add_argument("--final-particles", type=int, default=None,
                        help="particles for the posterior pass through the fitted guide")
     p_svi.set_defaults(func=cmd_run_svi)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the async batch-inference server (JSONL over TCP)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7341)
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="worker processes in the shared shard pool")
+    p_serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                         help="how long to hold a dispatch batch open so concurrent "
+                              "requests can coalesce into one sharded run")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_bench = sub.add_parser("benchmarks", help="list the bundled benchmark programs")
     p_bench.set_defaults(func=cmd_benchmarks)

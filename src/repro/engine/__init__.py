@@ -28,6 +28,15 @@ simultaneously over NumPy arrays instead of N sequential interpreter runs:
 ``session``
     :class:`ProgramSession` — parse, typecheck, and certify a model/guide
     pair once, then serve repeated inference requests from a cache.
+``shard``
+    Sharded multi-process execution: particle populations split into
+    per-shard RNG streams, run on a persistent fork pool with shared-memory
+    result transport, and merged exactly (results never depend on the
+    worker count).
+``server``
+    The async batch-inference service: a coalescing request queue over
+    sessions and shards, throughput/latency counters, and a JSONL TCP
+    front-end (CLI ``repro serve``).
 """
 
 from repro.engine.api import (
@@ -47,7 +56,15 @@ from repro.engine.backend import (
 )
 from repro.engine.batched import BatchedDist
 from repro.engine.params import ParamStore, Transform, get_transform, store_from_inits
+from repro.engine.server import InferenceService, ServerCounters, run_server, serve_tcp
 from repro.engine.session import ProgramSession, clear_session_cache
+from repro.engine.shard import (
+    ShardedParticleRunner,
+    plan_shards,
+    pool_available,
+    resolve_shards,
+    shutdown_pool,
+)
 from repro.engine.smc import SMCResult, smc
 from repro.engine.svi import (
     ScoreGradient,
@@ -70,11 +87,14 @@ __all__ = [
     "EngineResult",
     "InferenceEngine",
     "InferenceRequest",
+    "InferenceService",
     "ParamStore",
     "ParticleVectorizer",
     "ProgramSession",
     "SMCResult",
     "ScoreGradient",
+    "ServerCounters",
+    "ShardedParticleRunner",
     "Transform",
     "VectorRunResult",
     "VectorizationUnsupported",
@@ -89,7 +109,13 @@ __all__ = [
     "fit_svi",
     "get_transform",
     "get_engine",
+    "plan_shards",
+    "pool_available",
     "register_engine",
+    "resolve_shards",
+    "run_server",
+    "serve_tcp",
+    "shutdown_pool",
     "smc",
     "store_from_inits",
     "vectorized_importance",

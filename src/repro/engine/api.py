@@ -42,6 +42,22 @@ class InferenceRequest:
     """One inference request against a prepared model/guide session."""
 
     num_particles: int = 1000
+    #: Worker processes for the sharded execution layer
+    #: (:mod:`repro.engine.shard`).  ``1`` (the default) runs in-process;
+    #: ``N > 1`` distributes the request's shards over a persistent
+    #: process pool of ``N`` workers.  Results depend only on the shard
+    #: plan, never on the pool size — but note the plan *defaults* to one
+    #: shard per worker, so pin ``shards`` explicitly when you vary
+    #: ``workers`` and need identical numbers.
+    workers: int = 1
+    #: Number of particle shards, each driven by an independently derived
+    #: RNG stream.  ``None`` defaults to ``workers`` (one shard per
+    #: worker).  Results are a pure function of ``(seed, num_particles,
+    #: shards)``: pin ``shards`` explicitly to make them independent of the
+    #: worker count, and keep ``shards=1`` for bit-identical parity with
+    #: the single-process path.  Engines that never touch the vectorized
+    #: runtime (``is-sequential``, ``mh``, ``svi-fd``) ignore both fields.
+    shards: Optional[int] = None
     #: Particle-runtime backend: ``"interp"`` runs the lockstep coroutine
     #: interpreter; ``"compiled"`` runs the fused batched kernel emitted by
     #: :func:`repro.compiler.codegen.compile_fused_pair` (bitwise-identical
@@ -81,11 +97,32 @@ class InferenceRequest:
     final_particles: Optional[int] = None
 
     def resolved_backend(self) -> str:
+        """The validated particle-runtime backend name."""
         from repro.engine.backend import validate_backend
 
         return validate_backend(self.backend)
 
+    def resolved_shards(self) -> int:
+        """The validated shard count (``shards``, defaulting to ``workers``)."""
+        from repro.engine.shard import resolve_shards
+
+        return resolve_shards(self.workers, self.shards)
+
+    def runner_options(self) -> Dict[str, object]:
+        """Keyword arguments selecting this request's execution strategy.
+
+        Bundles the backend and shard controls for
+        :func:`repro.engine.backend.make_particle_runner`, so engines thread
+        one dict instead of tracking each knob separately.
+        """
+        return {
+            "backend": self.resolved_backend(),
+            "workers": self.workers,
+            "shards": self.resolved_shards(),
+        }
+
     def resolved_obs_trace(self) -> Optional[tr.Trace]:
+        """The observation trace, built from ``obs_trace`` or ``obs_values``."""
         if self.obs_trace is not None:
             return tuple(self.obs_trace)
         if self.obs_values is not None:
@@ -108,12 +145,15 @@ class EngineResult(abc.ABC):
         """Posterior mean of the ``site_index``-th latent value."""
 
     def log_evidence(self) -> Optional[float]:
+        """Log marginal-likelihood estimate (``None`` if the engine has none)."""
         return None
 
     def effective_sample_size(self) -> Optional[float]:
+        """Kish effective sample size (``None`` if the engine has none)."""
         return None
 
     def diagnostics(self) -> Dict[str, object]:
+        """Engine-specific diagnostics for reporting layers (CLI, server)."""
         return {}
 
 
@@ -138,6 +178,7 @@ def register_engine(engine: InferenceEngine) -> InferenceEngine:
 
 
 def get_engine(name: str) -> InferenceEngine:
+    """Look up a registered engine by name (raises on unknown names)."""
     try:
         return _REGISTRY[name]
     except KeyError:
@@ -146,6 +187,7 @@ def get_engine(name: str) -> InferenceEngine:
 
 
 def available_engines() -> List[str]:
+    """The registered engine names, sorted."""
     return sorted(_REGISTRY)
 
 
@@ -158,15 +200,19 @@ class ImportanceEngineResult(EngineResult):
     """Adapter over both importance-sampling result flavours."""
 
     def posterior_mean(self, site_index: int) -> float:
+        """Self-normalised importance estimate of the site's posterior mean."""
         return self.raw.posterior_expectation_of_site(site_index)
 
     def log_evidence(self) -> Optional[float]:
+        """Log of the mean importance weight."""
         return float(self.raw.log_evidence())
 
     def effective_sample_size(self) -> Optional[float]:
+        """Kish effective sample size of the importance weights."""
         return float(self.raw.effective_sample_size())
 
     def diagnostics(self) -> Dict[str, object]:
+        """Sample count plus, for vectorized runs, group/backend detail."""
         out: Dict[str, object] = {"num_samples": self.raw.num_samples}
         run = getattr(self.raw, "run", None)
         if run is not None:
@@ -177,10 +223,13 @@ class ImportanceEngineResult(EngineResult):
 
 
 class VectorizedImportanceEngine(InferenceEngine):
+    """Lockstep importance sampling (optionally sharded across workers)."""
+
     name = "is"
     description = "importance sampling, all particles executed in lockstep"
 
     def run(self, session: "ProgramSession", request: InferenceRequest) -> EngineResult:
+        """Draw one weighted particle population through the request's runner."""
         from repro.engine.vectorize import vectorized_importance
 
         result = vectorized_importance(
@@ -195,17 +244,20 @@ class VectorizedImportanceEngine(InferenceEngine):
             guide_args=request.guide_args,
             latent_channel=session.latent_channel,
             obs_channel=session.obs_channel,
-            backend=request.resolved_backend(),
             session=session,
+            **request.runner_options(),
         )
         return ImportanceEngineResult(result)
 
 
 class SequentialImportanceEngine(InferenceEngine):
+    """The original one-particle-at-a-time importance-sampling loop."""
+
     name = "is-sequential"
     description = "importance sampling, one particle at a time (reference path)"
 
     def run(self, session: "ProgramSession", request: InferenceRequest) -> EngineResult:
+        """Run the scalar reference loop (ignores backend/shard controls)."""
         from repro.inference.importance import importance_sampling
 
         result = importance_sampling(
@@ -230,16 +282,22 @@ class SequentialImportanceEngine(InferenceEngine):
 
 
 class SMCEngineResult(EngineResult):
+    """Adapter over :class:`~repro.engine.smc.SMCResult`."""
+
     def posterior_mean(self, site_index: int) -> float:
+        """Weighted mean of the site over the final particle population."""
         return self.raw.posterior_mean(site_index)
 
     def log_evidence(self) -> Optional[float]:
+        """The annealed evidence estimate accumulated across tempering steps."""
         return float(self.raw.log_evidence())
 
     def effective_sample_size(self) -> Optional[float]:
+        """ESS of the final population's weights."""
         return float(self.raw.effective_sample_size())
 
     def diagnostics(self) -> Dict[str, object]:
+        """ESS trajectory, resampling points, and rejuvenation acceptance."""
         out = {
             "ess_history": list(self.raw.ess_history),
             "resample_steps": list(self.raw.resample_steps),
@@ -251,10 +309,13 @@ class SMCEngineResult(EngineResult):
 
 
 class SMCEngine(InferenceEngine):
+    """Sequential Monte Carlo on the vectorized (optionally sharded) runtime."""
+
     name = "smc"
     description = "Sequential Monte Carlo: systematic resampling + rejuvenation"
 
     def run(self, session: "ProgramSession", request: InferenceRequest) -> EngineResult:
+        """Anneal the request's particle population over its observations."""
         from repro.engine.smc import smc
 
         result = smc(
@@ -271,8 +332,8 @@ class SMCEngine(InferenceEngine):
             guide_args=request.guide_args,
             latent_channel=session.latent_channel,
             obs_channel=session.obs_channel,
-            backend=request.resolved_backend(),
             session=session,
+            **request.runner_options(),
         )
         return SMCEngineResult(result)
 
@@ -290,12 +351,15 @@ class ParallelMHSummary:
 
     @property
     def num_chains(self) -> int:
+        """How many chains contributed to the pool."""
         return len(self.chains)
 
     def acceptance_rates(self) -> List[float]:
+        """Per-chain MH acceptance rates, in chain order."""
         return [chain.acceptance_rate for chain in self.chains]
 
     def pooled_site_values(self, site_index: int) -> np.ndarray:
+        """All chains' values at one latent site, concatenated."""
         values: List[float] = []
         for chain in self.chains:
             values.extend(chain.site_values(site_index))
@@ -320,10 +384,14 @@ class ParallelMHSummary:
 
 
 class ParallelMHEngineResult(EngineResult):
+    """Adapter over :class:`ParallelMHSummary` (pooled chains)."""
+
     def posterior_mean(self, site_index: int) -> float:
+        """Unweighted mean over the pooled post-burn-in chain states."""
         return float(np.mean(self.raw.pooled_site_values(site_index)))
 
     def diagnostics(self) -> Dict[str, object]:
+        """Chain count, acceptance rates, and the site-0 R-hat statistic."""
         return {
             "num_chains": self.raw.num_chains,
             "acceptance_rates": self.raw.acceptance_rates(),
@@ -332,10 +400,13 @@ class ParallelMHEngineResult(EngineResult):
 
 
 class ParallelMHEngine(InferenceEngine):
+    """Independent Metropolis–Hastings chains pooled into one estimate."""
+
     name = "mh"
     description = "independent Metropolis–Hastings chains with pooled estimates"
 
     def run(self, session: "ProgramSession", request: InferenceRequest) -> EngineResult:
+        """Run ``num_chains`` sequential chains and pool their states."""
         from repro.inference.mcmc import independence_proposal, metropolis_hastings
 
         if request.num_chains <= 0:

@@ -1,0 +1,569 @@
+"""Async batch-inference service: queueing, coalescing, and a TCP front-end.
+
+:class:`InferenceService` is the serving layer the ROADMAP's north star asks
+for: callers submit JSON-shaped inference requests concurrently; a dispatcher
+drains the queue in batches, groups requests that target the same prepared
+:class:`~repro.engine.session.ProgramSession`, and executes each group on the
+sharded execution layer (:mod:`repro.engine.shard`) — importance-sampling
+requests for the same session are *coalesced*: their shard tasks are
+concatenated into one pool submission wave, so four concurrent requests cost
+one warm-pool round trip instead of four.  Coalescing only changes
+scheduling, never values: every request's shard plan and RNG streams are
+derived exactly as they would be for a solo run, and each request merges only
+its own shards.
+
+Results stream back as each request completes (futures resolve
+out-of-order), and the service keeps throughput/latency counters
+(:class:`ServerCounters`) that the benchmark harness exports into
+``BENCH_results.json``.
+
+:func:`serve_tcp` exposes the service over a newline-delimited-JSON TCP
+protocol (one request object per line, one response object per line, matched
+by ``id``), which is what the ``repro serve`` CLI subcommand runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.api import EngineResult, InferenceRequest, available_engines, get_engine
+from repro.engine.session import ProgramSession
+from repro.errors import InferenceError, ReproError
+
+#: Fields a request payload may set on :class:`InferenceRequest`.
+REQUEST_FIELDS = frozenset(f.name for f in dataclasses.fields(InferenceRequest))
+
+#: Payload keys interpreted by the service itself (everything else under
+#: ``params`` must be an :class:`InferenceRequest` field).
+PAYLOAD_KEYS = frozenset(
+    {
+        "id",
+        "op",
+        "model",
+        "guide",
+        "model_entry",
+        "guide_entry",
+        "latent_channel",
+        "obs_channel",
+        "engine",
+        "sites",
+        "force",
+        "params",
+    }
+)
+
+
+@dataclass
+class ServerCounters:
+    """Throughput and latency counters for one service instance.
+
+    All times are seconds.  ``queue_wait`` measures enqueue-to-dispatch,
+    ``run`` measures engine execution, and ``latency`` measures
+    enqueue-to-response — the numbers a capacity plan needs.
+    """
+
+    requests_total: int = 0
+    failures_total: int = 0
+    batches_total: int = 0
+    #: Requests that shared a dispatch batch with at least one other request
+    #: for the same session (i.e. rode a coalesced wave).
+    coalesced_requests_total: int = 0
+    particles_total: int = 0
+    queue_wait_s_total: float = 0.0
+    run_s_total: float = 0.0
+    latency_s_total: float = 0.0
+    latency_s_max: float = 0.0
+    started_at: float = field(default_factory=time.monotonic)
+
+    def observe(
+        self,
+        queue_wait_s: float,
+        run_s: float,
+        particles: int,
+        ok: bool,
+        busy_s: Optional[float] = None,
+    ) -> None:
+        """Fold one finished request into the counters.
+
+        ``run_s`` is the request's perceived execution time (for latency);
+        ``busy_s``, when given, is its share of actual engine busy time —
+        requests that rode one coalesced wave each perceive the whole wave
+        but only account for a fraction of it, so throughput rates stay
+        honest.
+        """
+        latency = queue_wait_s + run_s
+        self.requests_total += 1
+        if not ok:
+            self.failures_total += 1
+        self.particles_total += int(particles)
+        self.queue_wait_s_total += queue_wait_s
+        self.run_s_total += run_s if busy_s is None else busy_s
+        self.latency_s_total += latency
+        self.latency_s_max = max(self.latency_s_max, latency)
+
+    def snapshot(self) -> Dict[str, object]:
+        """The counters plus derived rates, as one JSON-ready dict."""
+        uptime = max(time.monotonic() - self.started_at, 1e-9)
+        done = max(self.requests_total, 1)
+        return {
+            "requests_total": self.requests_total,
+            "failures_total": self.failures_total,
+            "batches_total": self.batches_total,
+            "coalesced_requests_total": self.coalesced_requests_total,
+            "particles_total": self.particles_total,
+            "uptime_s": uptime,
+            "requests_per_s": self.requests_total / uptime,
+            "particles_per_s": self.particles_total / max(self.run_s_total, 1e-9),
+            "queue_wait_s_mean": self.queue_wait_s_total / done,
+            "run_s_mean": self.run_s_total / done,
+            "latency_s_mean": self.latency_s_total / done,
+            "latency_s_max": self.latency_s_max,
+        }
+
+
+@dataclass
+class _Pending:
+    """One accepted request waiting in (or moving through) the queue."""
+
+    payload: Dict[str, object]
+    session: ProgramSession
+    engine: str
+    request: InferenceRequest
+    sites: List[int]
+    future: "asyncio.Future[Dict[str, object]]"
+    enqueued_at: float = field(default_factory=time.monotonic)
+    dispatched_at: float = 0.0
+    batch_size: int = 1
+
+
+class InferenceService:
+    """Coalescing batch-inference front-end over prepared program sessions.
+
+    ``workers`` sizes the shared shard pool (and is the default worker count
+    for requests that do not pin their own); ``batch_window_s`` optionally
+    holds each dispatch batch open a little longer so concurrent callers can
+    land in the same wave.  Use as::
+
+        service = InferenceService(workers=4)
+        await service.start()
+        response = await service.submit({"model": ..., "guide": ..., ...})
+        await service.stop()
+    """
+
+    def __init__(self, workers: int = 1, batch_window_s: float = 0.0):
+        self.workers = max(1, int(workers))
+        self.batch_window_s = max(0.0, float(batch_window_s))
+        self.counters = ServerCounters()
+        self._queue: "asyncio.Queue[_Pending]" = None
+        self._dispatcher: Optional[asyncio.Task] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Create the queue, pre-warm the shard pool, start the dispatcher."""
+        from repro.engine.shard import ensure_pool
+
+        self._queue = asyncio.Queue()
+        # Fork the pool before any executor threads exist: forking a
+        # multi-threaded process can deadlock the children.
+        if self.workers > 1:
+            await asyncio.get_running_loop().run_in_executor(None, ensure_pool, self.workers)
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    async def stop(self) -> None:
+        """Stop the dispatcher and fail any requests still queued."""
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        while self._queue is not None and not self._queue.empty():
+            pending = self._queue.get_nowait()
+            if not pending.future.done():
+                pending.future.set_exception(InferenceError("server shutting down"))
+
+    # -- request intake ----------------------------------------------------
+
+    async def submit(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Validate, enqueue, and await one inference request.
+
+        Returns the response dict (also carrying per-request server timings);
+        invalid payloads and engine failures come back as ``ok: false``
+        responses rather than raising, so one bad request never takes down a
+        connection handler.
+        """
+        started = time.monotonic()
+        try:
+            pending = await self._prepare(payload)
+        except (ReproError, ValueError, TypeError, KeyError) as exc:
+            self.counters.observe(0.0, time.monotonic() - started, 0, ok=False)
+            return self._error_response(payload, exc)
+        if self._dispatcher is None:
+            raise InferenceError("service not started; call await service.start() first")
+        await self._queue.put(pending)
+        return await pending.future
+
+    async def _prepare(self, payload: Dict[str, object]) -> _Pending:
+        """Resolve the payload into a certified session plus a typed request."""
+        unknown = sorted(set(payload) - PAYLOAD_KEYS)
+        if unknown:
+            raise InferenceError(f"unknown request keys {unknown}")
+        for key in ("model", "guide"):
+            if not isinstance(payload.get(key), str):
+                raise InferenceError(f"request needs {key!r} source text")
+        engine = payload.get("engine", "is")
+        if engine not in available_engines():
+            raise InferenceError(
+                f"unknown engine {engine!r} (known: {', '.join(available_engines())})"
+            )
+        params = dict(payload.get("params") or {})
+        bad = sorted(set(params) - REQUEST_FIELDS)
+        if bad:
+            raise InferenceError(f"unknown InferenceRequest fields {bad}")
+        params.setdefault("workers", self.workers)
+        # Parsing/typechecking is CPU work, but the session LRU makes repeat
+        # requests free; run the cold path off the event loop.
+        loop = asyncio.get_running_loop()
+        session = await loop.run_in_executor(
+            None,
+            lambda: ProgramSession.from_sources(
+                payload["model"],
+                payload["guide"],
+                model_entry=payload.get("model_entry"),
+                guide_entry=payload.get("guide_entry"),
+                latent_channel=payload.get("latent_channel", "latent"),
+                obs_channel=payload.get("obs_channel", "obs"),
+            ),
+        )
+        if not session.certified and not payload.get("force", False):
+            raise InferenceError(
+                f"model/guide pair is not certified: {session.certification_reason} "
+                "(pass force: true to run anyway)"
+            )
+        request = InferenceRequest(**params)
+        request.resolved_shards()  # validate the shard controls up front
+        sites = [int(s) for s in payload.get("sites", [0])]
+        return _Pending(
+            payload=payload,
+            session=session,
+            engine=engine,
+            request=request,
+            sites=sites,
+            future=asyncio.get_running_loop().create_future(),
+        )
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        """Drain the queue in batches and execute them off the event loop."""
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await self._queue.get()]
+            if self.batch_window_s:
+                await asyncio.sleep(self.batch_window_s)
+            while not self._queue.empty():
+                batch.append(self._queue.get_nowait())
+            now = time.monotonic()
+            for pending in batch:
+                pending.dispatched_at = now
+            for group in self._group(batch):
+                self.counters.batches_total += 1
+                if len(group) > 1:
+                    self.counters.coalesced_requests_total += len(group)
+                try:
+                    await loop.run_in_executor(None, self._run_group, group)
+                except Exception as exc:  # noqa: BLE001 - dispatcher must survive
+                    # _run_group already shields per-request work; anything
+                    # escaping it is unexpected, but one poisoned group must
+                    # never wedge the dispatcher (and with it the server).
+                    for pending in group:
+                        _resolve_future(
+                            pending.future, self._error_response(pending.payload, exc)
+                        )
+
+    def _group(self, batch: List[_Pending]) -> List[List[_Pending]]:
+        """Partition a batch into per-(session, engine, backend) groups."""
+        groups: Dict[Tuple[int, str, str], List[_Pending]] = {}
+        for pending in batch:
+            key = (id(pending.session), pending.engine, pending.request.backend)
+            groups.setdefault(key, []).append(pending)
+        for group in groups.values():
+            for pending in group:
+                pending.batch_size = len(group)
+        return list(groups.values())
+
+    def _run_group(self, group: List[_Pending]) -> None:
+        """Execute one same-session group (worker thread).
+
+        Importance-sampling groups with sharded members run as one fused
+        pool wave; everything else runs member by member.  Either way each
+        member's future resolves as soon as its own result exists.
+        """
+        wave_outcomes: Dict[int, object] = {}
+        wave_s = 0.0
+        if len(group) > 1 and group[0].engine == "is":
+            wave_started = time.monotonic()
+            try:
+                wave_outcomes = self._run_is_wave(group)
+            except Exception:  # noqa: BLE001 - wave is an optimisation only
+                wave_outcomes = {}  # fall through to member-by-member execution
+            wave_s = time.monotonic() - wave_started
+        wave_size = max(len(wave_outcomes), 1)
+        for i, pending in enumerate(group):
+            started = time.monotonic()
+            busy_s: Optional[float] = None
+            result: object = None
+            error: Optional[Exception] = None
+            if i in wave_outcomes:
+                outcome = wave_outcomes[i]
+                if isinstance(outcome, Exception):
+                    error = outcome
+                else:
+                    result = outcome
+                # Every wave member perceives the whole wave's wall time but
+                # accounts for only its share of engine busy time.
+                run_s = wave_s
+                busy_s = wave_s / wave_size
+            else:
+                try:
+                    result = get_engine(pending.engine).run(pending.session, pending.request)
+                except Exception as exc:  # noqa: BLE001 - reported per request
+                    error = exc
+                run_s = time.monotonic() - started
+            queue_wait = pending.dispatched_at - pending.enqueued_at
+            ok = error is None
+            try:
+                particles = int(pending.request.num_particles)
+            except (TypeError, ValueError):
+                particles = 0
+            self.counters.observe(queue_wait, run_s, particles, ok, busy_s=busy_s)
+            if ok:
+                try:
+                    response = self._result_response(pending, result, queue_wait, run_s)
+                except Exception as exc:  # noqa: BLE001 - reported per request
+                    response = self._error_response(pending.payload, exc)
+            else:
+                response = self._error_response(pending.payload, error)
+            loop = pending.future.get_loop()
+            loop.call_soon_threadsafe(_resolve_future, pending.future, response)
+
+    def _run_is_wave(self, group: List[_Pending]) -> Dict[int, object]:
+        """Run a group of same-session ``is`` requests as one pool wave.
+
+        Every member's shard tasks are prepared exactly as a solo run would
+        prepare them (same seeds, same plan), concatenated into a single
+        ``execute_tasks`` call, and merged back per member — so coalescing
+        is invisible in the results, including the all-weights-zero guard a
+        solo ``vectorized_importance`` run applies (a failed member maps to
+        its :class:`InferenceError`).  Members whose plan has a single
+        shard are left for the sequential path.
+        """
+        import numpy as np
+
+        from repro.engine.api import ImportanceEngineResult
+        from repro.engine.backend import make_particle_runner
+        from repro.engine.shard import ShardedParticleRunner, execute_tasks
+        from repro.engine.vectorize import VectorizedISResult
+        from repro.utils.rng import ensure_rng
+
+        waves = []
+        for i, pending in enumerate(group):
+            session, request = pending.session, pending.request
+            runner = make_particle_runner(
+                session.model_program,
+                session.guide_program,
+                session.model_entry,
+                session.guide_entry,
+                obs_trace=request.resolved_obs_trace(),
+                model_args=request.model_args,
+                guide_args=request.guide_args,
+                latent_channel=session.latent_channel,
+                obs_channel=session.obs_channel,
+                backend=request.resolved_backend(),
+                session=session,
+                workers=request.workers,
+                shards=request.resolved_shards(),
+                trim_site_scores=True,  # mirror the solo IS path
+            )
+            if not isinstance(runner, ShardedParticleRunner):
+                continue
+            wave = runner.prepare(request.num_particles, ensure_rng(request.seed))
+            waves.append((i, runner, wave))
+        if not waves:
+            return {}
+        all_tasks = [task for _, _, wave in waves for task in wave.tasks]
+        shard_results = execute_tasks(all_tasks, self.workers)
+        out: Dict[int, object] = {}
+        cursor = 0
+        for i, runner, wave in waves:
+            chunk = shard_results[cursor : cursor + len(wave.tasks)]
+            cursor += len(wave.tasks)
+            run = wave.merge(chunk, runner.latent_channel, runner.obs_channel)
+            result = VectorizedISResult(run)
+            if not np.any(np.isfinite(result.log_weights)):
+                # Same guard (and message) as vectorized_importance's solo path.
+                out[i] = InferenceError(
+                    "all importance weights are zero: the guide's proposals never "
+                    "land in the model's support (the model/guide pair is not "
+                    "absolutely continuous)"
+                )
+            else:
+                out[i] = ImportanceEngineResult(result)
+        return out
+
+    # -- response shaping --------------------------------------------------
+
+    def _result_response(
+        self, pending: _Pending, result: EngineResult, queue_wait_s: float, run_s: float
+    ) -> Dict[str, object]:
+        """Serialise one engine result into the wire response."""
+        means: Dict[str, float] = {}
+        for site in pending.sites:
+            try:
+                means[str(site)] = float(result.posterior_mean(site))
+            except ReproError:
+                means[str(site)] = None
+        log_evidence = result.log_evidence()
+        ess = result.effective_sample_size()
+        return {
+            "id": pending.payload.get("id"),
+            "ok": True,
+            "engine": pending.engine,
+            "posterior_means": means,
+            "log_evidence": None if log_evidence is None else float(log_evidence),
+            "effective_sample_size": None if ess is None else float(ess),
+            "diagnostics": _json_safe(result.diagnostics()),
+            "server": {
+                "queue_wait_s": queue_wait_s,
+                "run_s": run_s,
+                "batch_size": pending.batch_size,
+            },
+        }
+
+    @staticmethod
+    def _error_response(payload: Dict[str, object], exc: Exception) -> Dict[str, object]:
+        """The ``ok: false`` wire response for one failed request."""
+        return {"id": payload.get("id") if isinstance(payload, dict) else None,
+                "ok": False, "error": str(exc)}
+
+
+def _resolve_future(future: "asyncio.Future", response: Dict[str, object]) -> None:
+    """Set a future's result unless the caller already went away."""
+    if not future.done():
+        future.set_result(response)
+
+
+def _json_safe(value):
+    """Coerce numpy scalars/arrays so the response serialises as JSON."""
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+# ---------------------------------------------------------------------------
+# The TCP front-end (newline-delimited JSON)
+# ---------------------------------------------------------------------------
+
+
+async def _handle_connection(
+    service: InferenceService, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    """Serve one client connection: a JSON object per line, answers by ``id``."""
+    write_lock = asyncio.Lock()
+    tasks: List[asyncio.Task] = []
+
+    async def respond(response: Dict[str, object]) -> None:
+        async with write_lock:
+            writer.write(json.dumps(response).encode("utf-8") + b"\n")
+            await writer.drain()
+
+    async def handle_line(line: bytes) -> None:
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            await respond({"id": None, "ok": False, "error": f"bad JSON: {exc}"})
+            return
+        op = payload.get("op", "infer") if isinstance(payload, dict) else "infer"
+        if not isinstance(payload, dict):
+            await respond({"id": None, "ok": False, "error": "request must be a JSON object"})
+        elif op == "stats":
+            await respond({"id": payload.get("id"), "ok": True,
+                           "counters": service.counters.snapshot()})
+        elif op == "infer":
+            await respond(await service.submit(payload))
+        else:
+            await respond({"id": payload.get("id"), "ok": False,
+                           "error": f"unknown op {op!r} (known: infer, stats)"})
+
+    cancelled = False
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            if line.strip():
+                # Handle each line concurrently so requests on one connection
+                # can coalesce into the same dispatch batch.
+                tasks.append(asyncio.create_task(handle_line(line)))
+    except asyncio.CancelledError:
+        cancelled = True
+        raise
+    finally:
+        if cancelled:
+            for task in tasks:
+                if not task.done():
+                    task.cancel()
+        elif tasks:
+            # EOF on the read side is how JSONL clients say "no more
+            # requests" — answers for everything already submitted must
+            # still go out before the connection closes.
+            await asyncio.gather(*tasks, return_exceptions=True)
+        writer.close()
+        try:
+            await asyncio.shield(writer.wait_closed())
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+
+
+async def serve_tcp(service: InferenceService, host: str, port: int) -> "asyncio.AbstractServer":
+    """Start the JSONL TCP front-end for an already-started service."""
+    return await asyncio.start_server(
+        lambda r, w: _handle_connection(service, r, w), host, port
+    )
+
+
+async def run_server(
+    host: str = "127.0.0.1",
+    port: int = 7341,
+    workers: int = 1,
+    batch_window_s: float = 0.002,
+) -> None:
+    """Run the batch-inference server until cancelled (CLI entry point)."""
+    service = InferenceService(workers=workers, batch_window_s=batch_window_s)
+    await service.start()
+    server = await serve_tcp(service, host, port)
+    bound = ", ".join(str(sock.getsockname()) for sock in server.sockets)
+    print(f"repro inference server listening on {bound} "
+          f"({workers} worker(s), batch window {batch_window_s * 1e3:.1f}ms)")
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        await service.stop()

@@ -106,6 +106,7 @@ class ProgramSession:
 
     @property
     def certification_reason(self) -> Optional[str]:
+        """Why the pair is uncertified (``None`` when it is certified)."""
         if self.check is None:
             return "typechecking was skipped"
         if self.check.compatible:
@@ -113,6 +114,7 @@ class ProgramSession:
         return self.check.reason
 
     def require_certified(self) -> None:
+        """Raise :class:`InferenceError` unless absolute continuity is certified."""
         if self.check is None:
             raise InferenceError(
                 "this session skipped typechecking; rebuild it with typecheck=True"
@@ -175,6 +177,7 @@ class ProgramSession:
         obs_channel: str = "obs",
         typecheck: bool = True,
     ) -> "ProgramSession":
+        """Build (or fetch from the LRU cache) a session from source text."""
         key = (
             TYPECHECKER_VERSION,
             model_source,

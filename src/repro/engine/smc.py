@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -129,12 +129,19 @@ def smc(
     obs_channel: str = "obs",
     backend: str = "interp",
     session=None,
+    workers: int = 1,
+    shards: Optional[int] = None,
 ) -> SMCResult:
     """Run Sequential Monte Carlo with ``num_particles`` lockstep particles.
 
     ``backend="compiled"`` draws every population (initial and rejuvenation
     proposals) through the fused batched kernel when available; results are
     bitwise-identical to the interpretive backend under the same seed.
+    ``workers``/``shards`` shard every population pass (initial draw and
+    rejuvenation proposals) across the process pool; the weight updates,
+    evidence increments, and resampling decisions always happen globally in
+    the parent on the exactly merged population, so sharding never changes
+    what SMC computes.
     """
     if num_particles <= 0:
         raise InferenceError("num_particles must be positive")
@@ -159,6 +166,10 @@ def smc(
         obs_channel=obs_channel,
         backend=backend,
         session=session,
+        workers=workers,
+        shards=shards,
+        # SMC consumes weights and observation scores, never site ledgers.
+        trim_site_scores=True,
     )
 
     def fresh_population() -> Tuple[VectorRunResult, np.ndarray, np.ndarray, np.ndarray]:

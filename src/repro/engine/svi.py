@@ -94,13 +94,16 @@ def estimate_elbo_batched(
     obs_channel: str = "obs",
     backend: str = "interp",
     session=None,
+    workers: int = 1,
+    shards: Optional[int] = None,
 ) -> ELBOEstimate:
     """Monte-Carlo ELBO with all particles drawn in one lockstep pass.
 
     Estimator-identical to :func:`repro.inference.vi.estimate_elbo` (same
     per-particle terms, ``-inf`` as soon as any particle leaves the model's
     support); only the execution strategy differs.  ``backend="compiled"``
-    draws the batch through the fused kernel when the pair supports it.
+    draws the batch through the fused kernel when the pair supports it, and
+    ``workers``/``shards`` distribute the batch over the sharded layer.
     """
     from repro.engine.backend import make_particle_runner
 
@@ -116,6 +119,10 @@ def estimate_elbo_batched(
         obs_channel=obs_channel,
         backend=backend,
         session=session,
+        workers=workers,
+        shards=shards,
+        # The ELBO needs only the per-particle weight terms.
+        trim_site_scores=True,
     )
     run = vectorizer.run(num_particles, ensure_rng(rng))
     terms = run.log_weights()
@@ -166,6 +173,8 @@ def elbo_and_score_gradient(
     score_epsilon: float = DEFAULT_SCORE_EPSILON,
     backend: str = "interp",
     session=None,
+    workers: int = 1,
+    shards: Optional[int] = None,
 ) -> ScoreGradient:
     """Estimate the ELBO and its score-function gradient in one batch.
 
@@ -191,10 +200,13 @@ def elbo_and_score_gradient(
 
     from repro.engine.backend import make_particle_runner
 
-    def vectorizer_at(at: ParamStore, at_backend: str = "interp") -> ParticleVectorizer:
-        # The sampling pass honours the backend choice; the ±ε *rescoring*
-        # passes replay recorded groups through the interpreter either way
-        # (rescore_group is interpretive machinery, shared by both runners).
+    def vectorizer_at(
+        at: ParamStore, at_backend: str = "interp", at_shards: Optional[int] = 1
+    ) -> ParticleVectorizer:
+        # The sampling pass honours the backend and shard choices; the ±ε
+        # *rescoring* passes replay recorded groups through the interpreter
+        # in-process either way (rescore_group is replay machinery that
+        # consumes no randomness, so there is nothing to shard).
         return make_particle_runner(
             model_program,
             guide_program,
@@ -207,9 +219,14 @@ def elbo_and_score_gradient(
             obs_channel=obs_channel,
             backend=at_backend,
             session=session,
+            workers=workers,
+            shards=at_shards,
+            # The guide-side ledgers feed Rao-Blackwellized signals only;
+            # without them the gradient uses whole-trace rescores.
+            trim_site_scores=not rao_blackwellize,
         )
 
-    run = vectorizer_at(store, backend).run(num_particles, rng)
+    run = vectorizer_at(store, backend, shards).run(num_particles, rng)
     f = run.log_weights()
     finite = np.isfinite(f)
     num_finite = int(finite.sum())
@@ -367,6 +384,8 @@ def fit_svi(
     grad_clip_norm: Optional[float] = 10.0,
     backend: str = "interp",
     session=None,
+    workers: int = 1,
+    shards: Optional[int] = None,
 ) -> VectorizedSVIResult:
     """Maximise the ELBO with batched score-function gradient ascent.
 
@@ -402,6 +421,8 @@ def fit_svi(
             score_epsilon=score_epsilon,
             backend=backend,
             session=session,
+            workers=workers,
+            shards=shards,
         )
         result.elbo_history.append(estimate.finite_mean)
         result.num_infinite_history.append(estimate.num_infinite)
@@ -501,10 +522,13 @@ class SVIEngineResult(EngineResult):
 
 
 class VectorizedSVIEngine(InferenceEngine):
+    """Batched score-function SVI with sharded sampling passes."""
+
     name = "svi"
     description = "batched score-function SVI on the lockstep particle runtime"
 
     def run(self, session, request: InferenceRequest) -> EngineResult:
+        """Fit the guide's parameters, then answer queries through the fit."""
         rng = ensure_rng(request.seed)
         store = _store_from_request(session.guide_program, session.guide_entry, request)
         param_names = guide_entry_params(session.guide_program, session.guide_entry)
@@ -526,8 +550,8 @@ class VectorizedSVIEngine(InferenceEngine):
             obs_channel=session.obs_channel,
             rao_blackwellize=request.rao_blackwellize,
             score_epsilon=request.score_epsilon,
-            backend=request.resolved_backend(),
             session=session,
+            **request.runner_options(),
         )
         final_args = store.guide_args(param_names) if store.size else request.guide_args
         importance = vectorized_importance(
@@ -542,17 +566,20 @@ class VectorizedSVIEngine(InferenceEngine):
             guide_args=final_args,
             latent_channel=session.latent_channel,
             obs_channel=session.obs_channel,
-            backend=request.resolved_backend(),
             session=session,
+            **request.runner_options(),
         )
         return SVIEngineResult(fit, importance, self.name)
 
 
 class FiniteDifferenceSVIEngine(InferenceEngine):
+    """The sequential finite-difference SVI reference path."""
+
     name = "svi-fd"
     description = "sequential finite-difference SVI (reference path)"
 
     def run(self, session, request: InferenceRequest) -> EngineResult:
+        """Fit by finite differences (ignores backend/shard controls)."""
         from repro.inference.importance import importance_sampling
         from repro.inference.vi import svi as finite_difference_svi
 

@@ -1249,13 +1249,17 @@ def vectorized_importance(
     raise_on_all_zero: bool = True,
     backend: str = "interp",
     session=None,
+    workers: int = 1,
+    shards: Optional[int] = None,
 ) -> VectorizedISResult:
     """Importance sampling with all particles executed in lockstep.
 
     The estimator is identical to :func:`repro.inference.importance_sampling`
     (same proposal, same weights); only the execution strategy differs.
     ``backend="compiled"`` runs the fused batched kernel when the pair is in
-    the compiled fragment (bitwise-identical results, lower dispatch cost).
+    the compiled fragment (bitwise-identical results, lower dispatch cost);
+    ``workers``/``shards`` distribute the population over the sharded
+    execution layer (:mod:`repro.engine.shard`).
     """
     from repro.engine.backend import make_particle_runner
 
@@ -1271,6 +1275,10 @@ def vectorized_importance(
         obs_channel=obs_channel,
         backend=backend,
         session=session,
+        workers=workers,
+        shards=shards,
+        # IS never reads the per-site score ledgers; keep them off the wire.
+        trim_site_scores=True,
     )
     result = VectorizedISResult(vectorizer.run(num_particles, rng))
     if raise_on_all_zero and not np.any(np.isfinite(result.log_weights)):

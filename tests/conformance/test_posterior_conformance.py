@@ -14,6 +14,7 @@ Boolean latent sites are exposed as 0/1 by ``site_values``, so the golden
 "mean" of a Bernoulli site is its posterior probability of ``True``.
 """
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
@@ -23,6 +24,11 @@ from repro.engine import ProgramSession
 from repro.models import get_benchmark
 
 ENGINES = ("is", "smc", "mh", "svi")
+
+#: CI sets REPRO_CONFORMANCE_WORKERS=2 on one job so the sharded process-pool
+#: path is exercised against the golden posteriors on every PR; the engines
+#: that ignore shard controls (mh here) simply run as usual.
+WORKERS = int(os.environ.get("REPRO_CONFORMANCE_WORKERS", "1"))
 
 
 @dataclass(frozen=True)
@@ -99,6 +105,7 @@ def _run(case: ConformanceCase, engine: str, seed: int):
         obs_values=bench.obs_values,
         seed=seed,
         guide_args=case.guide_args,
+        workers=WORKERS,
     )
     if engine == "svi":
         kwargs.update(case.svi)

@@ -1,0 +1,98 @@
+"""The docs site: generated reference stays fresh, links stay unbroken.
+
+``mkdocs build --strict`` runs in CI (where mkdocs is installed); these
+tests give the same protection locally without the dependency — the
+generated reference page is byte-compared against the live introspection,
+internal links are resolved against the docs tree, and the nav is checked
+against the files on disk.
+"""
+
+import importlib.util
+import re
+from pathlib import Path
+
+import pytest
+import yaml
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+
+
+def _load_gen_reference():
+    spec = importlib.util.spec_from_file_location("gen_reference", DOCS / "gen_reference.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestGeneratedReference:
+    def test_committed_reference_matches_introspection(self):
+        """The drift gate CI runs via ``gen_reference.py --check``."""
+        gen = _load_gen_reference()
+        committed = (DOCS / "reference.md").read_text(encoding="utf-8")
+        assert committed == gen.render(), (
+            "docs/reference.md is stale; run: python docs/gen_reference.py"
+        )
+
+    def test_reference_covers_every_registered_engine(self):
+        from repro.engine import available_engines
+
+        text = (DOCS / "reference.md").read_text(encoding="utf-8")
+        for name in available_engines():
+            assert f"`{name}`" in text, f"engine {name!r} missing from reference"
+
+    def test_reference_covers_every_request_field(self):
+        import dataclasses
+
+        from repro.engine import InferenceRequest
+
+        text = (DOCS / "reference.md").read_text(encoding="utf-8")
+        for field in dataclasses.fields(InferenceRequest):
+            assert f"`{field.name}`" in text, f"field {field.name!r} missing from reference"
+
+    def test_reference_covers_every_cli_command(self):
+        from repro.cli import build_parser
+
+        import argparse
+
+        text = (DOCS / "reference.md").read_text(encoding="utf-8")
+        subparsers = next(
+            a for a in build_parser()._actions
+            if isinstance(a, argparse._SubParsersAction)
+        )
+        for command in subparsers.choices:
+            assert f"### `{command}`" in text, f"CLI command {command!r} missing"
+
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
+
+
+def _internal_links(markdown: str):
+    for target in LINK.findall(markdown):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+class TestLinks:
+    @pytest.mark.parametrize("page", sorted(DOCS.glob("*.md")), ids=lambda p: p.name)
+    def test_internal_links_resolve(self, page):
+        for target in _internal_links(page.read_text(encoding="utf-8")):
+            assert (DOCS / target).exists(), f"{page.name}: broken link to {target}"
+
+    def test_readme_links_to_docs_resolve(self):
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        for target in _internal_links(readme):
+            assert (REPO / target).exists(), f"README.md: broken link to {target}"
+
+
+class TestNav:
+    def test_nav_entries_exist_and_cover_all_pages(self):
+        config = yaml.safe_load((REPO / "mkdocs.yml").read_text(encoding="utf-8"))
+        nav_files = set()
+        for entry in config["nav"]:
+            (_, path), = entry.items()
+            nav_files.add(path)
+            assert (DOCS / path).exists(), f"nav entry {path} has no file"
+        on_disk = {p.name for p in DOCS.glob("*.md")}
+        assert nav_files == on_disk, "mkdocs nav and docs/*.md disagree"

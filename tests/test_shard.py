@@ -1,0 +1,146 @@
+"""Unit tests for the sharded execution layer (plans, transport, pool)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ProgramSession
+from repro.engine.shard import (
+    ShardTask,
+    derive_shard_seeds,
+    execute_tasks,
+    pack_result,
+    plan_shards,
+    pool_available,
+    resolve_shards,
+    run_shard_task,
+    unpack_result,
+)
+from repro.errors import InferenceError
+from repro.models import get_benchmark
+
+
+def test_plan_shards_partitions_exactly():
+    for n, s in [(10, 3), (7, 7), (100, 4), (5, 8), (1, 1)]:
+        spans = plan_shards(n, s)
+        assert spans[0][0] == 0
+        assert sum(count for _, count in spans) == n
+        for (start, count), (next_start, _) in zip(spans, spans[1:]):
+            assert next_start == start + count
+        # Balanced: sizes differ by at most one.
+        sizes = [count for _, count in spans]
+        assert max(sizes) - min(sizes) <= 1
+        # Never more shards than particles.
+        assert len(spans) == min(s, n)
+
+
+def test_plan_shards_rejects_bad_inputs():
+    with pytest.raises(InferenceError):
+        plan_shards(0, 2)
+    with pytest.raises(InferenceError):
+        plan_shards(10, 0)
+
+
+def test_resolve_shards_defaults_to_workers():
+    assert resolve_shards(1, None) == 1
+    assert resolve_shards(4, None) == 4
+    assert resolve_shards(2, 8) == 8
+    with pytest.raises(InferenceError):
+        resolve_shards(0, None)
+    with pytest.raises(InferenceError):
+        resolve_shards(1, 0)
+
+
+def test_derive_shard_seeds_consumes_one_draw():
+    """The parent stream advances identically for any shard count."""
+    rng_a = np.random.default_rng(42)
+    rng_b = np.random.default_rng(42)
+    derive_shard_seeds(rng_a, 2)
+    derive_shard_seeds(rng_b, 16)
+    assert rng_a.integers(0, 2**63 - 1) == rng_b.integers(0, 2**63 - 1)
+
+
+def _weight_task(count=64, seed_entropy=0, backend="interp"):
+    bench = get_benchmark("weight")
+    session = ProgramSession(
+        bench.model_program(), bench.guide_program(), bench.model_entry, bench.guide_entry
+    )
+    from repro.core.semantics import traces as tr
+
+    return ShardTask(
+        model_program=session.model_program,
+        guide_program=session.guide_program,
+        model_entry=session.model_entry,
+        guide_entry=session.guide_entry,
+        obs_trace=tuple(tr.ValP(v) for v in bench.obs_values),
+        model_args=(),
+        guide_args=(8.5, 0.0),
+        latent_channel="latent",
+        obs_channel="obs",
+        backend=backend,
+        count=count,
+        seed=np.random.SeedSequence(seed_entropy),
+    )
+
+
+def test_shared_memory_round_trip_preserves_leaves():
+    result = run_shard_task(_weight_task(count=64))
+    encoded = pack_result(result)
+    restored = unpack_result(encoded)
+    assert restored.vectorized == result.vectorized
+    assert restored.backend == result.backend
+    assert len(restored.leaves) == len(result.leaves)
+    for a, b in zip(result.leaves, restored.leaves):
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.model_log_weights, b.model_log_weights)
+        np.testing.assert_array_equal(a.guide_log_weights, b.guide_log_weights)
+        assert set(a.recorded) == set(b.recorded)
+        for channel in a.recorded:
+            for m_a, m_b in zip(a.recorded[channel], b.recorded[channel]):
+                assert m_a.kind == m_b.kind and m_a.provider == m_b.provider
+                if isinstance(m_a.payload, np.ndarray):
+                    np.testing.assert_array_equal(m_a.payload, m_b.payload)
+                else:
+                    assert m_a.payload == m_b.payload
+
+
+def test_shm_disabled_falls_back_to_pickle(monkeypatch):
+    monkeypatch.setenv("REPRO_SHARD_SHM", "0")
+    result = run_shard_task(_weight_task(count=8))
+    kind, payload, name = pack_result(result)
+    assert kind == "pickle" and payload is result and name is None
+    assert unpack_result((kind, payload, name)) is result
+
+
+def test_pool_and_inline_execution_agree():
+    """The pool path returns exactly what inline execution returns."""
+    tasks = [_weight_task(count=32, seed_entropy=k) for k in range(3)]
+    inline = execute_tasks(tasks, workers=1)
+    if not pool_available(2):
+        pytest.skip("no multiprocessing pool in this environment")
+    pooled = execute_tasks(tasks, workers=2)
+    for a, b in zip(inline, pooled):
+        assert a.backend == b.backend and a.vectorized == b.vectorized
+        for leaf_a, leaf_b in zip(a.leaves, b.leaves):
+            np.testing.assert_array_equal(leaf_a.model_log_weights, leaf_b.model_log_weights)
+            np.testing.assert_array_equal(leaf_a.guide_log_weights, leaf_b.guide_log_weights)
+
+
+def test_compiled_task_runs_in_worker():
+    result = run_shard_task(_weight_task(count=16, backend="compiled"))
+    assert result.backend == "compiled"
+
+
+def test_task_error_in_pool_does_not_poison_it():
+    """A per-task failure re-raises in the parent but leaves the pool
+    healthy for the next wave (review regression: task errors used to mark
+    the pool permanently broken and silently fall back to inline)."""
+    if not pool_available(2):
+        pytest.skip("no multiprocessing pool in this environment")
+    good = _weight_task(count=16, seed_entropy=1)
+    bad = _weight_task(count=16, seed_entropy=2)
+    bad.count = -1  # InferenceError inside the worker
+    with pytest.raises(InferenceError):
+        execute_tasks([good, bad], workers=2)
+    assert pool_available(2), "pool must survive a task-level error"
+    results = execute_tasks([good, _weight_task(count=16, seed_entropy=3)], workers=2)
+    assert len(results) == 2
