@@ -291,6 +291,60 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential fuzzing: generate pairs, run every oracle, report failures."""
+    import json
+
+    from repro.fuzz import FuzzConfig, generate, run_case, shrink_case
+    from repro.fuzz.oracles import render_failure, repro_command
+    from repro.fuzz.shrinker import default_predicate
+
+    config = FuzzConfig(
+        particles=args.particles,
+        check_workers=args.check_workers,
+        allow_recursion=not args.no_recursion,
+    )
+    if args.seed is not None:
+        seeds = [args.seed]
+    else:
+        seeds = list(range(args.seed_start, args.seed_start + args.seeds))
+
+    failures = 0
+    report_dir = Path(args.report_dir) if args.report_dir else None
+    if report_dir is not None:
+        report_dir.mkdir(parents=True, exist_ok=True)
+
+    for count, seed in enumerate(seeds, 1):
+        case = generate(seed, config)
+        report = run_case(case, config)
+        if report.violations:
+            failures += 1
+            shrunk = None
+            if args.shrink:
+                kinds = {v.kind for v in report.violations}
+                shrunk = shrink_case(case, default_predicate(config, kinds))
+            print(render_failure(case, report, config, shrunk))
+            print()
+            if report_dir is not None:
+                payload = {
+                    "seed": seed,
+                    "violations": [v.describe() for v in report.violations],
+                    "model_source": (shrunk or case).model_source,
+                    "guide_source": (shrunk or case).guide_source,
+                    "repro": repro_command(seed, config),
+                }
+                path = report_dir / f"counterexample_{seed}.json"
+                path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        if args.progress_every and count % args.progress_every == 0:
+            print(f"[fuzz] {count}/{len(seeds)} seeds, {failures} failing")
+
+    print(
+        f"fuzz: {len(seeds)} seed(s), {failures} with violations"
+        + (f" (reports in {report_dir})" if report_dir is not None and failures else "")
+    )
+    return 1 if failures else 0
+
+
 def cmd_benchmarks(_args: argparse.Namespace) -> int:
     print(f"{'name':<12} {'selected':<9} {'inference':<9} {'LOC':>4}  description")
     for bench in all_benchmarks():
@@ -403,6 +457,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="how long to hold a dispatch batch open so concurrent "
                               "requests can coalesce into one sharded run")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random well-typed pairs through every "
+             "engine/backend/shard configuration",
+    )
+    p_fuzz.add_argument("--seeds", type=int, default=50,
+                        help="number of consecutive seeds to fuzz")
+    p_fuzz.add_argument("--seed-start", type=int, default=0,
+                        help="first seed of the range")
+    p_fuzz.add_argument("--seed", type=int, default=None,
+                        help="fuzz exactly one seed (reproduction mode)")
+    p_fuzz.add_argument("--particles", type=int, default=384,
+                        help="particle count per differential run")
+    p_fuzz.add_argument("--shrink", action="store_true",
+                        help="greedily minimise any counterexample before reporting")
+    p_fuzz.add_argument("--check-workers", action="store_true",
+                        help="also verify process-pool parity (spawns a worker pool)")
+    p_fuzz.add_argument("--no-recursion", action="store_true",
+                        help="generate only non-recursive programs")
+    p_fuzz.add_argument("--report-dir", default=None,
+                        help="write one JSON counterexample file per failing seed")
+    p_fuzz.add_argument("--progress-every", type=int, default=25,
+                        help="print a progress line every N seeds (0 = quiet)")
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_bench = sub.add_parser("benchmarks", help="list the bundled benchmark programs")
     p_bench.set_defaults(func=cmd_benchmarks)

@@ -493,6 +493,15 @@ class SVIEngineResult(EngineResult):
         self._importance = importance_result
         self._engine_name = engine_name
 
+    @property
+    def final_pass(self):
+        """The importance result of the posterior pass through the fitted guide.
+
+        Exposed for differential testing (the fuzz harness compares the
+        pass's weighted population against the other engines' populations).
+        """
+        return self._importance
+
     def posterior_mean(self, site_index: int) -> float:
         return self._importance.posterior_expectation_of_site(site_index)
 

@@ -1,0 +1,29 @@
+"""Guide-typed program fuzzer: generation, differential oracles, shrinking.
+
+Public surface::
+
+    from repro.fuzz import FuzzConfig, generate          # type-directed generation
+    from repro.fuzz import run_case, CaseReport          # differential oracles
+    from repro.fuzz import shrink_case                   # counterexample minimisation
+    from repro.fuzz import mutations                     # negative (must-reject) mutants
+
+See ``docs/fuzzing.md`` for the design and the reproduction workflow.
+"""
+
+from repro.fuzz.generator import FuzzCase, FuzzConfig, generate
+from repro.fuzz.oracles import CaseReport, Violation, run_case
+from repro.fuzz.shrinker import shrink_case
+from repro.fuzz.spec import ProgramSpec, emit_sources, obs_signature
+
+__all__ = [
+    "CaseReport",
+    "FuzzCase",
+    "FuzzConfig",
+    "ProgramSpec",
+    "Violation",
+    "emit_sources",
+    "generate",
+    "obs_signature",
+    "run_case",
+    "shrink_case",
+]

@@ -1,0 +1,120 @@
+"""The pinned regression corpus: fuzz findings as deterministic tests.
+
+A corpus entry pins the *emitted sources* and the expected typecheck verdict
+to disk, so the regression suite keeps its meaning even when the generator
+evolves: ``tests/fuzz/corpus/`` is checked against the live typechecker on
+every run, independent of how the programs were originally produced.
+
+``build_corpus`` writes one JSON file per entry — positives from a seed
+sweep, negatives from the mutation operators — and is invoked by
+``tests/fuzz/make_corpus.py`` when the corpus needs regenerating.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import List, Optional
+
+from repro.fuzz.generator import FuzzConfig, generate
+from repro.fuzz.mutations import ALL_MUTATIONS
+
+#: Bump when the entry format changes; the corpus test refuses unknown
+#: versions instead of mis-reading them.
+CORPUS_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One pinned program pair with its expected verdict."""
+
+    name: str
+    seed: int
+    kind: str  # "generated" | "mutant"
+    mutation: Optional[str]
+    expected: str  # "certified" | "rejected"
+    model_source: str
+    guide_source: str
+    format: int = CORPUS_FORMAT
+
+
+def entry_path(directory: Path, name: str) -> Path:
+    """Where an entry of the given name lives."""
+    return directory / f"{name}.json"
+
+
+def save_entry(directory: Path, entry: CorpusEntry) -> Path:
+    """Write one entry as pretty-printed JSON (stable diffs in review)."""
+    path = entry_path(directory, entry.name)
+    path.write_text(json.dumps(asdict(entry), indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def load_corpus(directory: Path) -> List[CorpusEntry]:
+    """Load every entry in a corpus directory, sorted by name."""
+    entries = []
+    for path in sorted(directory.glob("*.json")):
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("format") != CORPUS_FORMAT:
+            raise ValueError(f"{path}: unknown corpus format {data.get('format')!r}")
+        entries.append(CorpusEntry(**data))
+    return entries
+
+
+def build_corpus(
+    directory: Path,
+    num_positive: int = 70,
+    num_mutant_seeds: int = 30,
+    config: Optional[FuzzConfig] = None,
+) -> List[CorpusEntry]:
+    """Generate and write the full corpus; returns the entries written.
+
+    Positives come from seeds ``0..num_positive-1``; negatives apply every
+    applicable mutation operator to seeds ``0..num_mutant_seeds-1`` in a
+    round-robin (one operator per seed) so the corpus stays ~100 entries
+    while covering all operators.
+    """
+    config = config or FuzzConfig()
+    directory.mkdir(parents=True, exist_ok=True)
+    entries: List[CorpusEntry] = []
+    for seed in range(num_positive):
+        case = generate(seed, config)
+        entries.append(
+            CorpusEntry(
+                name=f"gen_{seed:04d}",
+                seed=seed,
+                kind="generated",
+                mutation=None,
+                expected="certified",
+                model_source=case.model_source,
+                guide_source=case.guide_source,
+            )
+        )
+    for seed in range(num_mutant_seeds):
+        case = generate(seed, config)
+        mutation = ALL_MUTATIONS[seed % len(ALL_MUTATIONS)]
+        mutant = mutation(case)
+        if mutant is None:
+            # Fall back to the always-applicable operators so every seed
+            # contributes a negative entry.
+            for fallback in ALL_MUTATIONS:
+                mutant = fallback(case)
+                if mutant is not None:
+                    break
+        if mutant is None:
+            continue
+        entries.append(
+            CorpusEntry(
+                name=f"mut_{seed:04d}_{mutant.name}",
+                seed=seed,
+                kind="mutant",
+                mutation=mutant.name,
+                expected="rejected",
+                model_source=mutant.model_source,
+                guide_source=mutant.guide_source,
+            )
+        )
+    for entry in entries:
+        save_entry(directory, entry)
+    return entries

@@ -1,0 +1,506 @@
+"""Type-directed generation of random well-typed model/guide pairs.
+
+The generator drives the grammar of :mod:`repro.core.ast` through the typing
+rules of :mod:`repro.core.typecheck`: every random choice is made against a
+typed scope, so parameter expressions are well-typed by construction and the
+emitted pair certifies under :func:`check_model_guide_pair` (guide-type
+inference) unless the type system itself is wrong.
+
+Coverage knobs live on :class:`FuzzConfig`; :func:`generate` is a pure
+function of ``(seed, config)`` and is the single entry point the CLI, the
+pytest suites, and the corpus builder share.
+
+Numeric ranges are deliberately tame (means in a few units, scales around 1,
+probabilities away from 0/1) so the differential oracles downstream measure
+*engine* disagreement rather than importance-weight degeneracy.  The type
+system guarantees positivity/support constraints; the ranges only bound
+magnitudes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core import ast
+from repro.fuzz.spec import (
+    Branch,
+    LatentSite,
+    Node,
+    ObsSite,
+    ProgramSpec,
+    PureCond,
+    PureLet,
+    Recurse,
+    emit_sources,
+)
+
+#: Entropy prefix mixed into every seed so fuzz streams are decoupled from
+#: the engines' own seed usage.
+_FUZZ_NAMESPACE = 0xF0220001
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs for generation and for the differential harness.
+
+    The generation half bounds program shape; the harness half (particle
+    counts, tolerances) is carried here too so one object pins down a fuzz
+    campaign end to end — a reproduction command only needs ``(seed,
+    config)``.
+    """
+
+    # -- generation shape ------------------------------------------------------
+    max_top_nodes: int = 7
+    max_arm_nodes: int = 2
+    max_branch_depth: int = 2
+    allow_recursion: bool = True
+    max_recursions: int = 1
+    expr_depth: int = 2
+    # -- differential harness --------------------------------------------------
+    particles: int = 384
+    smc_particles: int = 384
+    svi_fit_particles: int = 128
+    svi_steps: int = 2
+    shard_counts: Tuple[int, ...] = (1, 4)
+    check_workers: bool = False
+    workers: int = 2
+    agreement_atol: float = 0.1
+    agreement_k: float = 8.0
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated program with its emitted sources."""
+
+    seed: int
+    spec: ProgramSpec
+    model_source: str
+    guide_source: str
+
+
+# ---------------------------------------------------------------------------
+# Typed scopes
+# ---------------------------------------------------------------------------
+
+
+class _Scope:
+    """An ordered typed scope: variable name -> support class."""
+
+    def __init__(self) -> None:
+        self.entries: List[Tuple[str, str]] = []
+
+    def add(self, name: str, support: str) -> None:
+        self.entries.append((name, support))
+
+    def names(self) -> Set[str]:
+        return {name for name, _ in self.entries}
+
+    def of(self, supports: Sequence[str]) -> List[str]:
+        return [name for name, s in self.entries if s in supports]
+
+    def copy(self) -> "_Scope":
+        child = _Scope()
+        child.entries = list(self.entries)
+        return child
+
+
+#: Supports usable where a ``real``-typed expression is expected (scalar
+#: subtyping: ureal <: preal <: real, nat/cat embed into real).
+_REAL_LIKE = ("real", "preal", "ureal", "nat", "cat")
+_PREAL_LIKE = ("preal", "ureal")
+
+
+def _round(value: float, digits: int = 3) -> float:
+    return float(round(float(value), digits))
+
+
+def _real_lit(value: float) -> ast.Expr:
+    """A literal in the parser's image: negatives via unary minus."""
+    value = _round(value)
+    if value < 0:
+        return ast.PrimUnOp(ast.UnOp.NEG, ast.RealLit(-value))
+    return ast.RealLit(value)
+
+
+class _ExprGen:
+    """Small typed expression generator over a scope."""
+
+    def __init__(self, rng: np.random.Generator, depth: int):
+        self.rng = rng
+        self.depth = depth
+
+    def _real_var(self, name: str, support: str) -> ast.Expr:
+        """A scope variable as a *numeric*-typed expression.
+
+        ℕ-typed variables (``nat``/``cat`` supports) are wrapped as
+        ``(v * 1.0)``: the bare variable is integral-typed, and the scalar
+        join of an integral with ℝ+/ℝ(0,1) does not exist, which would make
+        conditional arms mixing the two ill-typed.  The wrap promotes the
+        variable into the numeric tower where all joins are defined.
+        """
+        if support in ("nat", "cat"):
+            return ast.PrimOp(ast.BinOp.MUL, ast.Var(name), ast.RealLit(1.0))
+        return ast.Var(name)
+
+    def real(self, scope: _Scope, depth: Optional[int] = None) -> ast.Expr:
+        depth = self.depth if depth is None else depth
+        rng = self.rng
+        candidates = [(n, s) for n, s in scope.entries if s in _REAL_LIKE]
+        roll = rng.random()
+        if depth <= 0 or (roll < 0.35 or not candidates and roll < 0.7):
+            return _real_lit(rng.uniform(-2.5, 2.5))
+        if roll < 0.6 and candidates:
+            name, support = candidates[int(rng.integers(len(candidates)))]
+            return self._real_var(name, support)
+        if roll < 0.8:
+            op = ast.BinOp.ADD if rng.random() < 0.5 else ast.BinOp.SUB
+            return ast.PrimOp(op, self.real(scope, depth - 1), self.real(scope, depth - 1))
+        if roll < 0.9:
+            return ast.PrimOp(
+                ast.BinOp.MUL, self.real(scope, depth - 1), _real_lit(rng.uniform(-1.2, 1.2))
+            )
+        if roll < 0.96 and scope.of(("bool",)):
+            return ast.IfExpr(
+                ast.Var(str(rng.choice(scope.of(("bool",))))),
+                self.real(scope, depth - 1),
+                self.real(scope, depth - 1),
+            )
+        return ast.PrimUnOp(ast.UnOp.NEG, self.real(scope, depth - 1))
+
+    def preal(self, scope: _Scope, depth: Optional[int] = None) -> ast.Expr:
+        depth = self.depth if depth is None else depth
+        rng = self.rng
+        candidates = scope.of(_PREAL_LIKE)
+        roll = rng.random()
+        if depth <= 0 or roll < 0.4:
+            return ast.RealLit(_round(rng.uniform(0.6, 2.5)))
+        if roll < 0.6 and candidates:
+            return ast.Var(str(rng.choice(candidates)))
+        if roll < 0.75:
+            return ast.PrimOp(
+                ast.BinOp.ADD,
+                ast.RealLit(_round(rng.uniform(0.4, 1.5))),
+                self.preal(scope, depth - 1),
+            )
+        if roll < 0.85:
+            return ast.PrimOp(
+                ast.BinOp.MUL,
+                ast.RealLit(_round(rng.uniform(0.5, 1.5))),
+                self.preal(scope, depth - 1),
+            )
+        if roll < 0.94:
+            # exp of a *bounded* real keeps scales far from overflow.
+            inner = ast.PrimOp(
+                ast.BinOp.MUL, self.real(scope, 1), ast.RealLit(_round(rng.uniform(0.1, 0.3)))
+            )
+            return ast.PrimUnOp(ast.UnOp.EXP, inner)
+        return ast.PrimUnOp(ast.UnOp.SQRT, self.preal(scope, depth - 1))
+
+    def ureal(self, scope: _Scope, depth: Optional[int] = None) -> ast.Expr:
+        depth = self.depth if depth is None else depth
+        rng = self.rng
+        candidates = scope.of(("ureal",))
+        roll = rng.random()
+        if depth <= 0 or roll < 0.5 or not candidates:
+            return ast.RealLit(_round(rng.uniform(0.1, 0.9)))
+        if roll < 0.8:
+            return ast.Var(str(rng.choice(candidates)))
+        return ast.PrimOp(
+            ast.BinOp.MUL,
+            ast.Var(str(rng.choice(candidates))),
+            ast.RealLit(_round(rng.uniform(0.3, 0.95))),
+        )
+
+    def boolean(self, scope: _Scope, depth: Optional[int] = None) -> ast.Expr:
+        depth = self.depth if depth is None else depth
+        rng = self.rng
+        bools = scope.of(("bool",))
+        roll = rng.random()
+        if roll < 0.45 and bools:
+            return ast.Var(str(rng.choice(bools)))
+        if depth > 0 and roll < 0.55 and bools:
+            return ast.PrimUnOp(ast.UnOp.NOT, self.boolean(scope, depth - 1))
+        if depth > 0 and roll < 0.62:
+            op = ast.BinOp.AND if rng.random() < 0.5 else ast.BinOp.OR
+            return ast.PrimOp(op, self.boolean(scope, depth - 1), self.boolean(scope, depth - 1))
+        op = self.rng.choice([ast.BinOp.LT, ast.BinOp.LE, ast.BinOp.GT, ast.BinOp.GE])
+        return ast.PrimOp(op, self.real(scope, 1), _real_lit(rng.uniform(-1.5, 1.5)))
+
+
+# ---------------------------------------------------------------------------
+# Site generation
+# ---------------------------------------------------------------------------
+
+_SUPPORT_WEIGHTS = {
+    "real": 0.30,
+    "bool": 0.18,
+    "ureal": 0.15,
+    "preal": 0.15,
+    "nat": 0.12,
+    "cat": 0.10,
+}
+
+
+class _Generator:
+    """One generation run: owns the RNG, the counters, and the var table."""
+
+    def __init__(self, seed: int, config: FuzzConfig):
+        self.rng = np.random.default_rng([_FUZZ_NAMESPACE, seed])
+        self.config = config
+        self.exprs = _ExprGen(self.rng, config.expr_depth)
+        self.counter = 0
+        self.recursions = 0
+        self.var_types: Dict[str, str] = {"acc": "real"}
+
+    def fresh(self, prefix: str, support: str) -> str:
+        self.counter += 1
+        name = f"{prefix}{self.counter}"
+        self.var_types[name] = support
+        return name
+
+    def _pick_support(self) -> str:
+        names = list(_SUPPORT_WEIGHTS)
+        weights = np.array([_SUPPORT_WEIGHTS[n] for n in names])
+        return str(self.rng.choice(names, p=weights / weights.sum()))
+
+    # -- distributions ---------------------------------------------------------
+
+    def _model_dist(self, support: str, scope: _Scope, cat_n: int) -> Tuple[ast.DistKind, Tuple[ast.Expr, ...]]:
+        rng, e = self.rng, self.exprs
+        if support == "real":
+            return ast.DistKind.NORMAL, (e.real(scope), e.preal(scope))
+        if support == "bool":
+            return ast.DistKind.BER, (e.ureal(scope),)
+        if support == "preal":
+            return ast.DistKind.GAMMA, (e.preal(scope), e.preal(scope))
+        if support == "ureal":
+            if rng.random() < 0.4:
+                return ast.DistKind.UNIF, ()
+            return ast.DistKind.BETA, (e.preal(scope), e.preal(scope))
+        if support == "nat":
+            if rng.random() < 0.5:
+                return ast.DistKind.GEO, (e.ureal(scope),)
+            return ast.DistKind.POIS, (e.preal(scope),)
+        if support == "cat":
+            return ast.DistKind.CAT, tuple(e.preal(scope) for _ in range(cat_n))
+        raise ValueError(support)
+
+    def _guide_dist(
+        self, support: str, model_family: ast.DistKind, scope: _Scope, cat_n: int
+    ) -> Tuple[ast.DistKind, Tuple[ast.Expr, ...]]:
+        """A guide-side family with the same support type, tamely parameterised.
+
+        Scales/probabilities lean wide-and-central so importance weights stay
+        bounded: the oracle is hunting engine disagreement, not weight
+        degeneracy.  Discrete-count sites keep the model's family (a Geo
+        model proposed from a Pois guide has provably unbounded weights).
+        """
+        rng, e = self.rng, self.exprs
+        if support == "real":
+            mean = e.real(scope) if rng.random() < 0.6 else _real_lit(rng.uniform(-1.5, 1.5))
+            return ast.DistKind.NORMAL, (mean, ast.RealLit(_round(rng.uniform(1.0, 2.0))))
+        if support == "bool":
+            return ast.DistKind.BER, (ast.RealLit(_round(rng.uniform(0.25, 0.75))),)
+        if support == "preal":
+            return ast.DistKind.GAMMA, (
+                ast.RealLit(_round(rng.uniform(0.9, 2.2))),
+                ast.RealLit(_round(rng.uniform(0.5, 1.3))),
+            )
+        if support == "ureal":
+            if rng.random() < 0.5:
+                return ast.DistKind.UNIF, ()
+            return ast.DistKind.BETA, (
+                ast.RealLit(_round(rng.uniform(0.9, 2.5))),
+                ast.RealLit(_round(rng.uniform(0.9, 2.5))),
+            )
+        if support == "nat":
+            if model_family is ast.DistKind.GEO:
+                return ast.DistKind.GEO, (ast.RealLit(_round(rng.uniform(0.25, 0.6))),)
+            return ast.DistKind.POIS, (ast.RealLit(_round(rng.uniform(0.8, 3.0))),)
+        if support == "cat":
+            return ast.DistKind.CAT, tuple(
+                ast.RealLit(_round(rng.uniform(0.5, 2.0))) for _ in range(cat_n)
+            )
+        raise ValueError(support)
+
+    def latent_site(self, model_scope: _Scope, guide_scope: _Scope) -> LatentSite:
+        support = self._pick_support()
+        cat_n = int(self.rng.integers(2, 5)) if support == "cat" else 0
+        model_family, model_params = self._model_dist(support, model_scope, cat_n)
+        guide_family, guide_params = self._guide_dist(support, model_family, guide_scope, cat_n)
+        var = self.fresh("x", support)
+        site = LatentSite(
+            var=var,
+            support=support,
+            model_family=model_family,
+            model_params=model_params,
+            guide_family=guide_family,
+            guide_params=guide_params,
+            cat_n=cat_n,
+        )
+        model_scope.add(var, support)
+        guide_scope.add(var, support)
+        return site
+
+    def obs_site(self, model_scope: _Scope, support: Optional[str] = None, cat_n: int = 0) -> ObsSite:
+        if support is None:
+            support = self._pick_support()
+            cat_n = int(self.rng.integers(2, 5)) if support == "cat" else 0
+        family, params = self._model_dist(support, model_scope, cat_n)
+        return ObsSite(support=support, family=family, model_params=params, cat_n=cat_n)
+
+    def pure_node(self, model_scope: _Scope, guide_scope: _Scope) -> Node:
+        side = "model" if self.rng.random() < 0.6 else "guide"
+        scope = model_scope if side == "model" else guide_scope
+        var = self.fresh("p", "real")
+        if self.rng.random() < 0.5 and scope.of(("bool",)) or self.rng.random() < 0.25:
+            node: Node = PureCond(
+                side=side,
+                var=var,
+                cond=self.exprs.boolean(scope),
+                then_expr=self.exprs.real(scope),
+                orelse_expr=self.exprs.real(scope),
+            )
+        else:
+            node = PureLet(side=side, var=var, support="real", expr=self.exprs.real(scope))
+        scope.add(var, "real")
+        return node
+
+    # -- segments and branches -------------------------------------------------
+
+    def segment(
+        self,
+        model_scope: _Scope,
+        guide_scope: _Scope,
+        obs_sig: Sequence[Tuple[str, int]],
+        depth: int,
+    ) -> Tuple[Node, ...]:
+        """A node sequence emitting exactly the given observation signature."""
+        nodes: List[Node] = []
+        n_latent = int(self.rng.integers(0, self.config.max_arm_nodes + 1))
+        for _ in range(n_latent):
+            nodes.append(self.latent_site(model_scope, guide_scope))
+        if depth < self.config.max_branch_depth and self.rng.random() < 0.3:
+            nodes.append(self.branch(model_scope, guide_scope, depth + 1))
+        # Interleave the required observations, preserving their order (the
+        # guide-type rules require both arms to emit the same obs-payload
+        # sequence, so later observations must not land before earlier ones).
+        floor = 0
+        for support, cat_n in obs_sig:
+            pos = int(self.rng.integers(floor, len(nodes) + 1))
+            nodes.insert(pos, self.obs_site(model_scope, support, cat_n))
+            floor = pos + 1
+        return tuple(nodes)
+
+    def branch(self, model_scope: _Scope, guide_scope: _Scope, depth: int) -> Branch:
+        cond = self.exprs.boolean(model_scope)
+        if depth <= 1 and self.rng.random() < 0.6:
+            n_obs = int(self.rng.integers(1, 3))
+            obs_sig = []
+            for _ in range(n_obs):
+                support = self._pick_support()
+                cat_n = int(self.rng.integers(2, 5)) if support == "cat" else 0
+                obs_sig.append((support, cat_n))
+        else:
+            obs_sig = []
+        then_m, then_g = model_scope.copy(), guide_scope.copy()
+        then_nodes = self.segment(then_m, then_g, obs_sig, depth)
+        else_m, else_g = model_scope.copy(), guide_scope.copy()
+        orelse_nodes = self.segment(else_m, else_g, obs_sig, depth)
+        var = self.fresh("b", "real")
+        branch = Branch(
+            var=var,
+            cond=cond,
+            then=then_nodes,
+            orelse=orelse_nodes,
+            then_ret_model=self.exprs.real(then_m),
+            then_ret_guide=self.exprs.real(then_g),
+            orelse_ret_model=self.exprs.real(else_m),
+            orelse_ret_guide=self.exprs.real(else_g),
+        )
+        model_scope.add(var, "real")
+        guide_scope.add(var, "real")
+        return branch
+
+    def recursion(self, model_scope: _Scope, guide_scope: _Scope) -> Recurse:
+        self.recursions += 1
+        helper = f"Loop{self.recursions}"
+        body_m, body_g = _Scope(), _Scope()
+        body_m.add("acc", "real")
+        body: List[LatentSite] = []
+        for _ in range(int(self.rng.integers(1, 3))):
+            body.append(self.latent_site(body_m, body_g))
+        real_vars = [s.var for s in body if s.support in _REAL_LIKE]
+        step: ast.Expr = ast.Var(real_vars[0]) if real_vars else _real_lit(
+            self.rng.uniform(0.2, 1.0)
+        )
+        acc_update = ast.PrimOp(ast.BinOp.ADD, ast.Var("acc"), step)
+        cont_var = self.fresh("k", "bool")
+        var = self.fresh("r", "real")
+        node = Recurse(
+            var=var,
+            helper=helper,
+            body=tuple(body),
+            cont_var=cont_var,
+            model_cont_p=_round(self.rng.uniform(0.25, 0.45)),
+            guide_cont_p=_round(self.rng.uniform(0.3, 0.5)),
+            acc_init=self.exprs.real(model_scope, 1),
+            acc_update=acc_update,
+            guide_ret=self.exprs.real(body_g, 1),
+        )
+        model_scope.add(var, "real")
+        guide_scope.add(var, "real")
+        return node
+
+    # -- the top level ---------------------------------------------------------
+
+    def program(self, seed: int) -> ProgramSpec:
+        model_scope, guide_scope = _Scope(), _Scope()
+        nodes: List[Node] = [self.latent_site(model_scope, guide_scope)]
+        n_more = int(self.rng.integers(2, self.config.max_top_nodes))
+        for _ in range(n_more):
+            roll = self.rng.random()
+            if roll < 0.42:
+                nodes.append(self.latent_site(model_scope, guide_scope))
+            elif roll < 0.60:
+                nodes.append(self.obs_site(model_scope))
+            elif roll < 0.76 and self.config.max_branch_depth > 0:
+                nodes.append(self.branch(model_scope, guide_scope, 1))
+            elif roll < 0.92:
+                nodes.append(self.pure_node(model_scope, guide_scope))
+            elif (
+                self.config.allow_recursion
+                and self.recursions < self.config.max_recursions
+            ):
+                nodes.append(self.recursion(model_scope, guide_scope))
+            else:
+                nodes.append(self.latent_site(model_scope, guide_scope))
+        if not any(isinstance(n, ObsSite) for n in nodes):
+            nodes.append(self.obs_site(model_scope))
+        return ProgramSpec(
+            seed=seed,
+            nodes=tuple(nodes),
+            ret_model=self.exprs.real(model_scope, 1),
+            ret_guide=self.exprs.real(guide_scope, 1),
+            var_types=dict(self.var_types),
+        )
+
+
+def generate(seed: int, config: Optional[FuzzConfig] = None) -> FuzzCase:
+    """Generate the well-typed model/guide pair for ``(seed, config)``.
+
+    Deterministic: the same inputs always produce byte-identical sources,
+    which is what makes seeds reproduction commands and corpus pins.
+    """
+    config = config or FuzzConfig()
+    spec = _Generator(seed, config).program(seed)
+    emitted = emit_sources(spec)
+    return FuzzCase(
+        seed=seed,
+        spec=spec,
+        model_source=emitted.model_source,
+        guide_source=emitted.guide_source,
+    )

@@ -1,0 +1,148 @@
+"""Negative mutations: systematically break well-typed pairs.
+
+Each mutation takes a generated spec and produces a pair the typechecker
+*must* reject: the model keeps its original source while the guide (or, for
+``drop_branch``, the guide's branch structure) is perturbed in a way that
+provably changes the latent protocol.  These pin down the soundness
+boundary — the type system is only worth fuzzing if it also rejects the
+near-misses, not just accepts the well-typed population.
+
+Mutations return ``None`` when a spec has no applicable site, so callers
+can sweep a seed range and assert on the mutants that exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core import ast
+from repro.fuzz.generator import FuzzCase
+from repro.fuzz.shrinker import _canonical_params, _hoisted_branch
+from repro.fuzz.spec import Branch, LatentSite, ProgramSpec, emit_sources, with_nodes
+
+#: For each support class, a replacement family with a *different* support
+#: (so the mutated site's payload type provably changes).
+_SWAPPED_FAMILY: Dict[str, Tuple[str, ast.DistKind]] = {
+    "real": ("preal", ast.DistKind.GAMMA),
+    "preal": ("real", ast.DistKind.NORMAL),
+    "ureal": ("real", ast.DistKind.NORMAL),
+    "bool": ("real", ast.DistKind.NORMAL),
+    "nat": ("real", ast.DistKind.NORMAL),
+    "cat": ("real", ast.DistKind.NORMAL),
+}
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """A pair expected to be rejected, with the mutation that produced it."""
+
+    name: str
+    seed: int
+    model_source: str
+    guide_source: str
+
+
+def _guide_from(spec: ProgramSpec) -> str:
+    return emit_sources(spec).guide_source
+
+
+def swap_dist(case: FuzzCase) -> Optional[Mutant]:
+    """Change one guide site's distribution family to a different support.
+
+    The guide's latent protocol then sends a payload type the model does not
+    expect at that position; the absolute-continuity check must refuse.
+    """
+    nodes = list(case.spec.nodes)
+    for i, node in enumerate(nodes):
+        if isinstance(node, LatentSite):
+            new_support, family = _SWAPPED_FAMILY[node.support]
+            mutated = replace(
+                node,
+                support=new_support,
+                guide_family=family,
+                guide_params=_canonical_params(family, 2),
+            )
+            spec = with_nodes(case.spec, nodes[:i] + [mutated] + nodes[i + 1 :])
+            return Mutant("swap_dist", case.seed, case.model_source, _guide_from(spec))
+    return None
+
+
+def drop_site(case: FuzzCase) -> Optional[Mutant]:
+    """Delete one latent site from the guide only (protocol too short)."""
+    nodes = list(case.spec.nodes)
+    for i, node in enumerate(nodes):
+        if isinstance(node, LatentSite):
+            spec = with_nodes(case.spec, nodes[:i] + nodes[i + 1 :])
+            return Mutant("drop_site", case.seed, case.model_source, _guide_from(spec))
+    return None
+
+
+def reorder_sites(case: FuzzCase) -> Optional[Mutant]:
+    """Swap two adjacent guide sites with different payload types.
+
+    Sites with identical payloads commute at the protocol level (the guide
+    type records only the type sequence), so the mutation applies only when
+    a payload-distinct adjacent pair exists.
+    """
+    nodes = list(case.spec.nodes)
+    for i in range(len(nodes) - 1):
+        a, b = nodes[i], nodes[i + 1]
+        if (
+            isinstance(a, LatentSite)
+            and isinstance(b, LatentSite)
+            and (a.support, a.cat_n) != (b.support, b.cat_n)
+        ):
+            spec = with_nodes(case.spec, nodes[:i] + [b, a] + nodes[i + 2 :])
+            return Mutant("reorder_sites", case.seed, case.model_source, _guide_from(spec))
+    return None
+
+
+def drop_branch(case: FuzzCase) -> Optional[Mutant]:
+    """Remove a guide ``if.recv``, keeping the model's announced branch."""
+    nodes = list(case.spec.nodes)
+    for i, node in enumerate(nodes):
+        if isinstance(node, Branch):
+            spec = with_nodes(
+                case.spec, nodes[:i] + _hoisted_branch(node, "then") + nodes[i + 1 :]
+            )
+            return Mutant("drop_branch", case.seed, case.model_source, _guide_from(spec))
+    return None
+
+
+#: Every mutation operator, in a stable order for sweeps and the corpus.
+ALL_MUTATIONS: Tuple[Callable[[FuzzCase], Optional[Mutant]], ...] = (
+    swap_dist,
+    drop_site,
+    reorder_sites,
+    drop_branch,
+)
+
+
+def applicable_mutants(case: FuzzCase) -> List[Mutant]:
+    """All mutants the case's structure supports."""
+    out = []
+    for mutation in ALL_MUTATIONS:
+        mutant = mutation(case)
+        if mutant is not None:
+            out.append(mutant)
+    return out
+
+
+def is_rejected(model_source: str, guide_source: str) -> Tuple[bool, str]:
+    """Whether the typechecker refuses a pair, and why.
+
+    Rejection means either an exception from parsing/typechecking or an
+    uncertified compatibility verdict; a clean certificate returns
+    ``(False, "certified")``.
+    """
+    from repro.engine.session import ProgramSession
+    from repro.errors import ReproError
+
+    try:
+        session = ProgramSession.from_sources(model_source, guide_source)
+    except ReproError as exc:
+        return True, f"{type(exc).__name__}: {exc}"
+    if session.certified:
+        return False, "certified"
+    return True, str(session.certification_reason)

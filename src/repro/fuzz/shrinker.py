@@ -1,0 +1,205 @@
+"""Greedy counterexample minimisation over program specs.
+
+The shrinker never edits surface syntax: it proposes structurally smaller
+*specs* (drop a node, hoist a branch arm, unroll a recursion, simplify
+parameter expressions) and keeps a candidate only when the failure predicate
+still holds on the re-emitted program.  Because emission repairs dangling
+variable references (:func:`repro.fuzz.spec.repair_expr`), every candidate
+is well-formed — the predicate decides relevance, not validity.
+
+The default predicate re-runs the differential harness and requires a
+violation of one of the *original* kinds, so shrinking cannot drift onto an
+unrelated failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator, List, Optional, Sequence, Set
+
+from repro.core import ast
+from repro.fuzz.generator import FuzzCase, FuzzConfig
+from repro.fuzz.spec import (
+    Branch,
+    LatentSite,
+    Node,
+    ObsSite,
+    ProgramSpec,
+    PureLet,
+    Recurse,
+    emit_sources,
+    spec_size,
+    with_nodes,
+)
+
+_CANONICAL_PARAMS = {
+    ast.DistKind.BER: (ast.RealLit(0.5),),
+    ast.DistKind.UNIF: (),
+    ast.DistKind.BETA: (ast.RealLit(1.5), ast.RealLit(1.5)),
+    ast.DistKind.GAMMA: (ast.RealLit(1.5), ast.RealLit(1.0)),
+    ast.DistKind.NORMAL: (ast.RealLit(0.0), ast.RealLit(1.0)),
+    ast.DistKind.GEO: (ast.RealLit(0.4),),
+    ast.DistKind.POIS: (ast.RealLit(1.5),),
+}
+
+
+def _canonical_params(family: ast.DistKind, arity: int) -> tuple:
+    if family is ast.DistKind.CAT:
+        return tuple(ast.RealLit(1.0) for _ in range(arity))
+    return _CANONICAL_PARAMS[family]
+
+
+def _hoisted_branch(node: Branch, arm: str) -> List[Node]:
+    """Replace a branch with one arm's nodes plus pure bindings of its var."""
+    nodes, ret_m, ret_g = (
+        (node.then, node.then_ret_model, node.then_ret_guide)
+        if arm == "then"
+        else (node.orelse, node.orelse_ret_model, node.orelse_ret_guide)
+    )
+    return list(nodes) + [
+        PureLet(side="model", var=node.var, support="real", expr=ret_m),
+        PureLet(side="guide", var=node.var, support="real", expr=ret_g),
+    ]
+
+
+def _unrolled_recursion(node: Recurse) -> List[Node]:
+    """Replace a recursion with one straight-line unrolling of its body."""
+    return list(node.body) + [
+        PureLet(side="model", var=node.var, support="real", expr=node.acc_update),
+        PureLet(side="guide", var=node.var, support="real", expr=node.guide_ret),
+    ]
+
+
+def _simplified_node(node: Node) -> Optional[Node]:
+    """A copy of ``node`` with canonical literal parameters, or ``None``."""
+    if isinstance(node, LatentSite):
+        simplified = replace(
+            node,
+            model_params=_canonical_params(node.model_family, len(node.model_params)),
+            guide_params=_canonical_params(node.guide_family, len(node.guide_params)),
+        )
+        return None if simplified == node else simplified
+    if isinstance(node, ObsSite):
+        simplified = replace(
+            node, model_params=_canonical_params(node.family, len(node.model_params))
+        )
+        return None if simplified == node else simplified
+    if isinstance(node, Branch):
+        simplified = replace(node, cond=ast.BoolLit(True))
+        return None if simplified == node else simplified
+    return None
+
+
+def _drop_arm_obs(node: Branch) -> Optional[Branch]:
+    """Drop the first observation from *both* arms (keeping them mirrored)."""
+
+    def without_first_obs(nodes: Sequence[Node]) -> Optional[List[Node]]:
+        out = list(nodes)
+        for i, child in enumerate(out):
+            if isinstance(child, ObsSite):
+                del out[i]
+                return out
+        return None
+
+    then = without_first_obs(node.then)
+    orelse = without_first_obs(node.orelse)
+    if then is None or orelse is None:
+        return None
+    return replace(node, then=tuple(then), orelse=tuple(orelse))
+
+
+def _candidates(spec: ProgramSpec) -> Iterator[ProgramSpec]:
+    """Structurally smaller (or simpler) variants, most aggressive first."""
+    nodes = list(spec.nodes)
+    # 1. Drop whole top-level nodes (later nodes first: their bindings are
+    #    least referenced, so dropping them changes the least).
+    for i in reversed(range(len(nodes))):
+        if len(nodes) > 1:
+            yield with_nodes(spec, nodes[:i] + nodes[i + 1 :])
+    # 2. Collapse branches to one arm and recursions to one unrolling.
+    for i, node in enumerate(nodes):
+        if isinstance(node, Branch):
+            for arm in ("then", "orelse"):
+                yield with_nodes(spec, nodes[:i] + _hoisted_branch(node, arm) + nodes[i + 1 :])
+            dropped = _drop_arm_obs(node)
+            if dropped is not None:
+                yield with_nodes(spec, nodes[:i] + [dropped] + nodes[i + 1 :])
+        elif isinstance(node, Recurse):
+            yield with_nodes(spec, nodes[:i] + _unrolled_recursion(node) + nodes[i + 1 :])
+            if len(node.body) > 1:
+                yield with_nodes(
+                    spec,
+                    nodes[:i] + [replace(node, body=node.body[:1])] + nodes[i + 1 :],
+                )
+    # 3. Canonicalise parameters node by node.
+    for i, node in enumerate(nodes):
+        simplified = _simplified_node(node)
+        if simplified is not None:
+            yield with_nodes(spec, nodes[:i] + [simplified] + nodes[i + 1 :])
+    # 4. Simplify the return expressions.
+    if not isinstance(spec.ret_model, ast.RealLit):
+        yield replace(spec, ret_model=ast.RealLit(0.0))
+    if not isinstance(spec.ret_guide, ast.RealLit):
+        yield replace(spec, ret_guide=ast.RealLit(0.0))
+
+
+def _case_from_spec(seed: int, spec: ProgramSpec) -> FuzzCase:
+    emitted = emit_sources(spec)
+    return FuzzCase(
+        seed=seed,
+        spec=spec,
+        model_source=emitted.model_source,
+        guide_source=emitted.guide_source,
+    )
+
+
+def shrink_case(
+    case: FuzzCase,
+    still_fails: Callable[[FuzzCase], bool],
+    max_attempts: int = 150,
+) -> FuzzCase:
+    """Greedily minimise ``case`` while ``still_fails`` keeps returning True.
+
+    ``still_fails`` receives a re-emitted candidate case; the caller decides
+    what counts as "the same failure" (the CLI requires a violation of one
+    of the originally observed kinds).  The search is a fixpoint loop over
+    :func:`_candidates`, bounded by ``max_attempts`` predicate evaluations.
+    """
+    current = case
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate_spec in _candidates(current.spec):
+            if attempts >= max_attempts:
+                break
+            if spec_size(candidate_spec) > spec_size(current.spec):
+                continue
+            candidate = _case_from_spec(case.seed, candidate_spec)
+            if candidate.model_source == current.model_source and (
+                candidate.guide_source == current.guide_source
+            ):
+                continue
+            attempts += 1
+            try:
+                keeps_failing = still_fails(candidate)
+            except Exception:  # noqa: BLE001 - a crashing candidate is kept out
+                keeps_failing = False
+            if keeps_failing:
+                current = candidate
+                improved = True
+                break
+    return current
+
+
+def default_predicate(
+    config: FuzzConfig, kinds: Set[str]
+) -> Callable[[FuzzCase], bool]:
+    """A predicate requiring a violation of one of the given kinds."""
+    from repro.fuzz.oracles import run_case
+
+    def still_fails(candidate: FuzzCase) -> bool:
+        report = run_case(candidate, config)
+        return any(v.kind in kinds for v in report.violations)
+
+    return still_fails

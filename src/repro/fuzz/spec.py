@@ -1,0 +1,434 @@
+"""Shrinkable intermediate representation of generated model/guide pairs.
+
+The fuzzer never mutates surface syntax or raw ASTs directly: every
+generated program is described by a :class:`ProgramSpec` — a small tree of
+*dual* nodes, each of which knows how to emit both the model-side and the
+guide-side surface syntax.  Working at this level gives two guarantees that
+make fuzzing tractable:
+
+1. **Well-typedness by construction.**  A :class:`LatentSite` always pairs a
+   model ``sample.recv`` with a guide ``sample.send`` of the *same support
+   type*; a :class:`Branch` always pairs a model ``if.send`` with a guide
+   ``if.recv`` and mirrors the observation signature across its arms (the
+   guide-type rules require the provided ``obs`` protocol to agree between
+   branches); a :class:`Recurse` emits structurally dual recursive helper
+   procedures.  Emission therefore produces certified pairs unless the type
+   system itself is broken — which is exactly what the differential oracles
+   are hunting for.
+
+2. **Sound shrinking and mutation.**  Dropping or reordering nodes can leave
+   dangling variable references in parameter expressions; the emitter
+   repairs them by substituting a type-correct literal
+   (:func:`repair_expr`), so *every* spec — including shrunk and mutated
+   ones — still emits parseable, basic-typed programs.
+
+Emission is a pure function of the spec (no randomness), so the shrinker can
+re-emit candidates deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence, Set, Tuple, Union
+
+from repro.core import ast
+from repro.utils.pretty import pretty_expr
+
+#: Support classes a latent or observed site can have.  ``cat`` carries the
+#: category count out-of-band (``cat_n``) because ``Cat(n)`` has support ℕn.
+SUPPORTS = ("real", "preal", "ureal", "bool", "nat", "cat")
+
+
+# ---------------------------------------------------------------------------
+# Nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LatentSite:
+    """A dual latent sample site: model ``sample.recv`` / guide ``sample.send``.
+
+    ``model_family``/``guide_family`` may differ (e.g. a ``Beta`` model site
+    proposed from a ``Unif`` guide) but must share the same support type, so
+    the latent protocols stay equal.
+    """
+
+    var: str
+    support: str
+    model_family: ast.DistKind
+    model_params: Tuple[ast.Expr, ...]
+    guide_family: ast.DistKind
+    guide_params: Tuple[ast.Expr, ...]
+    cat_n: int = 0
+
+
+@dataclass(frozen=True)
+class ObsSite:
+    """A model-only observation: ``sample.send`` on the ``obs`` channel."""
+
+    support: str
+    family: ast.DistKind
+    model_params: Tuple[ast.Expr, ...]
+    cat_n: int = 0
+
+
+@dataclass(frozen=True)
+class PureLet:
+    """A pure binding ``x <- return(e)`` on one side only."""
+
+    side: str  # "model" | "guide"
+    var: str
+    support: str
+    expr: ast.Expr
+
+
+@dataclass(frozen=True)
+class PureCond:
+    """An uncommunicated conditional with pure arms, on one side only.
+
+    Emits ``x <- if e { return(e1) } else { return(e2) };`` — both arms are
+    ``return`` commands, so the conditional induces no channel protocol and
+    exercises the ``CondPure`` typing rule.
+    """
+
+    side: str  # "model" | "guide"
+    var: str
+    cond: ast.Expr
+    then_expr: ast.Expr
+    orelse_expr: ast.Expr
+
+
+@dataclass(frozen=True)
+class Branch:
+    """A branch announced on the latent channel: ``if.send`` / ``if.recv``.
+
+    The two arms may follow different *latent* protocols (that is what the
+    ⊕/& connectives capture) but must emit the same sequence of observation
+    support types — the generator enforces this by construction and the
+    shrinker drops arm observations pairwise.
+    """
+
+    var: str
+    cond: ast.Expr  # model-side Boolean over the enclosing model scope
+    then: Tuple["Node", ...]
+    orelse: Tuple["Node", ...]
+    then_ret_model: ast.Expr
+    then_ret_guide: ast.Expr
+    orelse_ret_model: ast.Expr
+    orelse_ret_guide: ast.Expr
+
+
+@dataclass(frozen=True)
+class Recurse:
+    """A geometric-stopping recursive helper pair (model + dual guide).
+
+    The model helper consumes the latent channel only (observations inside a
+    recursive loop cannot satisfy branch agreement on ``obs``), threads a
+    ``real`` accumulator, and announces continuation with an ``if.send`` on
+    a Bernoulli draw; the guide helper mirrors every latent action.
+    """
+
+    var: str
+    helper: str
+    body: Tuple[LatentSite, ...]
+    cont_var: str
+    model_cont_p: float
+    guide_cont_p: float
+    acc_init: ast.Expr  # model-scope expression
+    acc_update: ast.Expr  # over {"acc"} ∪ body vars (model side)
+    guide_ret: ast.Expr  # over body vars (guide side)
+
+
+Node = Union[LatentSite, ObsSite, PureLet, PureCond, Branch, Recurse]
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A full generated program: top-level nodes plus return expressions."""
+
+    seed: int
+    nodes: Tuple[Node, ...]
+    ret_model: ast.Expr
+    ret_guide: ast.Expr
+    #: Every variable any node may bind, mapped to its support class — used
+    #: by :func:`repair_expr` to substitute literals for dangling references.
+    var_types: Dict[str, str] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Expression repair
+# ---------------------------------------------------------------------------
+
+_REPAIR_LITERALS = {
+    "real": ast.RealLit(0.0),
+    "preal": ast.RealLit(1.0),
+    "ureal": ast.RealLit(0.5),
+    "bool": ast.BoolLit(True),
+    "nat": ast.NatLit(1),
+    "cat": ast.NatLit(0),
+}
+
+
+def repair_expr(expr: ast.Expr, scope: Set[str], var_types: Dict[str, str]) -> ast.Expr:
+    """Replace references to out-of-scope variables with type-correct literals.
+
+    Shrinking/mutation can remove the node that bound a variable some later
+    parameter expression mentions; substituting the variable's support-class
+    literal keeps the emitted program well-typed without cascading edits.
+    """
+    if isinstance(expr, ast.Var):
+        if expr.name in scope:
+            return expr
+        return _REPAIR_LITERALS[var_types.get(expr.name, "real")]
+    if isinstance(expr, (ast.Triv, ast.BoolLit, ast.RealLit, ast.NatLit)):
+        return expr
+    if isinstance(expr, ast.IfExpr):
+        return ast.IfExpr(
+            repair_expr(expr.cond, scope, var_types),
+            repair_expr(expr.then, scope, var_types),
+            repair_expr(expr.orelse, scope, var_types),
+        )
+    if isinstance(expr, ast.PrimOp):
+        return ast.PrimOp(
+            expr.op,
+            repair_expr(expr.left, scope, var_types),
+            repair_expr(expr.right, scope, var_types),
+        )
+    if isinstance(expr, ast.PrimUnOp):
+        return ast.PrimUnOp(expr.op, repair_expr(expr.operand, scope, var_types))
+    raise TypeError(f"fuzz specs only use first-order expressions, got {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# Emission
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EmittedPair:
+    """The two surface-syntax sources a spec emits."""
+
+    model_source: str
+    guide_source: str
+
+
+def _dist_source(
+    family: ast.DistKind, params: Sequence[ast.Expr], scope: Set[str], var_types
+) -> str:
+    repaired = tuple(repair_expr(p, scope, var_types) for p in params)
+    return pretty_expr(ast.DistExpr(family, repaired))
+
+
+def _expr_source(expr: ast.Expr, scope: Set[str], var_types) -> str:
+    return pretty_expr(repair_expr(expr, scope, var_types))
+
+
+class _Emitter:
+    """Stateful walk over a spec producing model and guide source lines."""
+
+    def __init__(self, spec: ProgramSpec):
+        self.spec = spec
+        self.var_types = spec.var_types
+        self.model_helpers: List[str] = []
+        self.guide_helpers: List[str] = []
+
+    # -- statements -----------------------------------------------------------
+
+    def emit_nodes(
+        self,
+        nodes: Sequence[Node],
+        model_scope: Set[str],
+        guide_scope: Set[str],
+        indent: int,
+    ) -> Tuple[List[str], List[str]]:
+        model_lines: List[str] = []
+        guide_lines: List[str] = []
+        pad = "  " * indent
+        for node in nodes:
+            if isinstance(node, LatentSite):
+                mdist = _dist_source(node.model_family, node.model_params, model_scope, self.var_types)
+                gdist = _dist_source(node.guide_family, node.guide_params, guide_scope, self.var_types)
+                model_lines.append(f"{pad}{node.var} <- sample.recv{{latent}}({mdist});")
+                guide_lines.append(f"{pad}{node.var} <- sample.send{{latent}}({gdist});")
+                model_scope.add(node.var)
+                guide_scope.add(node.var)
+            elif isinstance(node, ObsSite):
+                dist = _dist_source(node.family, node.model_params, model_scope, self.var_types)
+                model_lines.append(f"{pad}_ <- sample.send{{obs}}({dist});")
+            elif isinstance(node, PureLet):
+                scope = model_scope if node.side == "model" else guide_scope
+                line = f"{pad}{node.var} <- return({_expr_source(node.expr, scope, self.var_types)});"
+                (model_lines if node.side == "model" else guide_lines).append(line)
+                scope.add(node.var)
+            elif isinstance(node, PureCond):
+                scope = model_scope if node.side == "model" else guide_scope
+                cond = _expr_source(node.cond, scope, self.var_types)
+                then = _expr_source(node.then_expr, scope, self.var_types)
+                orelse = _expr_source(node.orelse_expr, scope, self.var_types)
+                line = (
+                    f"{pad}{node.var} <- if {cond} {{ return({then}) }} "
+                    f"else {{ return({orelse}) }};"
+                )
+                (model_lines if node.side == "model" else guide_lines).append(line)
+                scope.add(node.var)
+            elif isinstance(node, Branch):
+                self._emit_branch(node, model_scope, guide_scope, indent, model_lines, guide_lines)
+            elif isinstance(node, Recurse):
+                self._emit_recurse(node, model_scope, guide_scope, pad, model_lines, guide_lines)
+            else:  # pragma: no cover - exhaustive over Node
+                raise TypeError(f"unknown spec node {node!r}")
+        return model_lines, guide_lines
+
+    def _emit_branch(self, node, model_scope, guide_scope, indent, model_lines, guide_lines):
+        pad = "  " * indent
+        cond = _expr_source(node.cond, model_scope, self.var_types)
+        arms = {}
+        for arm_name, arm_nodes, ret_m, ret_g in (
+            ("then", node.then, node.then_ret_model, node.then_ret_guide),
+            ("orelse", node.orelse, node.orelse_ret_model, node.orelse_ret_guide),
+        ):
+            arm_mscope, arm_gscope = set(model_scope), set(guide_scope)
+            m_lines, g_lines = self.emit_nodes(arm_nodes, arm_mscope, arm_gscope, indent + 1)
+            inner = "  " * (indent + 1)
+            m_lines.append(f"{inner}return({_expr_source(ret_m, arm_mscope, self.var_types)})")
+            g_lines.append(f"{inner}return({_expr_source(ret_g, arm_gscope, self.var_types)})")
+            arms[arm_name] = (m_lines, g_lines)
+        model_lines.append(f"{pad}{node.var} <- if.send{{latent}} {cond} {{")
+        model_lines.extend(arms["then"][0])
+        model_lines.append(f"{pad}}} else {{")
+        model_lines.extend(arms["orelse"][0])
+        model_lines.append(f"{pad}}};")
+        guide_lines.append(f"{pad}{node.var} <- if.recv{{latent}} {{")
+        guide_lines.extend(arms["then"][1])
+        guide_lines.append(f"{pad}}} else {{")
+        guide_lines.extend(arms["orelse"][1])
+        guide_lines.append(f"{pad}}};")
+        model_scope.add(node.var)
+        guide_scope.add(node.var)
+
+    def _emit_recurse(self, node, model_scope, guide_scope, pad, model_lines, guide_lines):
+        acc_init = _expr_source(node.acc_init, model_scope, self.var_types)
+        model_lines.append(f"{pad}{node.var} <- call {node.helper}({acc_init});")
+        guide_lines.append(f"{pad}{node.var} <- call {node.helper}Guide();")
+        model_scope.add(node.var)
+        guide_scope.add(node.var)
+
+        helper_mscope: Set[str] = {"acc"}
+        helper_gscope: Set[str] = set()
+        m_body, g_body = self.emit_nodes(node.body, helper_mscope, helper_gscope, 1)
+        update = _expr_source(node.acc_update, helper_mscope, self.var_types)
+        guide_ret = _expr_source(node.guide_ret, helper_gscope, self.var_types)
+
+        self.model_helpers.append(
+            "\n".join(
+                [
+                    f"proc {node.helper}(acc: real) consume latent {{",
+                    *m_body,
+                    f"  {node.cont_var} <- sample.recv{{latent}}(Ber({node.model_cont_p!r}));",
+                    f"  if.send{{latent}} {node.cont_var} {{",
+                    f"    call {node.helper}({update})",
+                    "  } else {",
+                    f"    return({update})",
+                    "  }",
+                    "}",
+                ]
+            )
+        )
+        self.guide_helpers.append(
+            "\n".join(
+                [
+                    f"proc {node.helper}Guide() provide latent {{",
+                    *g_body,
+                    f"  {node.cont_var} <- sample.send{{latent}}(Ber({node.guide_cont_p!r}));",
+                    "  if.recv{latent} {",
+                    f"    call {node.helper}Guide()",
+                    "  } else {",
+                    f"    return({guide_ret})",
+                    "  }",
+                    "}",
+                ]
+            )
+        )
+
+
+def emit_sources(spec: ProgramSpec) -> EmittedPair:
+    """Emit a spec's model and guide surface-syntax sources."""
+    emitter = _Emitter(spec)
+    model_scope: Set[str] = set()
+    guide_scope: Set[str] = set()
+    model_lines, guide_lines = emitter.emit_nodes(spec.nodes, model_scope, guide_scope, 1)
+    model_lines.append(f"  return({_expr_source(spec.ret_model, model_scope, spec.var_types)})")
+    guide_lines.append(f"  return({_expr_source(spec.ret_guide, guide_scope, spec.var_types)})")
+
+    model = "\n".join(
+        ["proc Main() consume latent provide obs {", *model_lines, "}"]
+        + [""] * (1 if emitter.model_helpers else 0)
+        + emitter.model_helpers
+    )
+    guide = "\n".join(
+        ["proc MainGuide() provide latent {", *guide_lines, "}"]
+        + [""] * (1 if emitter.guide_helpers else 0)
+        + emitter.guide_helpers
+    )
+    return EmittedPair(model_source=model + "\n", guide_source=guide + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Static queries used by the differential harness and the shrinker
+# ---------------------------------------------------------------------------
+
+
+def obs_signature(spec: ProgramSpec) -> List[Tuple[str, int]]:
+    """The static ``(support, cat_n)`` sequence of observation sites.
+
+    Branch arms carry equal observation signatures by construction, so the
+    sequence — and therefore the number of ``--obs`` values a generated
+    program consumes — is the same on every control path.  Walking the
+    ``then`` arm is enough.
+    """
+    out: List[Tuple[str, int]] = []
+
+    def walk(nodes: Sequence[Node]) -> None:
+        for node in nodes:
+            if isinstance(node, ObsSite):
+                out.append((node.support, node.cat_n))
+            elif isinstance(node, Branch):
+                walk(node.then)
+
+    walk(spec.nodes)
+    return out
+
+
+def count_latent_sites(spec: ProgramSpec) -> int:
+    """Latent sites on the guaranteed (straight-line, top-level) prefix.
+
+    Sites inside branch arms and recursion bodies are reached by only some
+    particles; this counts the sites every particle resolves, which is what
+    the posterior-agreement oracle may safely index.
+    """
+    n = 0
+    for node in spec.nodes:
+        if isinstance(node, LatentSite):
+            n += 1
+    return n
+
+
+def spec_size(spec: ProgramSpec) -> int:
+    """Total node count (used by the shrinker to order candidates)."""
+
+    def walk(nodes: Sequence[Node]) -> int:
+        total = 0
+        for node in nodes:
+            total += 1
+            if isinstance(node, Branch):
+                total += walk(node.then) + walk(node.orelse)
+            elif isinstance(node, Recurse):
+                total += len(node.body)
+        return total
+
+    return walk(spec.nodes)
+
+
+def with_nodes(spec: ProgramSpec, nodes: Sequence[Node]) -> ProgramSpec:
+    """A copy of ``spec`` with a different top-level node sequence."""
+    return replace(spec, nodes=tuple(nodes))

@@ -77,3 +77,18 @@ def weighted_variance(values: Sequence[float], log_weights: Sequence[float]) -> 
     array = np.asarray(values, dtype=float)
     mean = float(np.dot(array, weights))
     return float(np.dot((array - mean) ** 2, weights))
+
+
+def weighted_mean_se(values: Sequence[float], log_weights: Sequence[float]) -> tuple:
+    """Posterior-mean estimate with its ESS-based Monte Carlo standard error.
+
+    The error scale ``sqrt(Var_w(x) / ESS)`` is the standard self-normalised
+    importance-sampling approximation; engines whose weights have collapsed
+    (ESS near zero) report a correspondingly large standard error, which the
+    fuzzer's agreement oracle uses to widen its tolerance automatically.
+    """
+    mean = weighted_mean(values, log_weights)
+    variance = weighted_variance(values, log_weights)
+    ess = effective_sample_size(log_weights)
+    se = math.sqrt(max(variance, 0.0) / ess) if ess > 0 else float("inf")
+    return mean, se

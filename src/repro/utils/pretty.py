@@ -19,6 +19,31 @@ from repro.core.semantics import traces as tr
 # ---------------------------------------------------------------------------
 
 
+def _float_source(value: float) -> str:
+    """Render a real literal so it reparses to the exact same float.
+
+    ``repr`` of a Python float is its shortest round-trip representation,
+    so ``parse(pretty(e))`` preserves the value bit-for-bit.  (The previous
+    ``%g`` rendering kept only six significant digits — a lossy round trip
+    the fuzzer's reparse property caught.)
+    """
+    return repr(float(value))
+
+
+def _operand(expr: ast.Expr) -> str:
+    """Render a subexpression in an operand position.
+
+    The low-precedence expression forms (``if``/``let``/``fun``) extend as
+    far right as possible when parsed, so as operands of a binary or unary
+    operator they must be parenthesised: ``-if c then a else b + 1`` would
+    otherwise reparse with ``+ 1`` inside the conditional's else arm.
+    """
+    text = pretty_expr(expr)
+    if isinstance(expr, (ast.IfExpr, ast.Let, ast.Lam)):
+        return f"({text})"
+    return text
+
+
 def pretty_expr(expr: ast.Expr) -> str:
     """Render an expression in surface syntax."""
     if isinstance(expr, ast.Var):
@@ -28,7 +53,7 @@ def pretty_expr(expr: ast.Expr) -> str:
     if isinstance(expr, ast.BoolLit):
         return "true" if expr.value else "false"
     if isinstance(expr, ast.RealLit):
-        return f"{expr.value:g}" if expr.value != int(expr.value) else f"{expr.value:.1f}"
+        return _float_source(expr.value)
     if isinstance(expr, ast.NatLit):
         return str(expr.value)
     if isinstance(expr, ast.IfExpr):
@@ -37,21 +62,21 @@ def pretty_expr(expr: ast.Expr) -> str:
             f"else {pretty_expr(expr.orelse)}"
         )
     if isinstance(expr, ast.PrimOp):
-        return f"({pretty_expr(expr.left)} {expr.op.value} {pretty_expr(expr.right)})"
+        return f"({_operand(expr.left)} {expr.op.value} {_operand(expr.right)})"
     if isinstance(expr, ast.PrimUnOp):
         if expr.op in (ast.UnOp.EXP, ast.UnOp.LOG, ast.UnOp.SQRT):
             return f"{expr.op.value}({pretty_expr(expr.operand)})"
-        return f"{expr.op.value}{pretty_expr(expr.operand)}"
+        return f"{expr.op.value}{_operand(expr.operand)}"
     if isinstance(expr, ast.Lam):
         return f"fun({expr.param}) {pretty_expr(expr.body)}"
     if isinstance(expr, ast.App):
-        return f"{pretty_expr(expr.func)}({pretty_expr(expr.arg)})"
+        return f"{_operand(expr.func)}({pretty_expr(expr.arg)})"
     if isinstance(expr, ast.Let):
         return f"let {expr.var} = {pretty_expr(expr.bound)} in {pretty_expr(expr.body)}"
     if isinstance(expr, ast.Tuple_):
         return "(" + ", ".join(pretty_expr(e) for e in expr.items) + ")"
     if isinstance(expr, ast.Proj):
-        return f"{pretty_expr(expr.tuple_expr)}.{expr.index}"
+        return f"{_operand(expr.tuple_expr)}.{expr.index}"
     if isinstance(expr, ast.DistExpr):
         if not expr.args:
             return expr.kind.value

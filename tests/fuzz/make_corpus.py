@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Regenerate the pinned fuzz corpus in ``tests/fuzz/corpus/``.
+
+Run after an *intentional* generator change, then review the diff — the
+corpus is the deterministic record of what the generator produced and what
+the typechecker said, so its churn should always be explainable::
+
+    PYTHONPATH=src python tests/fuzz/make_corpus.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main() -> int:
+    from repro.fuzz.corpus import build_corpus
+
+    directory = Path(__file__).resolve().parent / "corpus"
+    for stale in directory.glob("*.json"):
+        stale.unlink()
+    entries = build_corpus(directory)
+    generated = sum(1 for e in entries if e.kind == "generated")
+    mutants = len(entries) - generated
+    print(f"wrote {len(entries)} entries ({generated} generated, {mutants} mutants) to {directory}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

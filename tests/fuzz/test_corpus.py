@@ -1,0 +1,57 @@
+"""The pinned corpus: fuzz findings as deterministic regression tests.
+
+Every entry pins emitted *sources* plus the expected typecheck verdict, so
+this suite keeps its meaning even if the generator changes.  Regenerate the
+corpus (after an intentional generator change) with::
+
+    PYTHONPATH=src python tests/fuzz/make_corpus.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.parser import parse_program
+from repro.engine import clear_session_cache
+from repro.fuzz.corpus import load_corpus
+from repro.fuzz.mutations import is_rejected
+from repro.utils.pretty import pretty_program
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_session_cache():
+    clear_session_cache()
+    yield
+
+
+def test_corpus_is_present_and_sized():
+    assert len(ENTRIES) >= 100
+    kinds = {e.kind for e in ENTRIES}
+    assert kinds == {"generated", "mutant"}
+    mutations = {e.mutation for e in ENTRIES if e.kind == "mutant"}
+    assert {"swap_dist", "drop_site", "reorder_sites", "drop_branch"} <= mutations
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda e: e.name)
+def test_corpus_verdicts_hold(entry):
+    rejected, reason = is_rejected(entry.model_source, entry.guide_source)
+    if entry.expected == "certified":
+        assert not rejected, f"{entry.name}: unexpectedly rejected: {reason}"
+    else:
+        assert rejected, f"{entry.name}: unexpectedly certified"
+
+
+@pytest.mark.parametrize(
+    "entry",
+    [e for e in ENTRIES if e.expected == "certified"],
+    ids=lambda e: e.name,
+)
+def test_certified_corpus_round_trips(entry):
+    for source in (entry.model_source, entry.guide_source):
+        program = parse_program(source)
+        assert parse_program(pretty_program(program)) == program

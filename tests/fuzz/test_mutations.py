@@ -1,0 +1,89 @@
+"""Negative tests: mutated near-misses must be rejected by the typechecker.
+
+The positive half of the fuzzer shows the type system *accepts* well-typed
+programs; these tests pin the soundness boundary by checking it *rejects*
+systematic single-edit breakages of those same programs.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.engine import ProgramSession, clear_session_cache
+from repro.fuzz import generate
+from repro.fuzz.mutations import (
+    ALL_MUTATIONS,
+    applicable_mutants,
+    drop_branch,
+    drop_site,
+    is_rejected,
+    reorder_sites,
+    swap_dist,
+)
+
+SWEEP = 40
+
+
+@pytest.fixture(autouse=True)
+def _fresh_session_cache():
+    clear_session_cache()
+    yield
+
+
+def test_every_applicable_mutant_is_rejected():
+    applied = collections.Counter()
+    for seed in range(SWEEP):
+        case = generate(seed)
+        for mutant in applicable_mutants(case):
+            rejected, reason = is_rejected(mutant.model_source, mutant.guide_source)
+            assert rejected, (
+                f"seed {seed} mutant {mutant.name} was accepted\n"
+                f"{mutant.model_source}\n{mutant.guide_source}"
+            )
+            applied[mutant.name] += 1
+    # The sweep must exercise every operator, or the test is vacuous.
+    for mutation in ALL_MUTATIONS:
+        assert applied[mutation.__name__] > 0, f"{mutation.__name__} never applied"
+    assert sum(applied.values()) >= SWEEP  # at least ~one mutant per seed
+
+
+def test_swap_dist_changes_payload_type():
+    mutant = swap_dist(generate(0))
+    assert mutant is not None
+    rejected, reason = is_rejected(mutant.model_source, mutant.guide_source)
+    assert rejected
+    # The original pair stays certified: rejection is due to the edit alone.
+    case = generate(0)
+    session = ProgramSession.from_sources(case.model_source, case.guide_source)
+    assert session.certified
+
+
+def test_drop_site_shortens_guide_protocol():
+    mutant = drop_site(generate(1))
+    assert mutant is not None
+    assert is_rejected(mutant.model_source, mutant.guide_source)[0]
+
+
+def test_reorder_requires_distinct_payloads():
+    # reorder_sites only fires on adjacent sites with different payload
+    # types (same-payload sites commute at the protocol level).
+    found = None
+    for seed in range(SWEEP):
+        found = reorder_sites(generate(seed))
+        if found is not None:
+            break
+    assert found is not None
+    assert is_rejected(found.model_source, found.guide_source)[0]
+
+
+def test_drop_branch_breaks_choose_structure():
+    found = None
+    for seed in range(SWEEP):
+        found = drop_branch(generate(seed))
+        if found is not None:
+            break
+    assert found is not None
+    rejected, reason = is_rejected(found.model_source, found.guide_source)
+    assert rejected

@@ -1,0 +1,223 @@
+"""The differential harness itself: clean sweeps, detection power, shrinking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import clear_session_cache
+from repro.fuzz import FuzzConfig, generate, run_case, shrink_case
+from repro.fuzz.oracles import (
+    bitwise_mismatch,
+    default_obs_values,
+    render_failure,
+    repro_command,
+)
+from repro.fuzz.spec import Branch, LatentSite, Recurse, spec_size
+
+SMOKE_SEEDS = 12
+
+
+@pytest.fixture(autouse=True)
+def _fresh_session_cache():
+    clear_session_cache()
+    yield
+
+
+# ---------------------------------------------------------------------------
+# The acceptance property: a seed sweep runs with zero violations
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(SMOKE_SEEDS))
+def test_differential_sweep_is_clean(seed):
+    config = FuzzConfig(particles=256, smc_particles=256)
+    case = generate(seed, config)
+    report = run_case(case, config)
+    assert report.ok, "\n".join(v.describe() for v in report.violations)
+    # The harness actually ran its checks (not vacuously green).
+    assert report.checks.get("determinism")
+    assert any(k.startswith("backend-") for k in report.checks)
+    assert "agreement/smc" in report.checks
+    assert "agreement/svi" in report.checks
+
+
+def test_obs_values_are_deterministic_and_in_support():
+    case = generate(3)
+    a, b = default_obs_values(case), default_obs_values(case)
+    assert a == b
+    from repro.fuzz.spec import obs_signature
+
+    sig = obs_signature(case.spec)
+    assert len(a) == len(sig)
+    for value, (support, cat_n) in zip(a, sig):
+        if support == "bool":
+            assert isinstance(value, bool)
+        elif support in ("nat", "cat"):
+            assert isinstance(value, int) and value >= 0
+            if support == "cat":
+                assert value < cat_n
+        elif support == "ureal":
+            assert 0.0 < value < 1.0
+        elif support == "preal":
+            assert value > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Detection power: the comparators must actually flag differences
+# ---------------------------------------------------------------------------
+
+
+class _FakeRun:
+    def __init__(self, weights, sites):
+        self.model_log_weights = weights
+        self.guide_log_weights = np.zeros_like(weights)
+        self._sites = sites
+
+    def site_values(self, index):
+        return self._sites[index]
+
+
+class _FakeResult:
+    def __init__(self, weights, sites):
+        self.raw = self
+        self.log_weights = weights
+        self.run = _FakeRun(weights, sites)
+
+
+def test_bitwise_mismatch_flags_single_particle_differences():
+    w = np.linspace(-1.0, 0.0, 16)
+    sites = [np.linspace(0.0, 1.0, 16)]
+    a = _FakeResult(w.copy(), [s.copy() for s in sites])
+    b = _FakeResult(w.copy(), [s.copy() for s in sites])
+    assert bitwise_mismatch(a, b, 1) is None
+
+    b.log_weights[7] += 1e-12
+    detail = bitwise_mismatch(a, b, 1)
+    assert detail is not None and "particle 7" in detail
+
+    b = _FakeResult(w.copy(), [s.copy() for s in sites])
+    b.run._sites[0][3] = np.nan
+    detail = bitwise_mismatch(a, b, 1)
+    assert detail is not None and "site 0" in detail
+
+
+def test_bitwise_mismatch_treats_shared_nan_as_equal():
+    w = np.array([0.0, -np.inf])
+    sites = [np.array([1.0, np.nan])]
+    a = _FakeResult(w.copy(), [s.copy() for s in sites])
+    b = _FakeResult(w.copy(), [s.copy() for s in sites])
+    assert bitwise_mismatch(a, b, 1) is None
+
+
+def test_harness_flags_an_uncertified_pair():
+    from repro.fuzz.generator import FuzzCase
+    from repro.fuzz.mutations import swap_dist
+
+    case = generate(0)
+    mutant = swap_dist(case)
+    assert mutant is not None
+    broken = FuzzCase(
+        seed=case.seed,
+        spec=case.spec,
+        model_source=mutant.model_source,
+        guide_source=mutant.guide_source,
+    )
+    report = run_case(broken, FuzzConfig(particles=64))
+    assert not report.ok
+    assert {v.kind for v in report.violations} <= {"uncertified", "generator-ill-typed"}
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+
+
+def _contains(case, predicate):
+    def walk(nodes):
+        for node in nodes:
+            if predicate(node):
+                return True
+            if isinstance(node, Branch) and (walk(node.then) or walk(node.orelse)):
+                return True
+            if isinstance(node, Recurse) and walk(node.body):
+                return True
+        return False
+
+    return walk(case.spec.nodes)
+
+
+def test_shrinker_minimises_to_the_relevant_node():
+    def has_nat_site(case):
+        return _contains(
+            case, lambda n: isinstance(n, LatentSite) and n.support == "nat"
+        )
+
+    shrunk_sizes = []
+    for seed in range(20):
+        case = generate(seed)
+        if not has_nat_site(case):
+            continue
+        shrunk = shrink_case(case, has_nat_site)
+        assert has_nat_site(shrunk)
+        assert spec_size(shrunk.spec) <= spec_size(case.spec)
+        shrunk_sizes.append(spec_size(shrunk.spec))
+    assert shrunk_sizes, "sweep produced no nat sites"
+    # Greedy minimisation should reach the single offending site.
+    assert min(shrunk_sizes) == 1
+
+
+def test_shrinker_emits_wellformed_candidates():
+    # Even a predicate that accepts everything must only see parseable,
+    # repairable programs (dangling references replaced by literals).
+    from repro.core.parser import parse_program
+
+    seen = []
+
+    def record(candidate):
+        parse_program(candidate.model_source)
+        parse_program(candidate.guide_source)
+        seen.append(candidate)
+        return False  # reject every candidate: original case returned
+
+    case = generate(5)
+    result = shrink_case(case, record)
+    assert result.model_source == case.model_source
+    assert len(seen) > 5
+
+
+def test_shrinker_canonicalises_parameters():
+    def always(case):
+        return True
+
+    case = generate(2)
+    shrunk = shrink_case(case, always)
+    assert spec_size(shrunk.spec) == 1  # a lone node survives
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+
+def test_failure_report_contains_program_and_repro_command():
+    config = FuzzConfig(particles=99)
+    case = generate(4, config)
+    report = run_case(case, config)
+    # Fabricate a violation to render (the sweep itself is clean).
+    from repro.fuzz.oracles import Violation
+
+    report.violations.append(Violation(4, "example", "synthetic", "is/interp"))
+    text = render_failure(case, report, config)
+    assert "seed 4" in text
+    assert "proc Main" in text and "proc MainGuide" in text
+    assert repro_command(4, config) in text
+    assert "--seed 4" in text and "--particles 99" in text
+
+
+def test_cli_fuzz_smoke(capsys):
+    from repro.cli import main
+
+    assert main(["fuzz", "--seeds", "3", "--particles", "64", "--progress-every", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "3 seed(s), 0 with violations" in out

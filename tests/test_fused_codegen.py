@@ -349,3 +349,62 @@ proc G() provide latent {
     assert np.array_equal(
         runs["interp"].guide_log_weights, runs["compiled"].guide_log_weights
     )
+
+
+# ---------------------------------------------------------------------------
+# Fuzzer-found regression: const provenance must not survive materialisation
+# ---------------------------------------------------------------------------
+
+
+def test_branch_constant_result_feeding_dist_params_compiles():
+    """A branch whose arms return literals, feeding a later dist parameter.
+
+    Found by ``repro fuzz`` (seed 12 of the original campaign): the branch
+    result is materialised into a per-path local (``_bN = ...``) but used to
+    carry its ``const`` provenance flag, so a downstream ``Normal(m, 2.0)``
+    looked all-const and was hoisted into the module preamble — where the
+    local name does not exist, a ``NameError`` at kernel load.
+    """
+    from repro.core.semantics import traces as tr
+
+    model_src = """
+proc M() consume latent provide obs {
+  x <- sample.recv{latent}(Normal(0.0, 1.0));
+  m <- if.send{latent} x > 0.0 {
+    _ <- sample.send{obs}(Normal(1.0, 1.0));
+    return(2.5)
+  } else {
+    _ <- sample.send{obs}(Normal(-1.0, 1.0));
+    return(-0.5)
+  };
+  y <- sample.recv{latent}(Normal(m, 2.0));
+  return(y)
+}
+"""
+    guide_src = """
+proc G() provide latent {
+  x <- sample.send{latent}(Normal(0.0, 1.5));
+  m <- if.recv{latent} { return(x) } else { return(x) };
+  y <- sample.send{latent}(Normal(0.0, 2.0));
+  return(y)
+}
+"""
+    model, guide = parse_program(model_src), parse_program(guide_src)
+    assert fused_unsupported_reason(model, guide, "M", "G") is None
+    kernel = load_fused(model, guide, "M", "G")  # must not raise NameError
+
+    from repro.engine import make_particle_runner
+
+    obs = (tr.ValP(0.4),)
+    runs = {}
+    for backend in ("interp", "compiled"):
+        runner = make_particle_runner(
+            model_program=model, guide_program=guide, model_entry="M",
+            guide_entry="G", obs_trace=obs, backend=backend,
+        )
+        runs[backend] = runner.run(64, np.random.default_rng(3))
+    assert runs["compiled"].backend == "compiled"
+    assert np.array_equal(
+        runs["interp"].log_weights(), runs["compiled"].log_weights()
+    )
+    assert kernel.lines_of_code > 0
