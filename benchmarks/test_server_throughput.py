@@ -73,18 +73,26 @@ def test_server_burst_coalesces_and_exports_counters():
     assert counters["batches_total"] < NUM_REQUESTS
     assert counters["requests_total"] == NUM_REQUESTS
     assert counters["particles_total"] == NUM_REQUESTS * PARTICLES
+    # Histogram-derived latency percentiles ride along in the snapshot —
+    # the artifact carries tail latency, not just the mean.
+    assert 0.0 < counters["latency_s_p50"] <= counters["latency_s_p90"]
+    assert counters["latency_s_p90"] <= counters["latency_s_p99"]
 
     throughput = NUM_REQUESTS / elapsed
     print(
         f"\nserver burst: {NUM_REQUESTS} requests x {PARTICLES} particles in "
         f"{elapsed * 1e3:.1f}ms ({throughput:.1f} req/s, "
         f"{counters['coalesced_requests_total']} coalesced over "
-        f"{counters['batches_total']} batches)"
+        f"{counters['batches_total']} batches, latency p50/p99 "
+        f"{counters['latency_s_p50'] * 1e3:.1f}/{counters['latency_s_p99'] * 1e3:.1f}ms)"
     )
     _record.record(
         suite="server_throughput", model=MODEL, engine="is", backend="interp",
         particles=PARTICLES, wall_time_s=elapsed,
         requests=NUM_REQUESTS, requests_per_s=throughput,
+        latency_s_p50=counters["latency_s_p50"],
+        latency_s_p90=counters["latency_s_p90"],
+        latency_s_p99=counters["latency_s_p99"],
         counters=counters,
     )
     shutdown_pool()

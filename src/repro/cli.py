@@ -133,6 +133,45 @@ def _shard_kwargs(args: argparse.Namespace) -> dict:
     return {"workers": args.workers, "shards": args.shards}
 
 
+def _start_run_observability(args: argparse.Namespace) -> bool:
+    """Turn on structured tracing when ``--profile``/``--trace-out`` ask for it.
+
+    Must run before the session is built so parse/typecheck/compile spans are
+    captured too.  Returns whether tracing was enabled (the matching
+    :func:`_finish_run_observability` call needs to know).
+    """
+    from repro.obs import enable_tracing
+
+    if not (getattr(args, "profile", False) or getattr(args, "trace_out", None)):
+        return False
+    enable_tracing()
+    return True
+
+
+def _finish_run_observability(args: argparse.Namespace, enabled: bool) -> None:
+    """Flush tracing output: the Chrome trace file and/or the profile table."""
+    from repro.obs import disable_tracing
+
+    if not enabled:
+        return
+    recorder = disable_tracing()
+    if recorder is None:
+        return
+    if getattr(args, "trace_out", None):
+        recorder.save(args.trace_out)
+        print(f"trace                   : {len(recorder.events)} span(s) -> {args.trace_out}")
+    if getattr(args, "profile", False):
+        summary = recorder.summary()
+        if summary:
+            print()
+            print(f"{'phase':<20} {'count':>7} {'total ms':>10} {'max ms':>10}")
+            for name, row in sorted(
+                summary.items(), key=lambda kv: kv[1]["total_s"], reverse=True
+            ):
+                print(f"{name:<20} {row['count']:>7} "
+                      f"{row['total_s'] * 1e3:>10.2f} {row['max_s'] * 1e3:>10.2f}")
+
+
 def _print_engine_summary(result, num_particles: int) -> None:
     print(f"particles               : {num_particles}")
     log_evidence = result.log_evidence()
@@ -148,56 +187,64 @@ def _print_engine_summary(result, num_particles: int) -> None:
 
 
 def cmd_run_is(args: argparse.Namespace) -> int:
-    session = _session_for(args)
-    if _refuse_uncertified(session, args):
-        return 1
-    engine = "is" if args.engine == "vectorized" else "is-sequential"
-    num_particles = _particle_count(args)
-    result = session.infer(
-        engine,
-        num_particles=num_particles,
-        obs_values=args.obs or None,  # empty --obs means prior predictive
-        seed=args.seed,
-        backend=args.backend,
-        **_shard_kwargs(args),
-    )
-    _print_engine_summary(result, num_particles)
-    diagnostics = result.diagnostics()
-    if "num_groups" in diagnostics:
-        print(f"control-flow groups     : {diagnostics['num_groups']}")
-    _print_backend(session, diagnostics)
-    _print_sharding(args)
-    return 0
+    tracing = _start_run_observability(args)
+    try:
+        session = _session_for(args)
+        if _refuse_uncertified(session, args):
+            return 1
+        engine = "is" if args.engine == "vectorized" else "is-sequential"
+        num_particles = _particle_count(args)
+        result = session.infer(
+            engine,
+            num_particles=num_particles,
+            obs_values=args.obs or None,  # empty --obs means prior predictive
+            seed=args.seed,
+            backend=args.backend,
+            **_shard_kwargs(args),
+        )
+        _print_engine_summary(result, num_particles)
+        diagnostics = result.diagnostics()
+        if "num_groups" in diagnostics:
+            print(f"control-flow groups     : {diagnostics['num_groups']}")
+        _print_backend(session, diagnostics)
+        _print_sharding(args)
+        return 0
+    finally:
+        _finish_run_observability(args, tracing)
 
 
 def cmd_run_smc(args: argparse.Namespace) -> int:
-    session = _session_for(args)
-    if _refuse_uncertified(session, args):
-        return 1
-    if not args.obs:
-        print("error: run-smc requires at least one --obs value", file=sys.stderr)
-        return 2
-    num_particles = _particle_count(args)
-    result = session.infer(
-        "smc",
-        num_particles=num_particles,
-        obs_values=args.obs,
-        seed=args.seed,
-        ess_threshold=args.ess_threshold,
-        rejuvenate=not args.no_rejuvenation,
-        backend=args.backend,
-        **_shard_kwargs(args),
-    )
-    _print_engine_summary(result, num_particles)
-    diagnostics = result.diagnostics()
-    resampled = diagnostics["resample_steps"]
-    print(f"resampled at steps      : {resampled if resampled else 'never'}")
-    rates = diagnostics["rejuvenation_rates"]
-    if rates:
-        print(f"rejuvenation acceptance : {', '.join(f'{r:.2f}' for r in rates)}")
-    _print_backend(session, diagnostics)
-    _print_sharding(args)
-    return 0
+    tracing = _start_run_observability(args)
+    try:
+        session = _session_for(args)
+        if _refuse_uncertified(session, args):
+            return 1
+        if not args.obs:
+            print("error: run-smc requires at least one --obs value", file=sys.stderr)
+            return 2
+        num_particles = _particle_count(args)
+        result = session.infer(
+            "smc",
+            num_particles=num_particles,
+            obs_values=args.obs,
+            seed=args.seed,
+            ess_threshold=args.ess_threshold,
+            rejuvenate=not args.no_rejuvenation,
+            backend=args.backend,
+            **_shard_kwargs(args),
+        )
+        _print_engine_summary(result, num_particles)
+        diagnostics = result.diagnostics()
+        resampled = diagnostics["resample_steps"]
+        print(f"resampled at steps      : {resampled if resampled else 'never'}")
+        rates = diagnostics["rejuvenation_rates"]
+        if rates:
+            print(f"rejuvenation acceptance : {', '.join(f'{r:.2f}' for r in rates)}")
+        _print_backend(session, diagnostics)
+        _print_sharding(args)
+        return 0
+    finally:
+        _finish_run_observability(args, tracing)
 
 
 def _parse_param_specs(specs, what: str) -> dict:
@@ -214,61 +261,65 @@ def _parse_param_specs(specs, what: str) -> dict:
 def cmd_run_svi(args: argparse.Namespace) -> int:
     from repro.engine.svi import guide_entry_params
 
-    session = _session_for(args)
-    if _refuse_uncertified(session, args):
-        return 1
-    guide_proc_params = guide_entry_params(session.guide_program, session.guide_entry)
+    tracing = _start_run_observability(args)
+    try:
+        session = _session_for(args)
+        if _refuse_uncertified(session, args):
+            return 1
+        guide_proc_params = guide_entry_params(session.guide_program, session.guide_entry)
 
-    inits = {}
-    for name, value in _parse_param_specs(args.param, "--param").items():
-        try:
-            inits[name] = float(value)
-        except ValueError:
-            raise InferenceError(f"--param {name} expects a numeric value, got {value!r}")
-    constraints = _parse_param_specs(args.constraint, "--constraint")
-    if not inits and guide_proc_params:
-        # No explicit initial values: start each parameter at its transform's
-        # unconstrained origin (0.0 for real, softplus(0)=log 2 ~ 0.69 for
-        # positive, sigmoid(0)=0.5 for unit).
-        defaults = {"positive": math.log(2.0), "unit": 0.5}
-        inits = {
-            name: defaults.get(constraints.get(name, "real"), 0.0)
-            for name in guide_proc_params
-        }
-        print(f"no --param given: initialising {dict(inits)}")
+        inits = {}
+        for name, value in _parse_param_specs(args.param, "--param").items():
+            try:
+                inits[name] = float(value)
+            except ValueError:
+                raise InferenceError(f"--param {name} expects a numeric value, got {value!r}")
+        constraints = _parse_param_specs(args.constraint, "--constraint")
+        if not inits and guide_proc_params:
+            # No explicit initial values: start each parameter at its transform's
+            # unconstrained origin (0.0 for real, softplus(0)=log 2 ~ 0.69 for
+            # positive, sigmoid(0)=0.5 for unit).
+            defaults = {"positive": math.log(2.0), "unit": 0.5}
+            inits = {
+                name: defaults.get(constraints.get(name, "real"), 0.0)
+                for name in guide_proc_params
+            }
+            print(f"no --param given: initialising {dict(inits)}")
 
-    num_particles = _particle_count(args)
-    result = session.infer(
-        args.engine,
-        num_particles=num_particles,
-        obs_values=args.obs or None,
-        seed=args.seed,
-        guide_params=inits or None,
-        param_constraints=constraints or None,
-        num_steps=args.steps,
-        optimizer=args.optimizer,
-        learning_rate=args.lr,
-        rao_blackwellize=args.rao_blackwellize,
-        final_particles=args.final_particles,
-        backend=args.backend,
-        **_shard_kwargs(args),
-    )
-    diagnostics = result.diagnostics()
-    history = diagnostics.get("elbo_history", [])
-    print(f"engine                  : {diagnostics.get('engine', args.engine)}")
-    print(f"optimisation steps      : {diagnostics.get('num_steps', 0)}")
-    if history:
-        print(f"ELBO trajectory         : {history[0]:.4f} -> {history[-1]:.4f}")
-    fitted = diagnostics.get("fitted_params", {})
-    if fitted:
-        rendered = ", ".join(f"{k}={v:.4f}" for k, v in fitted.items())
-        print(f"fitted parameters       : {rendered}")
-    # Evidence/ESS/posterior all come from the final pass through the fitted
-    # guide, so report that pass's particle count, not the fit batch size.
-    _print_engine_summary(result, args.final_particles or num_particles)
-    _print_backend(session, diagnostics)
-    _print_sharding(args)
-    return 0
+        num_particles = _particle_count(args)
+        result = session.infer(
+            args.engine,
+            num_particles=num_particles,
+            obs_values=args.obs or None,
+            seed=args.seed,
+            guide_params=inits or None,
+            param_constraints=constraints or None,
+            num_steps=args.steps,
+            optimizer=args.optimizer,
+            learning_rate=args.lr,
+            rao_blackwellize=args.rao_blackwellize,
+            final_particles=args.final_particles,
+            backend=args.backend,
+            **_shard_kwargs(args),
+        )
+        diagnostics = result.diagnostics()
+        history = diagnostics.get("elbo_history", [])
+        print(f"engine                  : {diagnostics.get('engine', args.engine)}")
+        print(f"optimisation steps      : {diagnostics.get('num_steps', 0)}")
+        if history:
+            print(f"ELBO trajectory         : {history[0]:.4f} -> {history[-1]:.4f}")
+        fitted = diagnostics.get("fitted_params", {})
+        if fitted:
+            rendered = ", ".join(f"{k}={v:.4f}" for k, v in fitted.items())
+            print(f"fitted parameters       : {rendered}")
+        # Evidence/ESS/posterior all come from the final pass through the fitted
+        # guide, so report that pass's particle count, not the fit batch size.
+        _print_engine_summary(result, args.final_particles or num_particles)
+        _print_backend(session, diagnostics)
+        _print_sharding(args)
+        return 0
+    finally:
+        _finish_run_observability(args, tracing)
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -332,6 +383,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                     "model_source": (shrunk or case).model_source,
                     "guide_source": (shrunk or case).guide_source,
                     "repro": repro_command(seed, config),
+                    "metrics": report.metrics,
                 }
                 path = report_dir / f"counterexample_{seed}.json"
                 path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
@@ -406,6 +458,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="particle shards with independently derived RNG streams "
                             "(default: one per worker; results are a pure function "
                             "of seed, particles, and shards)")
+        p.add_argument("--profile", action="store_true",
+                       help="print a phase-time table after the run (session prepare, "
+                            "kernel compile, per-engine phases, shard waves)")
+        p.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write the run's spans as Chrome trace_event JSON "
+                            "(open in chrome://tracing or Perfetto; shard workers "
+                            "appear as their own tracks)")
 
     p_is = sub.add_parser("run-is", help="run importance sampling on a pair")
     add_pair_arguments(p_is)

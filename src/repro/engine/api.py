@@ -24,6 +24,7 @@ with a string:
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -31,7 +32,15 @@ import numpy as np
 
 from repro.core.semantics import traces as tr
 from repro.errors import InferenceError
+from repro.obs import REGISTRY, span
 from repro.utils.rng import SeedLike, ensure_rng, fork_rng
+
+_ENGINE_RUN_SECONDS = REGISTRY.histogram(
+    "repro_engine_run_seconds",
+    "End-to-end engine execution time per request, by engine and requested "
+    "backend.",
+    labels=("engine", "backend"),
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.session import ProgramSession
@@ -139,6 +148,10 @@ class EngineResult(abc.ABC):
 
     def __init__(self, raw: object):
         self.raw = raw
+        #: Per-run observability snapshot (engine name, wall time, and the
+        #: metric deltas attributed to the run), filled in by
+        #: :func:`run_engine`.  ``None`` when the engine was invoked directly.
+        self.run_metrics: Optional[Dict[str, object]] = None
 
     @abc.abstractmethod
     def posterior_mean(self, site_index: int) -> float:
@@ -155,6 +168,18 @@ class EngineResult(abc.ABC):
     def diagnostics(self) -> Dict[str, object]:
         """Engine-specific diagnostics for reporting layers (CLI, server)."""
         return {}
+
+    def diagnostics_with_metrics(self) -> Dict[str, object]:
+        """Engine diagnostics plus the per-run metric snapshot (when present).
+
+        The snapshot is attributed by diffing the process-wide registry around
+        the run, so under concurrent requests it may include activity from
+        overlapping runs — treat it as approximate in multi-tenant settings.
+        """
+        out = dict(self.diagnostics())
+        if self.run_metrics is not None:
+            out["run_metrics"] = self.run_metrics
+        return out
 
 
 class InferenceEngine(abc.ABC):
@@ -189,6 +214,35 @@ def get_engine(name: str) -> InferenceEngine:
 def available_engines() -> List[str]:
     """The registered engine names, sorted."""
     return sorted(_REGISTRY)
+
+
+def run_engine(
+    name: str, session: "ProgramSession", request: InferenceRequest
+) -> EngineResult:
+    """Run one request through a registered engine, with observability.
+
+    The canonical execution seam: wraps the engine call in an ``engine.run``
+    trace span, feeds the engine-run latency histogram, and stamps the result
+    with a per-run metric snapshot (``result.run_metrics``) attributing the
+    registry activity — kernel compiles, cache hits, shard traffic — that
+    occurred during the run.  ``session.infer`` and the batch server both
+    route through here.
+    """
+    engine = get_engine(name)
+    backend = str(request.backend)
+    mark = REGISTRY.mark()
+    started = time.perf_counter()
+    with span("engine.run", engine=name, backend=backend):
+        result = engine.run(session, request)
+    wall_s = time.perf_counter() - started
+    _ENGINE_RUN_SECONDS.labels(engine=name, backend=backend).observe(wall_s)
+    result.run_metrics = {
+        "engine": name,
+        "backend": backend,
+        "wall_s": wall_s,
+        "metrics": REGISTRY.delta(mark),
+    }
+    return result
 
 
 # ---------------------------------------------------------------------------

@@ -31,9 +31,47 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.engine.api import EngineResult, InferenceRequest, available_engines, get_engine
+from repro.engine.api import EngineResult, InferenceRequest, available_engines, run_engine
 from repro.engine.session import ProgramSession
 from repro.errors import InferenceError, ReproError
+from repro.obs import REGISTRY, HistogramValue, percentile_keys, span
+
+_REQUESTS = REGISTRY.counter(
+    "repro_requests_total",
+    "Requests accepted by the inference service, by outcome.",
+    labels=("status",),
+)
+_REQUEST_LATENCY = REGISTRY.histogram(
+    "repro_request_latency_seconds",
+    "Enqueue-to-response latency of successful requests.",
+)
+_REQUEST_QUEUE_WAIT = REGISTRY.histogram(
+    "repro_request_queue_wait_seconds",
+    "Enqueue-to-dispatch wait of successful requests.",
+)
+_REQUEST_RUN = REGISTRY.histogram(
+    "repro_request_run_seconds",
+    "Engine busy time attributed to each successful request (a coalesced "
+    "request accounts for its share of the wave, not the whole wave).",
+)
+_SERVER_BATCHES = REGISTRY.counter(
+    "repro_server_batches_total",
+    "Dispatch groups executed by the batching dispatcher.",
+)
+_SERVER_COALESCED = REGISTRY.counter(
+    "repro_server_coalesced_requests_total",
+    "Requests that shared a dispatch group with at least one other request "
+    "for the same session.",
+)
+_SERVER_BATCH_SIZE = REGISTRY.histogram(
+    "repro_server_batch_size",
+    "Requests per dispatch group (coalescing depth).",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+)
+_SERVER_PARTICLES = REGISTRY.counter(
+    "repro_server_particles_total",
+    "Particles requested across all accepted requests.",
+)
 
 #: Fields a request payload may set on :class:`InferenceRequest`.
 REQUEST_FIELDS = frozenset(f.name for f in dataclasses.fields(InferenceRequest))
@@ -65,6 +103,14 @@ class ServerCounters:
     All times are seconds.  ``queue_wait`` measures enqueue-to-dispatch,
     ``run`` measures engine execution, and ``latency`` measures
     enqueue-to-response — the numbers a capacity plan needs.
+
+    Failed requests count toward ``requests_total``/``failures_total`` (and
+    their particles toward ``particles_total``) but are *excluded* from every
+    latency aggregate: a request rejected at validation in microseconds — or
+    one that blew up mid-run — says nothing about serving latency, and
+    folding it in used to drag the means toward zero.  The instance also
+    feeds the process-wide metrics registry, so a ``/metrics`` scrape sees
+    the same story as an ``op: stats`` snapshot.
     """
 
     requests_total: int = 0
@@ -79,6 +125,9 @@ class ServerCounters:
     latency_s_total: float = 0.0
     latency_s_max: float = 0.0
     started_at: float = field(default_factory=time.monotonic)
+    latency_hist: HistogramValue = field(default_factory=HistogramValue, repr=False)
+    queue_wait_hist: HistogramValue = field(default_factory=HistogramValue, repr=False)
+    run_hist: HistogramValue = field(default_factory=HistogramValue, repr=False)
 
     def observe(
         self,
@@ -94,23 +143,48 @@ class ServerCounters:
         ``busy_s``, when given, is its share of actual engine busy time —
         requests that rode one coalesced wave each perceive the whole wave
         but only account for a fraction of it, so throughput rates stay
-        honest.
+        honest.  Failures are tallied but kept out of the latency aggregates.
         """
-        latency = queue_wait_s + run_s
         self.requests_total += 1
+        self.particles_total += int(particles)
+        _REQUESTS.labels(status="ok" if ok else "error").inc()
+        _SERVER_PARTICLES.inc(int(particles))
         if not ok:
             self.failures_total += 1
-        self.particles_total += int(particles)
+            return
+        latency = queue_wait_s + run_s
+        busy = run_s if busy_s is None else busy_s
         self.queue_wait_s_total += queue_wait_s
-        self.run_s_total += run_s if busy_s is None else busy_s
+        self.run_s_total += busy
         self.latency_s_total += latency
         self.latency_s_max = max(self.latency_s_max, latency)
+        self.latency_hist.observe(latency)
+        self.queue_wait_hist.observe(queue_wait_s)
+        self.run_hist.observe(busy)
+        _REQUEST_LATENCY.observe(latency)
+        _REQUEST_QUEUE_WAIT.observe(queue_wait_s)
+        _REQUEST_RUN.observe(busy)
+
+    def observe_batch(self, group_size: int) -> None:
+        """Record one executed dispatch group of ``group_size`` requests."""
+        self.batches_total += 1
+        _SERVER_BATCHES.inc()
+        _SERVER_BATCH_SIZE.observe(group_size)
+        if group_size > 1:
+            self.coalesced_requests_total += group_size
+            _SERVER_COALESCED.inc(group_size)
 
     def snapshot(self) -> Dict[str, object]:
-        """The counters plus derived rates, as one JSON-ready dict."""
+        """The counters plus derived rates and percentiles, as one JSON dict.
+
+        Means and percentiles cover successful requests only (see the class
+        docstring); the percentile keys (``latency_s_p50``/``p90``/``p99``
+        and friends) are histogram-derived estimates, ``nan`` until the
+        first success lands.
+        """
         uptime = max(time.monotonic() - self.started_at, 1e-9)
-        done = max(self.requests_total, 1)
-        return {
+        succeeded = max(self.requests_total - self.failures_total, 1)
+        out: Dict[str, object] = {
             "requests_total": self.requests_total,
             "failures_total": self.failures_total,
             "batches_total": self.batches_total,
@@ -119,11 +193,15 @@ class ServerCounters:
             "uptime_s": uptime,
             "requests_per_s": self.requests_total / uptime,
             "particles_per_s": self.particles_total / max(self.run_s_total, 1e-9),
-            "queue_wait_s_mean": self.queue_wait_s_total / done,
-            "run_s_mean": self.run_s_total / done,
-            "latency_s_mean": self.latency_s_total / done,
+            "queue_wait_s_mean": self.queue_wait_s_total / succeeded,
+            "run_s_mean": self.run_s_total / succeeded,
+            "latency_s_mean": self.latency_s_total / succeeded,
             "latency_s_max": self.latency_s_max,
         }
+        out.update(percentile_keys(self.latency_hist, "latency_s"))
+        out.update(percentile_keys(self.queue_wait_hist, "queue_wait_s"))
+        out.update(percentile_keys(self.run_hist, "run_s"))
+        return out
 
 
 @dataclass
@@ -274,9 +352,7 @@ class InferenceService:
             for pending in batch:
                 pending.dispatched_at = now
             for group in self._group(batch):
-                self.counters.batches_total += 1
-                if len(group) > 1:
-                    self.counters.coalesced_requests_total += len(group)
+                self.counters.observe_batch(len(group))
                 try:
                     await loop.run_in_executor(None, self._run_group, group)
                 except Exception as exc:  # noqa: BLE001 - dispatcher must survive
@@ -311,7 +387,8 @@ class InferenceService:
         if len(group) > 1 and group[0].engine == "is":
             wave_started = time.monotonic()
             try:
-                wave_outcomes = self._run_is_wave(group)
+                with span("server.coalesce", requests=len(group)):
+                    wave_outcomes = self._run_is_wave(group)
             except Exception:  # noqa: BLE001 - wave is an optimisation only
                 wave_outcomes = {}  # fall through to member-by-member execution
             wave_s = time.monotonic() - wave_started
@@ -333,7 +410,7 @@ class InferenceService:
                 busy_s = wave_s / wave_size
             else:
                 try:
-                    result = get_engine(pending.engine).run(pending.session, pending.request)
+                    result = run_engine(pending.engine, pending.session, pending.request)
                 except Exception as exc:  # noqa: BLE001 - reported per request
                     error = exc
                 run_s = time.monotonic() - started
@@ -439,7 +516,7 @@ class InferenceService:
             "posterior_means": means,
             "log_evidence": None if log_evidence is None else float(log_evidence),
             "effective_sample_size": None if ess is None else float(ess),
-            "diagnostics": _json_safe(result.diagnostics()),
+            "diagnostics": _json_safe(result.diagnostics_with_metrics()),
             "server": {
                 "queue_wait_s": queue_wait_s,
                 "run_s": run_s,
@@ -506,17 +583,25 @@ async def _handle_connection(
         elif op == "stats":
             await respond({"id": payload.get("id"), "ok": True,
                            "counters": service.counters.snapshot()})
+        elif op == "metrics":
+            await respond({"id": payload.get("id"), "ok": True,
+                           "metrics": REGISTRY.snapshot()})
         elif op == "infer":
             await respond(await service.submit(payload))
         else:
             await respond({"id": payload.get("id"), "ok": False,
-                           "error": f"unknown op {op!r} (known: infer, stats)"})
+                           "error": f"unknown op {op!r} (known: infer, metrics, stats)"})
 
     cancelled = False
     try:
         while True:
             line = await reader.readline()
             if not line:
+                break
+            if line.startswith(b"GET ") and not tasks:
+                # A Prometheus scraper (or curl) speaking HTTP on the JSONL
+                # port: answer the one request and close, as HTTP/1.0 does.
+                await _serve_http_scrape(reader, writer, line)
                 break
             if line.strip():
                 # Handle each line concurrently so requests on one connection
@@ -540,6 +625,40 @@ async def _handle_connection(
             await asyncio.shield(writer.wait_closed())
         except (ConnectionError, OSError, asyncio.CancelledError):
             pass
+
+
+async def _serve_http_scrape(
+    reader: asyncio.StreamReader, writer: asyncio.StreamWriter, request_line: bytes
+) -> None:
+    """Answer one ``GET`` request on the JSONL port (the ``/metrics`` scrape).
+
+    Minimal HTTP/1.0 semantics: headers are drained and ignored, the
+    response carries ``Content-Length``, and the connection closes after one
+    exchange — exactly what a Prometheus scrape (or ``curl``) needs, without
+    pulling an HTTP framework into the server.
+    """
+    while True:  # drain request headers up to the blank line
+        header = await reader.readline()
+        if not header or header in (b"\r\n", b"\n"):
+            break
+    parts = request_line.decode("latin-1").split()
+    path = parts[1] if len(parts) >= 2 else ""
+    if path.split("?", 1)[0] == "/metrics":
+        body = REGISTRY.render_prometheus().encode("utf-8")
+        status = "200 OK"
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        body = b"not found; scrape /metrics\n"
+        status = "404 Not Found"
+        content_type = "text/plain; charset=utf-8"
+    head = (
+        f"HTTP/1.0 {status}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+    await writer.drain()
 
 
 async def serve_tcp(service: InferenceService, host: str, port: int) -> "asyncio.AbstractServer":

@@ -10,6 +10,7 @@ channel configuration.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import Optional, Tuple
 
@@ -20,8 +21,21 @@ from repro.core.typecheck import (
     check_model_guide_pair,
     infer_guide_types,
 )
-from repro.engine.api import EngineResult, InferenceRequest, get_engine
+from repro.engine.api import EngineResult, InferenceRequest, run_engine
 from repro.errors import InferenceError
+from repro.obs import REGISTRY, span
+
+_SESSION_CACHE_EVENTS = REGISTRY.counter(
+    "repro_session_cache_total",
+    "Session LRU lookups by outcome (hit: prepared pair reused; miss: full "
+    "parse + typecheck).",
+    labels=("event",),
+)
+_SESSION_PREPARE_SECONDS = REGISTRY.histogram(
+    "repro_session_prepare_seconds",
+    "Cold session preparation time: parsing both programs plus the "
+    "model/guide certification check.",
+)
 
 
 def default_model_entry(program: Program, latent_channel: str) -> str:
@@ -162,7 +176,7 @@ class ProgramSession:
             raise InferenceError("pass either a request object or keyword fields, not both")
         if request is None:
             request = InferenceRequest(**request_kwargs)
-        return get_engine(engine).run(self, request)
+        return run_engine(engine, self, request)
 
     # -- construction from source text (cached) --------------------------------
 
@@ -191,16 +205,21 @@ class ProgramSession:
         cached = _SESSION_CACHE.get(key)
         if cached is not None:
             _SESSION_CACHE.move_to_end(key)
+            _SESSION_CACHE_EVENTS.labels(event="hit").inc()
             return cached
-        session = cls(
-            parse_program(model_source),
-            parse_program(guide_source),
-            model_entry=model_entry,
-            guide_entry=guide_entry,
-            latent_channel=latent_channel,
-            obs_channel=obs_channel,
-            typecheck=typecheck,
-        )
+        _SESSION_CACHE_EVENTS.labels(event="miss").inc()
+        started = time.perf_counter()
+        with span("session.prepare", typecheck=typecheck):
+            session = cls(
+                parse_program(model_source),
+                parse_program(guide_source),
+                model_entry=model_entry,
+                guide_entry=guide_entry,
+                latent_channel=latent_channel,
+                obs_channel=obs_channel,
+                typecheck=typecheck,
+            )
+        _SESSION_PREPARE_SECONDS.observe(time.perf_counter() - started)
         _SESSION_CACHE[key] = session
         while len(_SESSION_CACHE) > _SESSION_CACHE_SIZE:
             _SESSION_CACHE.popitem(last=False)

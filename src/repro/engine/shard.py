@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import time
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
@@ -51,7 +52,36 @@ from repro.core import ast
 from repro.core.semantics import traces as tr
 from repro.engine.vectorize import VecMessage, VectorRunResult, _Leaf
 from repro.errors import InferenceError
+from repro.obs import DEFAULT_COUNT_BUCKETS, REGISTRY, span
+from repro.obs import trace as obs_trace_mod
 from repro.utils.rng import ensure_rng
+
+_SHARD_RUN_SECONDS = REGISTRY.histogram(
+    "repro_shard_run_seconds",
+    "Wall time of one shard task as measured inside its executing process "
+    "(worker or inline).",
+)
+_SHARD_MERGE_SECONDS = REGISTRY.histogram(
+    "repro_shard_merge_seconds",
+    "Wall time to reassemble one wave's shard results into a global "
+    "population.",
+)
+_SHARD_TASKS = REGISTRY.counter(
+    "repro_shard_tasks_total",
+    "Shard tasks executed, by result transport (shm: shared-memory block; "
+    "pickle: plain pipe; inline: ran in the parent process).",
+    labels=("transport",),
+)
+_SHARD_PAYLOAD_BYTES = REGISTRY.counter(
+    "repro_shard_payload_bytes_total",
+    "Array bytes carried by shard results back to the parent (0 for results "
+    "that never left the parent process).",
+)
+_SHARD_PARTICLES = REGISTRY.histogram(
+    "repro_shard_particles",
+    "Particles per shard task.",
+    buckets=DEFAULT_COUNT_BUCKETS,
+)
 
 #: Arrays smaller than this (total bytes per shard result) are returned
 #: through the pickle pipe; shared memory only pays for itself beyond it.
@@ -148,6 +178,16 @@ class ShardTask:
     #: process boundary.  Weights, traces, and observation scores are
     #: unaffected.
     trim_site_scores: bool = False
+    #: Position of this shard in its wave's plan (names its trace track).
+    index: int = 0
+    #: Capture trace spans in the executing process and ship them home.
+    #: Stamped from the parent's tracing state; never consumes randomness,
+    #: so traced and untraced runs are bit-identical.
+    trace: bool = False
+    #: The parent recorder's ``perf_counter`` epoch.  ``perf_counter`` is
+    #: CLOCK_MONOTONIC on Linux, so timestamps taken in forked workers
+    #: relative to this epoch line up with the parent's timeline.
+    trace_epoch: float = 0.0
 
 
 @dataclass
@@ -157,6 +197,14 @@ class ShardResult:
     leaves: List[_Leaf]
     vectorized: bool
     backend: str
+    #: Wall time of the shard task in its executing process.
+    wall_s: float = 0.0
+    #: Array bytes the result carried across the process boundary (0 when it
+    #: never left the parent).
+    payload_bytes: int = 0
+    #: Trace events captured by a pool worker (``None`` when the task ran in
+    #: the parent, whose recorder the spans reached directly).
+    trace_events: Optional[List[dict]] = None
 
 
 def run_shard_task(task: ShardTask) -> ShardResult:
@@ -169,25 +217,39 @@ def run_shard_task(task: ShardTask) -> ShardResult:
     """
     from repro.engine.backend import make_particle_runner
 
-    runner = make_particle_runner(
-        task.model_program,
-        task.guide_program,
-        task.model_entry,
-        task.guide_entry,
-        obs_trace=task.obs_trace,
-        model_args=task.model_args,
-        guide_args=task.guide_args,
-        latent_channel=task.latent_channel,
-        obs_channel=task.obs_channel,
+    started = time.perf_counter()
+    with span(
+        "shard.run",
+        _tid=task.index + 1,
+        shard=task.index,
+        particles=task.count,
         backend=task.backend,
-    )
-    run = runner.run(task.count, np.random.default_rng(task.seed))
+    ):
+        runner = make_particle_runner(
+            task.model_program,
+            task.guide_program,
+            task.model_entry,
+            task.guide_entry,
+            obs_trace=task.obs_trace,
+            model_args=task.model_args,
+            guide_args=task.guide_args,
+            latent_channel=task.latent_channel,
+            obs_channel=task.obs_channel,
+            backend=task.backend,
+        )
+        run = runner.run(task.count, np.random.default_rng(task.seed))
     leaves = run.leaves
     if task.trim_site_scores:
         leaves = [
             replace(leaf, model_site_scores=None, guide_site_scores=None) for leaf in leaves
         ]
-    return ShardResult(leaves=leaves, vectorized=run.vectorized, backend=run.backend)
+    _SHARD_PARTICLES.observe(task.count)
+    return ShardResult(
+        leaves=leaves,
+        vectorized=run.vectorized,
+        backend=run.backend,
+        wall_s=time.perf_counter() - started,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -262,13 +324,13 @@ def pack_result(result: ShardResult) -> Tuple[str, object, object]:
     if not shm_enabled():
         return ("pickle", result, None)
     packer = _ArrayPacker()
-    manifest = ShardResult(
+    manifest = replace(
+        result,
         leaves=[_map_leaf(leaf, packer.take) for leaf in result.leaves],
-        vectorized=result.vectorized,
-        backend=result.backend,
+        payload_bytes=packer.offset,
     )
     if packer.offset < SHM_MIN_BYTES:
-        return ("pickle", result, None)
+        return ("pickle", replace(result, payload_bytes=packer.offset), None)
     try:
         from multiprocessing import shared_memory
 
@@ -315,10 +377,8 @@ def _restore_from_block(shm, payload: ShardResult) -> ShardResult:
         # Copy out: the block is unlinked as soon as unpacking finishes.
         return flat.view(dtype).reshape(value.shape).copy()
 
-    result = ShardResult(
-        leaves=[_map_leaf(leaf, restore) for leaf in payload.leaves],
-        vectorized=payload.vectorized,
-        backend=payload.backend,
+    result = replace(
+        payload, leaves=[_map_leaf(leaf, restore) for leaf in payload.leaves]
     )
     del buf
     return result
@@ -350,9 +410,29 @@ def _run_shard_task_packed(task: ShardTask) -> Tuple[str, object, object]:
     tasks' already-returned encodings (leaking their shared-memory blocks,
     which only the parent unlinks) and make a per-request error look like
     pool breakage.
+
+    When the task asks for tracing, a worker-local recorder is installed
+    against the parent's ``perf_counter`` epoch for the duration of the task
+    and its captured events ride home inside the result — the parent's merge
+    ingests them, so shard workers appear as named tracks in the exported
+    timeline.  The recorder swap is restored in ``finally``: pool workers are
+    persistent, and a forked worker may even have inherited the parent's
+    enabled-tracing state, which must not leak into later untraced tasks.
     """
     try:
-        return pack_result(run_shard_task(task))
+        worker_recorder = None
+        saved = (obs_trace_mod._ENABLED, obs_trace_mod._RECORDER)
+        if task.trace:
+            worker_recorder = obs_trace_mod.enable_tracing(
+                epoch=task.trace_epoch, default_tid=task.index + 1
+            )
+        try:
+            result = run_shard_task(task)
+        finally:
+            obs_trace_mod._ENABLED, obs_trace_mod._RECORDER = saved
+        if worker_recorder is not None:
+            result = replace(result, trace_events=list(worker_recorder.events))
+        return pack_result(result)
     except Exception as exc:  # noqa: BLE001 - transported to the parent
         return ("error", exc, None)
 
@@ -460,10 +540,14 @@ def execute_tasks(tasks: Sequence[ShardTask], workers: int) -> List[ShardResult]
                 if encoded[0] == "error":
                     first_error = first_error or encoded[1]
                 else:
-                    results.append(unpack_result(encoded))
+                    _SHARD_TASKS.labels(transport=encoded[0]).inc()
+                    result = unpack_result(encoded)
+                    _SHARD_PAYLOAD_BYTES.inc(result.payload_bytes)
+                    results.append(result)
             if first_error is not None:
                 raise first_error
             return results
+    _SHARD_TASKS.labels(transport="inline").inc(len(tasks))
     return [run_shard_task(task) for task in tasks]
 
 
@@ -492,12 +576,25 @@ class ShardWave:
         Leaf particle indices are shifted from shard-local to global
         positions; everything else concatenates.  Per-particle quantities
         land at the same global index regardless of the shard plan, so
-        downstream consumers see one coherent population.
+        downstream consumers see one coherent population.  Worker-captured
+        trace events are ingested into the parent recorder here (one named
+        track per shard), and each shard's wall time feeds the shard-run
+        histogram.
         """
-        leaves: List[_Leaf] = []
+        merge_started = time.perf_counter()
+        recorder = obs_trace_mod.current_recorder()
         for task, result in zip(self.tasks, results):
-            for leaf in result.leaves:
-                leaves.append(replace(leaf, indices=leaf.indices + task.start))
+            _SHARD_RUN_SECONDS.observe(result.wall_s)
+            if recorder is not None:
+                recorder.set_thread_name(task.index + 1, f"shard-{task.index}")
+                if result.trace_events:
+                    recorder.ingest(result.trace_events)
+        with span("shard.merge", shards=len(self.tasks), particles=self.num_particles):
+            leaves: List[_Leaf] = []
+            for task, result in zip(self.tasks, results):
+                for leaf in result.leaves:
+                    leaves.append(replace(leaf, indices=leaf.indices + task.start))
+        _SHARD_MERGE_SECONDS.observe(time.perf_counter() - merge_started)
         return VectorRunResult(
             self.num_particles,
             leaves,
@@ -598,9 +695,19 @@ class ShardedParticleRunner:
         """
         spans = plan_shards(num_particles, self.num_shards)
         seeds = derive_shard_seeds(rng, len(spans))
+        recorder = obs_trace_mod.current_recorder()
+        tracing = obs_trace_mod.tracing_enabled() and recorder is not None
         tasks = [
-            replace(self._task_template, count=count, start=start, seed=seed)
-            for (start, count), seed in zip(spans, seeds)
+            replace(
+                self._task_template,
+                count=count,
+                start=start,
+                seed=seed,
+                index=k,
+                trace=tracing,
+                trace_epoch=recorder.epoch if tracing else 0.0,
+            )
+            for k, ((start, count), seed) in enumerate(zip(spans, seeds))
         ]
         return ShardWave(num_particles=num_particles, tasks=tasks)
 

@@ -25,6 +25,7 @@ continuity guarantee is exactly what makes the acceptance ratio well-defined
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -34,6 +35,24 @@ from repro.core import ast
 from repro.core.semantics import traces as tr
 from repro.engine.vectorize import VectorRunResult
 from repro.errors import InferenceError
+from repro.obs import DEFAULT_COUNT_BUCKETS, REGISTRY, span
+
+_SMC_PHASE_SECONDS = REGISTRY.histogram(
+    "repro_smc_phase_seconds",
+    "Wall time of one SMC phase: a population sample pass, a systematic "
+    "resampling, or a rejuvenation sweep.",
+    labels=("phase",),
+)
+_SMC_ESS = REGISTRY.histogram(
+    "repro_smc_ess",
+    "Effective sample size after each tempering step's re-weighting.",
+    buckets=DEFAULT_COUNT_BUCKETS,
+)
+_SMC_RESAMPLES = REGISTRY.counter(
+    "repro_smc_resamples_total",
+    "Tempering steps whose ESS fell below the threshold and triggered a "
+    "systematic resampling.",
+)
 from repro.utils.numerics import (
     effective_sample_size,
     log_mean_exp,
@@ -173,7 +192,12 @@ def smc(
     )
 
     def fresh_population() -> Tuple[VectorRunResult, np.ndarray, np.ndarray, np.ndarray]:
-        run = vectorizer.run(num_particles, rng)
+        sample_started = time.perf_counter()
+        with span("smc.sample", particles=num_particles):
+            run = vectorizer.run(num_particles, rng)
+        _SMC_PHASE_SECONDS.labels(phase="sample").observe(
+            time.perf_counter() - sample_started
+        )
         scores = run.obs_score_matrix()
         if scores is None:
             raise InferenceError(
@@ -227,58 +251,73 @@ def smc(
         weights = normalize_log_weights(log_w)
         ess = effective_sample_size(log_w)
         ess_history.append(ess)
+        _SMC_ESS.observe(ess)
 
         if ess < ess_threshold * num_particles:
             resample_steps.append(t)
-            ancestors = systematic_resample(weights, rng)
-            prior_lw = prior_lw[ancestors]
-            guide_lw = guide_lw[ancestors]
-            scores = scores[ancestors]
-            src_run = src_run[ancestors]
-            src_idx = src_idx[ancestors]
-            log_w = np.zeros(num_particles)
+            _SMC_RESAMPLES.inc()
+            resample_started = time.perf_counter()
+            with span("smc.resample", particles=num_particles, step=t):
+                ancestors = systematic_resample(weights, rng)
+                prior_lw = prior_lw[ancestors]
+                guide_lw = guide_lw[ancestors]
+                scores = scores[ancestors]
+                src_run = src_run[ancestors]
+                src_idx = src_idx[ancestors]
+                log_w = np.zeros(num_particles)
+            _SMC_PHASE_SECONDS.labels(phase="resample").observe(
+                time.perf_counter() - resample_started
+            )
 
             if rejuvenate:
-                proposal_run, prop_prior, prop_guide, prop_scores = fresh_population()
-                if prop_scores.shape[1] > num_steps:
-                    # The model's observation count is branch-dependent and a
-                    # proposal path emitted more observations than any path in
-                    # the initial population — the tempering schedule cannot
-                    # absorb those extra likelihood terms soundly.
-                    raise InferenceError(
-                        "SMC rejuvenation drew a particle with "
-                        f"{prop_scores.shape[1]} observation steps but the "
-                        f"tempering schedule has only {num_steps}; this model's "
-                        "observation count is branch-dependent — use the 'is' "
-                        "or 'mh' engine instead"
+                rejuvenate_started = time.perf_counter()
+                with span("smc.rejuvenate", particles=num_particles, step=t):
+                    proposal_run, prop_prior, prop_guide, prop_scores = fresh_population()
+                    if prop_scores.shape[1] > num_steps:
+                        # The model's observation count is branch-dependent and
+                        # a proposal path emitted more observations than any
+                        # path in the initial population — the tempering
+                        # schedule cannot absorb those extra likelihood terms
+                        # soundly.
+                        raise InferenceError(
+                            "SMC rejuvenation drew a particle with "
+                            f"{prop_scores.shape[1]} observation steps but the "
+                            f"tempering schedule has only {num_steps}; this model's "
+                            "observation count is branch-dependent — use the 'is' "
+                            "or 'mh' engine instead"
+                        )
+                    prop_scores = _pad_scores(prop_scores, num_steps)
+                    tempered = slice(0, t + 1)
+                    current_gamma = prior_lw + scores[:, tempered].sum(axis=1)
+                    proposal_gamma = prop_prior + prop_scores[:, tempered].sum(axis=1)
+                    with np.errstate(invalid="ignore"):
+                        log_ratio = (proposal_gamma - prop_guide) - (current_gamma - guide_lw)
+                    # A proposal with zero target density never wins; a current
+                    # particle with zero density always loses to a viable
+                    # proposal.
+                    log_ratio = np.where(np.isneginf(proposal_gamma), -np.inf, log_ratio)
+                    log_ratio = np.where(
+                        np.isneginf(current_gamma) & ~np.isneginf(proposal_gamma),
+                        np.inf,
+                        log_ratio,
                     )
-                prop_scores = _pad_scores(prop_scores, num_steps)
-                tempered = slice(0, t + 1)
-                current_gamma = prior_lw + scores[:, tempered].sum(axis=1)
-                proposal_gamma = prop_prior + prop_scores[:, tempered].sum(axis=1)
-                with np.errstate(invalid="ignore"):
-                    log_ratio = (proposal_gamma - prop_guide) - (current_gamma - guide_lw)
-                # A proposal with zero target density never wins; a current
-                # particle with zero density always loses to a viable proposal.
-                log_ratio = np.where(np.isneginf(proposal_gamma), -np.inf, log_ratio)
-                log_ratio = np.where(
-                    np.isneginf(current_gamma) & ~np.isneginf(proposal_gamma),
-                    np.inf,
-                    log_ratio,
+                    with np.errstate(divide="ignore"):
+                        accept = np.log(rng.random(num_particles)) < log_ratio
+                    rejuvenation_rates.append(float(np.mean(accept)))
+                    if np.any(accept):
+                        # Retain the proposal run only when some particle now
+                        # descends from it, so rejected batches can be
+                        # collected.
+                        runs.append(proposal_run)
+                        run_id = len(runs) - 1
+                        prior_lw = np.where(accept, prop_prior, prior_lw)
+                        guide_lw = np.where(accept, prop_guide, guide_lw)
+                        scores = np.where(accept[:, None], prop_scores, scores)
+                        src_run = np.where(accept, run_id, src_run)
+                        src_idx = np.where(accept, np.arange(num_particles), src_idx)
+                _SMC_PHASE_SECONDS.labels(phase="rejuvenate").observe(
+                    time.perf_counter() - rejuvenate_started
                 )
-                with np.errstate(divide="ignore"):
-                    accept = np.log(rng.random(num_particles)) < log_ratio
-                rejuvenation_rates.append(float(np.mean(accept)))
-                if np.any(accept):
-                    # Retain the proposal run only when some particle now
-                    # descends from it, so rejected batches can be collected.
-                    runs.append(proposal_run)
-                    run_id = len(runs) - 1
-                    prior_lw = np.where(accept, prop_prior, prior_lw)
-                    guide_lw = np.where(accept, prop_guide, guide_lw)
-                    scores = np.where(accept[:, None], prop_scores, scores)
-                    src_run = np.where(accept, run_id, src_run)
-                    src_idx = np.where(accept, np.arange(num_particles), src_idx)
 
     return SMCResult(
         num_particles=num_particles,

@@ -38,6 +38,7 @@ the *fitted* guide.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -56,9 +57,21 @@ from repro.engine.vectorize import ParticleVectorizer, vectorized_importance
 from repro.errors import ChannelProtocolError, EvaluationError, InferenceError
 from repro.inference.vi import ELBOEstimate
 from repro.minipyro.infer.optim import Adam, Optimizer, SGD
+from repro.obs import REGISTRY, span
 from repro.utils.rng import ensure_rng
 
 DEFAULT_SCORE_EPSILON = 1e-4
+
+_SVI_PHASE_SECONDS = REGISTRY.histogram(
+    "repro_svi_phase_seconds",
+    "Wall time of one SVI phase per step: the lockstep sampling pass, or the "
+    "full set of ±ε rescoring replays behind the score-function gradient.",
+    labels=("phase",),
+)
+_SVI_STEPS = REGISTRY.counter(
+    "repro_svi_steps_total",
+    "SVI optimisation steps taken (one batched gradient estimate each).",
+)
 
 
 def make_optimizer(name: str, learning_rate: float) -> Optimizer:
@@ -226,7 +239,12 @@ def elbo_and_score_gradient(
             trim_site_scores=not rao_blackwellize,
         )
 
-    run = vectorizer_at(store, backend, shards).run(num_particles, rng)
+    sample_started = time.perf_counter()
+    with span("svi.sample", particles=num_particles):
+        run = vectorizer_at(store, backend, shards).run(num_particles, rng)
+    _SVI_PHASE_SECONDS.labels(phase="sample").observe(
+        time.perf_counter() - sample_started
+    )
     f = run.log_weights()
     finite = np.isfinite(f)
     num_finite = int(finite.sum())
@@ -249,46 +267,51 @@ def elbo_and_score_gradient(
 
     num_dropped = 0
     eps = float(score_epsilon)
-    for name, index in store.coordinates():
-        plus = vectorizer_at(store.perturbed(name, index, +eps))
-        minus = vectorizer_at(store.perturbed(name, index, -eps))
-        contrib = np.zeros(f.size)
-        valid = finite.copy()
-        with np.errstate(invalid="ignore"):
-            for leaf in run.leaves:
-                try:
-                    res_plus = plus.rescore_group(leaf)
-                    res_minus = minus.rescore_group(leaf)
-                except (ChannelProtocolError, EvaluationError):
-                    # The perturbed guide no longer follows the recorded
-                    # message sequence (a parameter-dependent branch flipped
-                    # across the ±ε boundary): this group contributes nothing
-                    # to this coordinate's gradient.
-                    valid[leaf.indices] = False
-                    continue
-                if rao_blackwellize and leaf.guide_site_scores is not None:
-                    leaf_contrib, leaf_valid = _rao_blackwell_contrib(
-                        leaf, res_plus, res_minus,
-                        f[leaf.indices], baseline[leaf.indices],
-                        eps, latent_channel,
-                    )
-                else:
-                    scores = (
-                        res_plus.log_weights["guide"] - res_minus.log_weights["guide"]
-                    ) / (2.0 * eps)
-                    leaf_contrib = scores * (f[leaf.indices] - baseline[leaf.indices])
-                    leaf_valid = np.isfinite(scores)
-                contrib[leaf.indices] = np.where(leaf_valid, leaf_contrib, 0.0)
-                valid[leaf.indices] &= leaf_valid
-        kept = valid & finite
-        num_kept = int(kept.sum())
-        num_dropped = max(num_dropped, num_finite - num_kept)
-        coordinate_grad = float(np.mean(contrib[kept])) if num_kept else 0.0
-        target = grads[name]
-        if target.ndim == 0:
-            grads[name] = np.asarray(coordinate_grad)
-        else:
-            target.flat[index] = coordinate_grad
+    rescore_started = time.perf_counter()
+    with span("svi.rescore", particles=num_particles):
+        for name, index in store.coordinates():
+            plus = vectorizer_at(store.perturbed(name, index, +eps))
+            minus = vectorizer_at(store.perturbed(name, index, -eps))
+            contrib = np.zeros(f.size)
+            valid = finite.copy()
+            with np.errstate(invalid="ignore"):
+                for leaf in run.leaves:
+                    try:
+                        res_plus = plus.rescore_group(leaf)
+                        res_minus = minus.rescore_group(leaf)
+                    except (ChannelProtocolError, EvaluationError):
+                        # The perturbed guide no longer follows the recorded
+                        # message sequence (a parameter-dependent branch
+                        # flipped across the ±ε boundary): this group
+                        # contributes nothing to this coordinate's gradient.
+                        valid[leaf.indices] = False
+                        continue
+                    if rao_blackwellize and leaf.guide_site_scores is not None:
+                        leaf_contrib, leaf_valid = _rao_blackwell_contrib(
+                            leaf, res_plus, res_minus,
+                            f[leaf.indices], baseline[leaf.indices],
+                            eps, latent_channel,
+                        )
+                    else:
+                        scores = (
+                            res_plus.log_weights["guide"] - res_minus.log_weights["guide"]
+                        ) / (2.0 * eps)
+                        leaf_contrib = scores * (f[leaf.indices] - baseline[leaf.indices])
+                        leaf_valid = np.isfinite(scores)
+                    contrib[leaf.indices] = np.where(leaf_valid, leaf_contrib, 0.0)
+                    valid[leaf.indices] &= leaf_valid
+            kept = valid & finite
+            num_kept = int(kept.sum())
+            num_dropped = max(num_dropped, num_finite - num_kept)
+            coordinate_grad = float(np.mean(contrib[kept])) if num_kept else 0.0
+            target = grads[name]
+            if target.ndim == 0:
+                grads[name] = np.asarray(coordinate_grad)
+            else:
+                target.flat[index] = coordinate_grad
+    _SVI_PHASE_SECONDS.labels(phase="rescore").observe(
+        time.perf_counter() - rescore_started
+    )
     return ScoreGradient(elbo, grads, f.size - num_finite, num_dropped)
 
 
@@ -405,6 +428,7 @@ def fit_svi(
     result = VectorizedSVIResult(store=store)
 
     for _ in range(num_steps):
+        _SVI_STEPS.inc()
         estimate = elbo_and_score_gradient(
             model_program,
             guide_program,

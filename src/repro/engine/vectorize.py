@@ -35,6 +35,7 @@ ones on not having hit it.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
@@ -58,8 +59,19 @@ from repro.utils.numerics import (
     normalize_log_weights,
     weighted_mean,
 )
+from repro.obs import REGISTRY, span
 from repro.utils.recursion import deep_recursion
 from repro.utils.rng import ensure_rng
+
+#: One particle-population pass through a runner (interpretive or compiled,
+#: including the sequential fallback); labelled by the backend that actually
+#: executed it.  Shared with :mod:`repro.engine.backend`.
+PARTICLE_RUN_SECONDS = REGISTRY.histogram(
+    "repro_particle_run_seconds",
+    "Wall time of one particle-population pass (sample all particles in "
+    "lockstep), by executing backend.",
+    labels=("backend",),
+)
 
 
 class VectorizationUnsupported(Exception):
@@ -899,15 +911,20 @@ class ParticleVectorizer:
         if num_particles <= 0:
             raise InferenceError("num_particles must be positive")
         rng = ensure_rng(rng)
-        try:
-            leaves = self._run_vectorized(num_particles, rng)
-            vectorized = True
-        except VectorizationUnsupported:
-            # Unsupported feature somewhere in the batch: discard every draw
-            # and redo the whole batch sequentially, which keeps the result
-            # unbiased (see module docstring).
-            leaves = self._run_sequential(num_particles, rng)
-            vectorized = False
+        started = time.perf_counter()
+        with span("particles.run", backend="interp", particles=num_particles):
+            try:
+                leaves = self._run_vectorized(num_particles, rng)
+                vectorized = True
+            except VectorizationUnsupported:
+                # Unsupported feature somewhere in the batch: discard every
+                # draw and redo the whole batch sequentially, which keeps the
+                # result unbiased (see module docstring).
+                leaves = self._run_sequential(num_particles, rng)
+                vectorized = False
+        PARTICLE_RUN_SECONDS.labels(backend="interp").observe(
+            time.perf_counter() - started
+        )
         return VectorRunResult(
             num_particles,
             leaves,

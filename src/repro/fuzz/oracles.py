@@ -23,6 +23,7 @@ seed that passes passes forever, and a violation is reproducible from the
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -32,6 +33,7 @@ from repro.engine.session import ProgramSession
 from repro.errors import ReproError
 from repro.fuzz.generator import FuzzCase, FuzzConfig
 from repro.fuzz.spec import count_latent_sites, obs_signature
+from repro.obs import REGISTRY
 from repro.utils.numerics import weighted_mean_se
 
 
@@ -63,6 +65,11 @@ class CaseReport:
     #: recursive pairs that fall back to the interpreter).
     checks: Dict[str, bool] = field(default_factory=dict)
     posterior_means: Dict[str, float] = field(default_factory=dict)
+    #: Per-case cost profile: wall time per engine configuration, kernel
+    #: compile time, and the registry delta the case produced — embedded in
+    #: counterexample reports so a failing seed's cost is visible without a
+    #: re-run.
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -156,10 +163,28 @@ def _eq_nan(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 
 
 def run_case(case: FuzzCase, config: Optional[FuzzConfig] = None) -> CaseReport:
-    """Run every oracle against one generated case."""
+    """Run every oracle against one generated case.
+
+    The report carries a cost profile (``report.metrics``) alongside the
+    verdict: total wall time, per-configuration engine wall times, kernel
+    compile time, and the flat metrics-registry delta the case produced.
+    """
     config = config or FuzzConfig()
     report = CaseReport(seed=case.seed)
+    mark = REGISTRY.mark()
+    started = time.perf_counter()
+    try:
+        _run_oracles(case, config, report)
+    finally:
+        delta = REGISTRY.delta(mark)
+        report.metrics["total_wall_s"] = time.perf_counter() - started
+        report.metrics["kernel_compile_s"] = delta.get("repro_kernel_compile_seconds_sum", 0.0)
+        report.metrics["registry_delta"] = delta
+    return report
 
+
+def _run_oracles(case: FuzzCase, config: FuzzConfig, report: CaseReport) -> None:
+    """The oracle battery behind :func:`run_case` (mutates ``report``)."""
     # Oracle 0: the generator must produce certified pairs (a rejection here
     # is a finding about either the generator or the typechecker).
     try:
@@ -168,12 +193,12 @@ def run_case(case: FuzzCase, config: Optional[FuzzConfig] = None) -> CaseReport:
         report.violations.append(
             Violation(case.seed, "generator-ill-typed", f"{type(exc).__name__}: {exc}")
         )
-        return report
+        return
     if not session.certified:
         report.violations.append(
             Violation(case.seed, "uncertified", str(session.certification_reason))
         )
-        return report
+        return
 
     obs = default_obs_values(case) or None
     engine_seed = case.seed * 9176 + 11
@@ -182,6 +207,7 @@ def run_case(case: FuzzCase, config: Optional[FuzzConfig] = None) -> CaseReport:
 
     def run(label: str, engine: str, **kwargs):
         """One engine run; any exception is an oracle-2 violation."""
+        run_started = time.perf_counter()
         try:
             result = session.infer(
                 engine, obs_values=obs, seed=kwargs.pop("seed", engine_seed), **kwargs
@@ -196,6 +222,10 @@ def run_case(case: FuzzCase, config: Optional[FuzzConfig] = None) -> CaseReport:
                 Violation(case.seed, "crash", f"{type(exc).__name__}: {exc}", label)
             )
             return None
+        finally:
+            report.metrics.setdefault("engine_wall_s", {})[label] = (
+                time.perf_counter() - run_started
+            )
         results[label] = result
         return result
 
@@ -319,7 +349,6 @@ def run_case(case: FuzzCase, config: Optional[FuzzConfig] = None) -> CaseReport:
                             f"{label}/interp",
                         )
                     )
-    return report
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,55 @@
+"""Dependency-free observability: metrics registry + structured tracing.
+
+Two halves, both safe to leave in hot paths:
+
+* :mod:`repro.obs.metrics` — process-wide ``Counter``/``Gauge``/``Histogram``
+  families with labeled children, JSON snapshots, per-run deltas, and a
+  Prometheus text renderer (served by the JSONL server's ``GET /metrics``).
+* :mod:`repro.obs.trace` — a ``span()`` API recording per-run timed phase
+  trees, off by default with near-zero overhead, exportable as Chrome
+  ``trace_event`` JSON (``--trace-out``) with shard workers as named tracks.
+
+See ``docs/observability.md`` for the metric catalog and quickstart.
+"""
+
+from repro.obs.metrics import (  # noqa: F401
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramValue,
+    MetricsRegistry,
+    REGISTRY,
+    default_registry,
+    metric_names,
+    percentile_keys,
+)
+from repro.obs.trace import (  # noqa: F401
+    TraceRecorder,
+    current_recorder,
+    disable_tracing,
+    enable_tracing,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramValue",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_COUNT_BUCKETS",
+    "default_registry",
+    "metric_names",
+    "percentile_keys",
+    "TraceRecorder",
+    "span",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "current_recorder",
+]

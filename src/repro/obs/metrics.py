@@ -1,0 +1,466 @@
+"""Process-wide metrics: counters, gauges, and log-bucketed histograms.
+
+A :class:`MetricsRegistry` holds named metric *families*; each family owns
+labeled *children* (one per label-value combination) that carry the actual
+numbers.  The design mirrors the Prometheus client-library data model —
+``Counter`` / ``Gauge`` / ``Histogram`` with a text exposition format — but
+is dependency-free and small enough to sit on the hot path:
+
+* **Counters** only go up (requests served, cache hits, bytes shipped).
+* **Gauges** go up and down (queue depth, pool size).
+* **Histograms** bucket observations into *fixed log-spaced buckets*, so
+  latency percentiles (p50/p90/p99) are derivable from any snapshot without
+  storing raw samples — means hide tail latency; percentiles are the number
+  a capacity plan needs.
+
+Three read surfaces:
+
+* :meth:`MetricsRegistry.snapshot` — a JSON-ready dict (benchmark artifacts,
+  the server's ``metrics`` op, per-run diagnostics);
+* :meth:`MetricsRegistry.render_prometheus` — Prometheus text exposition
+  format, served by the JSONL server's ``GET /metrics`` endpoint;
+* :meth:`MetricsRegistry.mark` / :meth:`MetricsRegistry.delta` — flat
+  before/after views for attributing activity to one run.
+
+The process-wide default registry lives at :data:`REGISTRY`; instrumented
+modules create their families at import time so the metric *catalog* is
+stable (every family appears in ``/metrics`` from the first scrape, with or
+without samples — and ``tests/obs/metrics_catalog.txt`` pins the set).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramValue",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_TIME_BUCKETS",
+    "default_registry",
+]
+
+
+def _log_spaced(start: float, stop: float) -> Tuple[float, ...]:
+    """1—2.5—5 per-decade bucket bounds from ``start`` up to ``stop``."""
+    bounds: List[float] = []
+    decade = 10.0 ** math.floor(math.log10(start))
+    while decade <= stop * 1.0000001:
+        for mult in (1.0, 2.5, 5.0):
+            bound = decade * mult
+            if start * 0.9999999 <= bound <= stop * 1.0000001:
+                bounds.append(float(f"{bound:.12g}"))
+        decade *= 10.0
+    return tuple(bounds)
+
+
+#: Default latency buckets: log-spaced (1—2.5—5 per decade) from 100µs to
+#: 100s.  Fixed bounds mean snapshots from different processes/runs are
+#: always mergeable and p50/p90/p99 are derivable from the bucket counts.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = _log_spaced(1e-4, 100.0)
+
+#: Buckets for dimensionless counts (particles, ESS, bytes): 1 to 10^9.
+DEFAULT_COUNT_BUCKETS: Tuple[float, ...] = _log_spaced(1.0, 1e9)
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus text format expects."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value for the text exposition format."""
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    """``{a="x",b="y"}`` (or the empty string for unlabeled samples)."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(str(v))}"' for k, v in labels.items())
+    return "{" + inner + "}"
+
+
+class HistogramValue:
+    """One histogram's state: fixed bucket counts, a sum, and a count.
+
+    Standalone (registry-free) instances back per-object aggregates such as
+    :class:`~repro.engine.server.ServerCounters`'s latency distributions;
+    registered :class:`Histogram` children wrap one of these per label set.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "total", "count")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_TIME_BUCKETS):
+        if not bounds or list(bounds) != sorted(set(float(b) for b in bounds)):
+            raise ValueError("histogram bucket bounds must be sorted, unique, and non-empty")
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)  # +1 for +Inf
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the bucket counts."""
+        value = float(value)
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Uses the same scheme as Prometheus's ``histogram_quantile``: find the
+        bucket the rank lands in and interpolate linearly inside it (the
+        first bucket interpolates from 0; ranks in the +Inf bucket clamp to
+        the highest finite bound).  Returns ``nan`` with no observations.
+        """
+        if self.count == 0:
+            return math.nan
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count > 0:
+                if i == len(self.bounds):  # +Inf bucket: no finite upper bound
+                    return self.bounds[-1]
+                lower = 0.0 if i == 0 else self.bounds[i - 1]
+                upper = self.bounds[i]
+                position = (rank - (cumulative - bucket_count)) / bucket_count
+                return lower + (upper - lower) * position
+        return self.bounds[-1]
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at ``+Inf``."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, bucket_count in zip(self.bounds, self.bucket_counts):
+            running += bucket_count
+            out.append((bound, running))
+        out.append((math.inf, running + self.bucket_counts[-1]))
+        return out
+
+
+class _Family:
+    """Base class for metric families: naming, labels, child bookkeeping."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labels: Sequence[str], registry):
+        self.name = name
+        self.help = help_text
+        self.label_names: Tuple[str, ...] = tuple(labels)
+        self._registry = registry
+        self._children: "Dict[Tuple[str, ...], object]" = {}
+
+    def _new_child(self):
+        raise NotImplementedError
+
+    def labels(self, **label_values: str):
+        """The child for one label-value combination (created on first use)."""
+        if set(label_values) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {list(self.label_names)}, "
+                f"got {sorted(label_values)}"
+            )
+        key = tuple(str(label_values[name]) for name in self.label_names)
+        with self._registry._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._new_child()
+                self._children[key] = child
+        return child
+
+    def _default_child(self):
+        """The single child of an unlabeled family."""
+        if self.label_names:
+            raise ValueError(f"metric {self.name!r} has labels; address a child via .labels()")
+        return self.labels()
+
+    def _samples(self) -> List[Tuple[Dict[str, str], object]]:
+        """``(labels-dict, child)`` pairs in creation order."""
+        return [
+            (dict(zip(self.label_names, key)), child)
+            for key, child in list(self._children.items())
+        ]
+
+
+class Counter(_Family):
+    """A monotonically increasing count, optionally labeled."""
+
+    kind = "counter"
+
+    class Child:
+        """One labeled counter value."""
+
+        __slots__ = ("value",)
+
+        def __init__(self):
+            self.value = 0.0
+
+        def inc(self, amount: float = 1.0) -> None:
+            """Increase the counter (negative increments are rejected)."""
+            if amount < 0:
+                raise ValueError("counters only go up")
+            self.value += amount
+
+    def _new_child(self):
+        return Counter.Child()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the unlabeled child."""
+        self._default_child().inc(amount)
+
+
+class Gauge(_Family):
+    """A value that can go up and down, optionally labeled."""
+
+    kind = "gauge"
+
+    class Child:
+        """One labeled gauge value."""
+
+        __slots__ = ("value",)
+
+        def __init__(self):
+            self.value = 0.0
+
+        def set(self, value: float) -> None:
+            """Set the gauge to ``value``."""
+            self.value = float(value)
+
+        def inc(self, amount: float = 1.0) -> None:
+            """Add ``amount`` (may be negative)."""
+            self.value += amount
+
+        def dec(self, amount: float = 1.0) -> None:
+            """Subtract ``amount``."""
+            self.value -= amount
+
+    def _new_child(self):
+        return Gauge.Child()
+
+    def set(self, value: float) -> None:
+        """Set the unlabeled child."""
+        self._default_child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the unlabeled child."""
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Decrement the unlabeled child."""
+        self._default_child().dec(amount)
+
+
+class Histogram(_Family):
+    """A log-bucketed distribution of observations, optionally labeled."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help_text, labels, registry, buckets=DEFAULT_TIME_BUCKETS):
+        super().__init__(name, help_text, labels, registry)
+        self.buckets: Tuple[float, ...] = tuple(float(b) for b in buckets)
+
+    def _new_child(self):
+        return HistogramValue(self.buckets)
+
+    def observe(self, value: float) -> None:
+        """Observe into the unlabeled child."""
+        self._default_child().observe(value)
+
+    def quantile(self, q: float) -> float:
+        """Quantile of the unlabeled child (``nan`` when empty)."""
+        return self._default_child().quantile(q)
+
+
+class MetricsRegistry:
+    """A named collection of metric families with JSON and Prometheus views."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._families: "Dict[str, _Family]" = {}
+
+    # -- family registration (get-or-create, so modules can re-import) -----
+
+    def _register(self, cls, name: str, help_text: str, labels: Sequence[str], **kwargs):
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.label_names != tuple(labels):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind} "
+                        f"with labels {list(existing.label_names)}"
+                    )
+                return existing
+            family = cls(name, help_text, labels, self, **kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help_text: str, labels: Sequence[str] = ()) -> Counter:
+        """Get or create a counter family."""
+        return self._register(Counter, name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str, labels: Sequence[str] = ()) -> Gauge:
+        """Get or create a gauge family."""
+        return self._register(Gauge, name, help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        """Get or create a histogram family with fixed bucket bounds."""
+        return self._register(Histogram, name, help_text, labels, buckets=buckets)
+
+    def families(self) -> List[_Family]:
+        """Every registered family, in registration order."""
+        with self._lock:
+            return list(self._families.values())
+
+    def reset(self) -> None:
+        """Drop every family's children (tests); the catalog itself stays."""
+        with self._lock:
+            for family in self._families.values():
+                family._children.clear()
+
+    # -- read surfaces ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Every family's samples as one JSON-ready dict."""
+        out: Dict[str, Dict[str, object]] = {}
+        with self._lock:
+            for family in self._families.values():
+                samples: List[Dict[str, object]] = []
+                for labels, child in family._samples():
+                    if isinstance(child, HistogramValue):
+                        samples.append(
+                            {
+                                "labels": labels,
+                                "count": child.count,
+                                "sum": child.total,
+                                "buckets": {
+                                    _format_value(bound): cum
+                                    for bound, cum in child.cumulative_buckets()
+                                },
+                                "p50": child.quantile(0.50),
+                                "p90": child.quantile(0.90),
+                                "p99": child.quantile(0.99),
+                            }
+                        )
+                    else:
+                        samples.append({"labels": labels, "value": child.value})
+                out[family.name] = {
+                    "type": family.kind,
+                    "help": family.help,
+                    "labels": list(family.label_names),
+                    "samples": samples,
+                }
+        return out
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        with self._lock:
+            for family in self._families.values():
+                lines.append(f"# HELP {family.name} {family.help}")
+                lines.append(f"# TYPE {family.name} {family.kind}")
+                for labels, child in family._samples():
+                    if isinstance(child, HistogramValue):
+                        for bound, cum in child.cumulative_buckets():
+                            bucket_labels = dict(labels)
+                            bucket_labels["le"] = _format_value(bound)
+                            lines.append(
+                                f"{family.name}_bucket{_render_labels(bucket_labels)} {cum}"
+                            )
+                        lines.append(
+                            f"{family.name}_sum{_render_labels(labels)} "
+                            f"{_format_value(child.total)}"
+                        )
+                        lines.append(
+                            f"{family.name}_count{_render_labels(labels)} {child.count}"
+                        )
+                    else:
+                        lines.append(
+                            f"{family.name}{_render_labels(labels)} "
+                            f"{_format_value(child.value)}"
+                        )
+        return "\n".join(lines) + "\n"
+
+    # -- per-run attribution ------------------------------------------------
+
+    def _flat(self) -> Dict[str, float]:
+        """Flatten every sample to ``name{labels}`` keys with numeric values."""
+        flat: Dict[str, float] = {}
+        with self._lock:
+            for family in self._families.values():
+                for labels, child in family._samples():
+                    key = family.name + _render_labels(labels)
+                    if isinstance(child, HistogramValue):
+                        flat[key + "_count"] = float(child.count)
+                        flat[key + "_sum"] = float(child.total)
+                    else:
+                        flat[key] = float(child.value)
+        return flat
+
+    def mark(self) -> Dict[str, float]:
+        """An opaque point-in-time marker for :meth:`delta`."""
+        return self._flat()
+
+    def delta(self, mark: Dict[str, float]) -> Dict[str, float]:
+        """Per-key numeric change since ``mark`` (only keys that moved)."""
+        now = self._flat()
+        out: Dict[str, float] = {}
+        for key, value in now.items():
+            change = value - mark.get(key, 0.0)
+            if change != 0.0:
+                out[key] = change
+        return out
+
+
+#: The process-wide default registry.  Instrumented modules register their
+#: families here at import time; the server's ``/metrics`` endpoint renders
+#: it, and per-run diagnostics diff it.
+REGISTRY = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return REGISTRY
+
+
+def metric_names(snapshot_or_text) -> List[str]:
+    """The sorted family names in a snapshot dict or Prometheus text blob."""
+    if isinstance(snapshot_or_text, dict):
+        return sorted(snapshot_or_text)
+    names = []
+    for line in snapshot_or_text.splitlines():
+        if line.startswith("# TYPE "):
+            names.append(line.split()[2])
+    return sorted(names)
+
+
+def percentile_keys(hist: HistogramValue, prefix: str) -> Dict[str, float]:
+    """``{prefix_p50, prefix_p90, prefix_p99}`` derived from one histogram."""
+    return {
+        f"{prefix}_p50": hist.quantile(0.50),
+        f"{prefix}_p90": hist.quantile(0.90),
+        f"{prefix}_p99": hist.quantile(0.99),
+    }

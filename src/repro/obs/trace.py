@@ -1,0 +1,203 @@
+"""Structured run tracing: timed spans, ring buffer, Chrome trace export.
+
+The API is one call — ``with span("smc.resample", particles=n): ...`` — used
+throughout the engines.  Tracing is **off by default** and the disabled path
+is a single module-global check returning a shared no-op context manager, so
+instrumentation left in the hot loops costs (contractually, see
+``tests/obs/test_overhead.py``) under 2% wall time.
+
+When enabled (``enable_tracing()``, or ``repro run-* --profile`` /
+``--trace-out``), spans are recorded into a :class:`TraceRecorder` — a
+bounded in-memory ring buffer of *complete events* keyed to a shared
+``time.perf_counter()`` epoch.  The recorder exports two views:
+
+* :meth:`TraceRecorder.save` — a Chrome ``trace_event`` JSON file loadable
+  in ``chrome://tracing`` or Perfetto, with shard workers as named tracks;
+* :meth:`TraceRecorder.summary` — per-phase count/total-time aggregates for
+  the ``--profile`` table.
+
+Fork-pool propagation: ``time.perf_counter()`` is CLOCK_MONOTONIC on Linux
+and therefore comparable across forked processes.  The parent stamps its
+epoch into each :class:`~repro.engine.shard.ShardTask`; workers install a
+worker-local recorder against that epoch (one track per shard index), return
+their events inside :class:`~repro.engine.shard.ShardResult`, and the
+parent's merge step ingests them — so a multi-process run renders as one
+coherent timeline.  Recording never touches the RNG, so traced runs stay
+bit-identical with untraced ones.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+__all__ = [
+    "span",
+    "TraceRecorder",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "current_recorder",
+]
+
+_PID = 1  # single logical process in the exported timeline; tracks are tids
+
+
+class TraceRecorder:
+    """A bounded buffer of completed spans sharing one perf_counter epoch."""
+
+    def __init__(self, ring_size: int = 100_000, epoch: Optional[float] = None,
+                 default_tid: int = 0):
+        self.epoch = time.perf_counter() if epoch is None else epoch
+        self.events: "deque[dict]" = deque(maxlen=ring_size)
+        self.thread_names: Dict[int, str] = {0: "main"}
+        self.default_tid = default_tid
+        self._lock = threading.Lock()
+
+    def add_complete(self, name: str, start: float, duration: float,
+                     attrs: Optional[dict] = None, tid: Optional[int] = None) -> None:
+        """Record one finished span (times are perf_counter seconds)."""
+        event = {
+            "name": name,
+            "ts": (start - self.epoch) * 1e6,  # µs relative to the epoch
+            "dur": duration * 1e6,
+            "tid": self.default_tid if tid is None else tid,
+        }
+        if attrs:
+            event["args"] = attrs
+        with self._lock:
+            self.events.append(event)
+
+    def set_thread_name(self, tid: int, name: str) -> None:
+        """Name a track (e.g. ``shard-3``) in the exported timeline."""
+        with self._lock:
+            self.thread_names[tid] = name
+
+    def ingest(self, events: List[dict]) -> None:
+        """Absorb events captured by a worker recorder (same epoch)."""
+        with self._lock:
+            self.events.extend(events)
+
+    def chrome_events(self) -> List[dict]:
+        """The buffer as Chrome ``trace_event`` dicts (metadata first)."""
+        with self._lock:
+            events = list(self.events)
+            names = dict(self.thread_names)
+        out: List[dict] = [
+            {"name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
+             "args": {"name": "repro"}},
+        ]
+        for tid in sorted(names):
+            out.append({"name": "thread_name", "ph": "M", "pid": _PID, "tid": tid,
+                        "args": {"name": names[tid]}})
+        for event in events:
+            full = {"ph": "X", "pid": _PID, "cat": "repro"}
+            full.update(event)
+            out.append(full)
+        return out
+
+    def save(self, path: str) -> None:
+        """Write the buffer as a Chrome/Perfetto-loadable JSON file."""
+        payload = {"traceEvents": self.chrome_events(), "displayTimeUnit": "ms"}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-span-name aggregates: ``{name: {count, total_s, max_s}}``."""
+        out: Dict[str, Dict[str, float]] = {}
+        with self._lock:
+            events = list(self.events)
+        for event in events:
+            row = out.setdefault(event["name"], {"count": 0, "total_s": 0.0, "max_s": 0.0})
+            duration_s = event["dur"] / 1e6
+            row["count"] += 1
+            row["total_s"] += duration_s
+            row["max_s"] = max(row["max_s"], duration_s)
+        return out
+
+
+class _NoopSpan:
+    """The disabled-tracing fast path: one shared, stateless context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NOOP = _NoopSpan()
+
+_ENABLED = False
+_RECORDER: Optional[TraceRecorder] = None
+
+
+class _Span:
+    """A live span: records a complete event into the recorder on exit."""
+
+    __slots__ = ("name", "attrs", "tid", "_start", "_recorder")
+
+    def __init__(self, name: str, attrs: Optional[dict], tid: Optional[int],
+                 recorder: TraceRecorder):
+        self.name = name
+        self.attrs = attrs
+        self.tid = tid
+        self._recorder = recorder
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        duration = time.perf_counter() - self._start
+        self._recorder.add_complete(self.name, self._start, duration,
+                                    self.attrs, self.tid)
+        return False
+
+
+def span(name: str, _tid: Optional[int] = None, **attrs):
+    """A context manager timing one phase; a shared no-op when disabled.
+
+    ``attrs`` become the event's ``args`` in the Chrome trace (visible when
+    a slice is selected in Perfetto).  ``_tid`` pins the span to a specific
+    track — used for in-process shard runs so they render as shard tracks.
+    """
+    if not _ENABLED:
+        return _NOOP
+    recorder = _RECORDER
+    if recorder is None:  # pragma: no cover - enable/disable race guard
+        return _NOOP
+    return _Span(name, attrs or None, _tid, recorder)
+
+
+def enable_tracing(ring_size: int = 100_000, epoch: Optional[float] = None,
+                   default_tid: int = 0) -> TraceRecorder:
+    """Switch tracing on with a fresh recorder and return it."""
+    global _ENABLED, _RECORDER
+    _RECORDER = TraceRecorder(ring_size=ring_size, epoch=epoch, default_tid=default_tid)
+    _ENABLED = True
+    return _RECORDER
+
+
+def disable_tracing() -> Optional[TraceRecorder]:
+    """Switch tracing off; returns the recorder that was active (if any)."""
+    global _ENABLED, _RECORDER
+    recorder = _RECORDER
+    _ENABLED = False
+    _RECORDER = None
+    return recorder
+
+
+def tracing_enabled() -> bool:
+    """Whether spans are currently being recorded."""
+    return _ENABLED
+
+
+def current_recorder() -> Optional[TraceRecorder]:
+    """The active recorder, or ``None`` when tracing is off."""
+    return _RECORDER

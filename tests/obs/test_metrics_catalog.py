@@ -1,0 +1,62 @@
+"""The metrics-schema check: the scraped name set is pinned in a text file.
+
+A rename or removal of any metric family is a breaking change for dashboards
+and alerts; this test (also run as a CI step against a live server) forces
+such changes to update ``tests/obs/metrics_catalog.txt`` explicitly.
+"""
+
+import asyncio
+from pathlib import Path
+
+# Importing the instrumented modules registers every family at import time —
+# the catalog is complete before any request runs.
+import repro.engine.server  # noqa: F401
+import repro.engine.smc  # noqa: F401
+import repro.engine.svi  # noqa: F401
+from repro.engine.server import InferenceService, serve_tcp
+from repro.obs import REGISTRY, metric_names
+
+CATALOG = Path(__file__).parent / "metrics_catalog.txt"
+
+
+def expected_names():
+    """The pinned family names (one per line, comments allowed)."""
+    names = []
+    for line in CATALOG.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            names.append(line)
+    return sorted(names)
+
+
+async def _scrape_live_server():
+    service = InferenceService(workers=1)
+    await service.start()
+    server = await serve_tcp(service, "127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    try:
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(b"GET /metrics HTTP/1.0\r\n\r\n")
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        return raw.split(b"\r\n\r\n", 1)[1].decode()
+    finally:
+        server.close()
+        await server.wait_closed()
+        await service.stop()
+
+
+def test_registry_catalog_matches_the_pinned_set():
+    assert metric_names(REGISTRY.snapshot()) == expected_names()
+
+
+def test_live_scrape_matches_the_pinned_set():
+    text = asyncio.run(_scrape_live_server())
+    assert metric_names(text) == expected_names()
+
+
+def test_every_family_documents_itself():
+    for family in REGISTRY.families():
+        assert family.name.startswith("repro_"), family.name
+        assert family.help.strip(), f"{family.name} has no help text"

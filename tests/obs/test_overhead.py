@@ -1,0 +1,104 @@
+"""The disabled-tracing overhead contract: instrumentation must be ~free.
+
+The engines keep their ``span(...)`` calls in the hot loops permanently, so
+the disabled path (one module-global check returning a shared no-op) is held
+to a contract: a 10k-particle importance-sampling run with tracing *disabled*
+must cost within 2% of the same run with every ``span`` call replaced by an
+inert stub.  Wall-clock comparisons are noisy, so each variant takes the
+minimum over several interleaved repetitions (the minimum estimates the
+noise-free cost) and the contract gets a handful of attempts before failing.
+"""
+
+import sys
+import time
+
+import pytest
+
+import repro.engine.api
+import repro.engine.backend
+import repro.engine.session
+import repro.engine.shard
+import repro.engine.smc
+import repro.engine.svi
+import repro.engine.vectorize
+from repro.engine.session import ProgramSession
+from repro.models import get_benchmark
+from repro.obs import trace as trace_mod
+from repro.obs.trace import disable_tracing, tracing_enabled
+
+# sys.modules entries, because ``repro.engine``'s package namespace exports
+# same-named *functions* (e.g. ``smc``) that shadow the submodules.
+INSTRUMENTED_MODULES = tuple(
+    sys.modules[f"repro.engine.{name}"]
+    for name in ("api", "backend", "session", "shard", "smc", "svi", "vectorize")
+)
+
+BENCH = get_benchmark("weight")
+
+
+class _StubSpan:
+    """What the engines would cost with no instrumentation at all."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_STUB = _StubSpan()
+
+
+def _stub_span(name, _tid=None, **attrs):
+    return _STUB
+
+
+@pytest.fixture(autouse=True)
+def _tracing_disabled():
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+def _run_once(sess):
+    started = time.perf_counter()
+    sess.infer(
+        "is", num_particles=10_000, seed=3,
+        obs_values=list(BENCH.obs_values), guide_args=(8.5, 0.0),
+    )
+    return time.perf_counter() - started
+
+
+def _min_cost_pair(sess, monkeypatch, repetitions=5):
+    """(disabled-tracing cost, stubbed cost): minima over interleaved reps."""
+    disabled, stubbed = [], []
+    for _ in range(repetitions):
+        assert not tracing_enabled()
+        disabled.append(_run_once(sess))
+        with pytest.MonkeyPatch.context() as patch:
+            for module in INSTRUMENTED_MODULES:
+                patch.setattr(module, "span", _stub_span)
+            stubbed.append(_run_once(sess))
+    return min(disabled), min(stubbed)
+
+
+def test_disabled_tracing_costs_under_two_percent(monkeypatch):
+    sess = ProgramSession.from_sources(BENCH.model_source, BENCH.guide_source)
+    _run_once(sess)  # warm up: session caches, numpy, allocator
+    for attempt in range(4):
+        disabled_s, stubbed_s = _min_cost_pair(sess, monkeypatch)
+        if disabled_s <= stubbed_s * 1.02:
+            return
+    pytest.fail(
+        f"disabled tracing costs {disabled_s / stubbed_s - 1:+.1%} over the "
+        f"no-op stub (contract: <2%); disabled={disabled_s:.4f}s stub={stubbed_s:.4f}s"
+    )
+
+
+def test_disabled_span_allocates_nothing():
+    """The disabled fast path returns one shared singleton, not a new object."""
+    a = trace_mod.span("hot.loop", particles=10_000)
+    b = trace_mod.span("other")
+    assert a is b is trace_mod._NOOP

@@ -1,0 +1,140 @@
+"""Structured run tracing: span API, Chrome export, shard-track propagation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine.session import ProgramSession
+from repro.models import get_benchmark
+from repro.obs import trace as trace_mod
+from repro.obs.trace import (
+    TraceRecorder,
+    current_recorder,
+    disable_tracing,
+    enable_tracing,
+    span,
+    tracing_enabled,
+)
+
+BENCH = get_benchmark("weight")
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    """Every test starts and ends with tracing disabled."""
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+def _infer(**overrides):
+    session = ProgramSession.from_sources(BENCH.model_source, BENCH.guide_source)
+    kwargs = dict(
+        num_particles=256, seed=5,
+        obs_values=list(BENCH.obs_values), guide_args=(8.5, 0.0),
+    )
+    kwargs.update(overrides)
+    return session.infer("is", **kwargs)
+
+
+class TestSpanAPI:
+    def test_disabled_span_is_the_shared_noop(self):
+        assert not tracing_enabled()
+        assert span("anything", particles=3) is trace_mod._NOOP
+        assert span("other") is span("third")
+
+    def test_enabled_span_records_a_complete_event(self):
+        recorder = enable_tracing()
+        with span("phase.one", particles=7):
+            pass
+        assert tracing_enabled() and current_recorder() is recorder
+        (event,) = recorder.events
+        assert event["name"] == "phase.one"
+        assert event["args"] == {"particles": 7}
+        assert event["dur"] >= 0.0 and event["ts"] >= 0.0
+
+    def test_span_records_even_when_the_body_raises(self):
+        recorder = enable_tracing()
+        with pytest.raises(RuntimeError):
+            with span("fails"):
+                raise RuntimeError("boom")
+        assert [e["name"] for e in recorder.events] == ["fails"]
+
+    def test_disable_returns_the_recorder_and_clears_state(self):
+        recorder = enable_tracing()
+        assert disable_tracing() is recorder
+        assert not tracing_enabled() and current_recorder() is None
+
+    def test_ring_buffer_bounds_memory(self):
+        recorder = enable_tracing(ring_size=10)
+        for i in range(50):
+            with span(f"s{i}"):
+                pass
+        assert len(recorder.events) == 10
+        assert recorder.events[-1]["name"] == "s49"
+
+    def test_summary_aggregates_by_name(self):
+        recorder = TraceRecorder()
+        recorder.add_complete("a", 0.0, 0.5)
+        recorder.add_complete("a", 1.0, 1.5)
+        recorder.add_complete("b", 0.0, 0.25)
+        summary = recorder.summary()
+        assert summary["a"] == {"count": 2, "total_s": 2.0, "max_s": 1.5}
+        assert summary["b"]["count"] == 1
+
+
+class TestChromeExport:
+    def test_saved_file_is_valid_trace_event_json(self, tmp_path):
+        recorder = enable_tracing()
+        with span("outer", kind="test"):
+            with span("inner"):
+                pass
+        path = tmp_path / "run.trace.json"
+        recorder.save(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert metadata and events[: len(metadata)] == metadata
+        assert {e["name"] for e in spans} == {"outer", "inner"}
+        for event in spans:
+            assert {"name", "ph", "pid", "tid", "ts", "dur", "cat"} <= set(event)
+        names = {e["args"]["name"] for e in metadata if e["name"] == "thread_name"}
+        assert "main" in names
+
+
+class TestEngineTracing:
+    def test_engine_run_produces_the_expected_spans(self):
+        recorder = enable_tracing()
+        _infer()
+        names = {e["name"] for e in recorder.events}
+        assert {"engine.run", "particles.run"} <= names
+
+    def test_sharded_run_renders_shard_tracks(self):
+        recorder = enable_tracing()
+        _infer(shards=3)
+        shard_events = [e for e in recorder.events if e["name"] == "shard.run"]
+        assert sorted(e["tid"] for e in shard_events) == [1, 2, 3]
+        assert {1: "shard-0", 2: "shard-1", 3: "shard-2"}.items() <= recorder.thread_names.items()
+        assert any(e["name"] == "shard.merge" for e in recorder.events)
+
+    def test_tracing_never_changes_results(self):
+        before = _infer(shards=2)
+        enable_tracing()
+        traced = _infer(shards=2)
+        disable_tracing()
+        after = _infer(shards=2)
+        for other in (traced, after):
+            assert np.array_equal(before.raw.log_weights, other.raw.log_weights)
+            assert np.array_equal(before.raw.run.site_values(0), other.raw.run.site_values(0))
+
+    def test_run_metrics_attached_via_run_engine(self):
+        result = _infer()
+        diag = result.diagnostics_with_metrics()
+        metrics = diag["run_metrics"]
+        assert metrics["engine"] == "is" and metrics["backend"] == "interp"
+        assert metrics["wall_s"] > 0.0
+        moved = [k for k in metrics["metrics"] if k.startswith("repro_engine_run_seconds")]
+        assert any(k.endswith("_count") for k in moved)
