@@ -10,6 +10,7 @@ Usage (after ``python setup.py develop`` / ``pip install -e .``)::
     python -m repro.cli run-svi      MODEL.gt GUIDE.gt --obs 0.8 --steps 50 \
                                      --param loc=8.5 --param log_scale=0.0
     python -m repro.cli serve        --port 7341 --workers 4   # batch-inference server
+    python -m repro.cli loadgen      --port 7341 --rate 50 --duration 5   # open-loop load
     python -m repro.cli benchmarks                       # list the bundled benchmarks
 
 ``run-is`` executes on the vectorized particle engine by default; pass
@@ -328,6 +329,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.engine.server import run_server
 
+    if args.kernel_cache is not None:
+        from repro.engine.backend import set_kernel_cache_capacity
+
+        set_kernel_cache_capacity(args.kernel_cache)
+    if args.session_cache is not None:
+        from repro.engine.session import set_session_cache_capacity
+
+        set_session_cache_capacity(args.session_cache)
     try:
         asyncio.run(
             run_server(
@@ -335,10 +344,62 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 port=args.port,
                 workers=args.workers,
                 batch_window_s=args.batch_window_ms / 1e3,
+                max_queue=args.max_queue,
+                max_batch=args.max_batch,
+                tenant_rate=args.tenant_rate,
+                tenant_burst=args.tenant_burst,
             )
         )
     except KeyboardInterrupt:
         print("server stopped")
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a running server with open-loop Poisson load and report on it."""
+    import asyncio
+    import json as json_mod
+
+    from repro.engine.loadgen import (
+        LoadConfig,
+        parse_csv,
+        record_bench_entry,
+        report_as_json,
+        run_load,
+    )
+
+    config = LoadConfig(
+        host=args.host,
+        port=args.port,
+        rate=args.rate,
+        duration_s=args.duration,
+        deadline_ms=args.deadline_ms if args.deadline_ms > 0 else None,
+        tenants=args.tenants,
+        particles=args.particles,
+        engines=parse_csv(args.engines),
+        models=parse_csv(args.models),
+        seed=args.seed,
+        drain_timeout_s=args.drain_timeout,
+    )
+    try:
+        report = asyncio.run(run_load(config))
+    except ConnectionRefusedError:
+        print(f"loadgen: no server listening on {args.host}:{args.port}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    if args.json:
+        Path(args.json).write_text(json_mod.dumps(report_as_json(report), indent=2) + "\n")
+        print(f"report written to {args.json}")
+    if args.record:
+        path = record_bench_entry(report, path=args.record)
+        print(f"load entry recorded into {path}")
+    if not report.healthy():
+        print(
+            f"loadgen: contract violated — {report.unanswered} unanswered, "
+            f"{report.unstructured_errors} unstructured errors",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -515,7 +576,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--batch-window-ms", type=float, default=2.0,
                          help="how long to hold a dispatch batch open so concurrent "
                               "requests can coalesce into one sharded run")
+    p_serve.add_argument("--max-queue", type=int, default=256,
+                         help="admitted requests allowed to wait for dispatch; "
+                              "overflow is rejected immediately with code 'overloaded'")
+    p_serve.add_argument("--max-batch", type=int, default=32,
+                         help="requests per dispatch wave (bounds coalesced-wave memory)")
+    p_serve.add_argument("--tenant-rate", type=float, default=None,
+                         help="per-tenant admitted requests/second (token bucket; "
+                              "default: quotas disabled)")
+    p_serve.add_argument("--tenant-burst", type=float, default=None,
+                         help="per-tenant burst capacity (default: max(1, tenant-rate))")
+    p_serve.add_argument("--kernel-cache", type=int, default=None,
+                         help="fused-kernel LRU capacity (default 64)")
+    p_serve.add_argument("--session-cache", type=int, default=None,
+                         help="prepared-session LRU capacity (default 64)")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="open-loop Poisson load generator against a running server",
+    )
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, default=7341)
+    p_load.add_argument("--rate", type=float, default=50.0,
+                        help="offered arrival rate in requests/second (Poisson)")
+    p_load.add_argument("--duration", type=float, default=5.0,
+                        help="seconds of arrivals to generate")
+    p_load.add_argument("--deadline-ms", type=float, default=1000.0,
+                        help="per-request deadline on the wire (<= 0 disables)")
+    p_load.add_argument("--tenants", type=int, default=2,
+                        help="distinct tenants to spread traffic across")
+    p_load.add_argument("--particles", type=int, default=1000,
+                        help="particles per request")
+    p_load.add_argument("--engines", default="is",
+                        help="comma-separated engines to cycle through")
+    p_load.add_argument("--models", default="weight",
+                        help="comma-separated benchmark models to cycle through")
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--drain-timeout", type=float, default=30.0,
+                        help="seconds to wait for straggler responses after "
+                             "the last arrival")
+    p_load.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the report as JSON to PATH")
+    p_load.add_argument("--record", default=None, metavar="PATH",
+                        help="append a 'load' entry to BENCH_results.json at PATH")
+    p_load.set_defaults(func=cmd_loadgen)
 
     p_fuzz = sub.add_parser(
         "fuzz",

@@ -35,8 +35,13 @@ simultaneously over NumPy arrays instead of N sequential interpreter runs:
     worker count).
 ``server``
     The async batch-inference service: a coalescing request queue over
-    sessions and shards, throughput/latency counters, and a JSONL TCP
-    front-end (CLI ``repro serve``).
+    sessions and shards with admission control (bounded queue, per-request
+    deadlines, per-tenant quotas + round-robin fairness), throughput/latency
+    counters, and a JSONL TCP front-end (CLI ``repro serve``).
+``loadgen``
+    Open-loop Poisson load generator for the server (CLI ``repro loadgen``):
+    offered-rate traffic with mixed models/engines/tenants, latency
+    percentiles, and shed-rate accounting.
 """
 
 from repro.engine.api import (
@@ -55,6 +60,7 @@ from repro.engine.backend import (
     make_particle_runner,
 )
 from repro.engine.batched import BatchedDist
+from repro.engine.loadgen import LoadConfig, LoadReport, run_load
 from repro.engine.params import ParamStore, Transform, get_transform, store_from_inits
 from repro.engine.server import InferenceService, ServerCounters, run_server, serve_tcp
 from repro.engine.session import ProgramSession, clear_session_cache
@@ -88,6 +94,8 @@ __all__ = [
     "InferenceEngine",
     "InferenceRequest",
     "InferenceService",
+    "LoadConfig",
+    "LoadReport",
     "ParamStore",
     "ParticleVectorizer",
     "ProgramSession",
@@ -113,6 +121,7 @@ __all__ = [
     "pool_available",
     "register_engine",
     "resolve_shards",
+    "run_load",
     "run_server",
     "serve_tcp",
     "shutdown_pool",

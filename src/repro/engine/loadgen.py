@@ -1,0 +1,366 @@
+"""Open-loop load generator for the batch-inference server.
+
+Drives a *running* server (``repro serve``) over its JSONL-over-TCP protocol
+at a configured offered rate with Poisson arrivals — open-loop means the
+arrival process never waits for responses, so an overloaded server sees the
+true offered load instead of a politely self-throttling client.  Traffic is
+mixed: requests cycle through the configured models, engines, and tenants,
+each with its own seed and an optional ``deadline_ms``.
+
+The report measures what a capacity plan needs: client-observed latency
+percentiles (p50/p90/p99 from a histogram, not means), outcome counts by
+structured error code, the shed rate, and — crucially for the "no hangs"
+guarantee — how many requests never got an answer at all.  ``repro loadgen``
+prints the report and can append it to ``BENCH_results.json`` (schema 2,
+the same artifact the benchmark harnesses write), so p99-under-load and
+shed-rate-at-overload are tracked numbers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import HistogramValue, percentile_keys
+
+#: Error codes counted as deliberate load shedding (mirrors the server's
+#: SHED_CODES, restated here so the client is usable against older servers).
+SHED_CODES = ("overloaded", "quota_exceeded", "deadline_exceeded", "shutting_down")
+
+#: Every structured code a server response may carry.
+KNOWN_CODES = SHED_CODES + ("invalid_request", "engine_error")
+
+
+@dataclass
+class LoadConfig:
+    """One load run: where to aim, how hard, and with what traffic mix."""
+
+    host: str = "127.0.0.1"
+    port: int = 7341
+    #: Offered arrival rate in requests/second (Poisson; open-loop).
+    rate: float = 50.0
+    #: How long to keep generating arrivals, in seconds.
+    duration_s: float = 5.0
+    #: Per-request deadline forwarded on the wire (``None``: no deadline).
+    deadline_ms: Optional[float] = 1000.0
+    #: Number of distinct tenants to spread traffic across (``tenant-0``...).
+    tenants: int = 2
+    particles: int = 1000
+    #: Engines cycled through per request.
+    engines: Tuple[str, ...] = ("is",)
+    #: Benchmark model names (see ``repro benchmarks``) cycled through.
+    models: Tuple[str, ...] = ("weight",)
+    seed: int = 0
+    #: How long to wait for straggler responses after the last arrival.
+    drain_timeout_s: float = 30.0
+
+    def describe(self) -> str:
+        """One-line human summary of the offered load."""
+        return (
+            f"{self.rate:g} req/s x {self.duration_s:g}s "
+            f"({'+'.join(self.models)} / {'+'.join(self.engines)}, "
+            f"{self.particles} particles, {self.tenants} tenant(s), "
+            f"deadline {self.deadline_ms if self.deadline_ms is not None else 'off'}ms)"
+        )
+
+
+@dataclass
+class LoadReport:
+    """What one open-loop run observed, client-side plus a server snapshot."""
+
+    config: LoadConfig
+    offered: int = 0
+    answered: int = 0
+    ok: int = 0
+    by_code: Dict[str, int] = field(default_factory=dict)
+    #: ``ok: false`` responses carrying no recognisable ``code`` — the
+    #: structured-shedding contract says this must stay zero.
+    unstructured_errors: int = 0
+    latency: HistogramValue = field(default_factory=HistogramValue, repr=False)
+    wall_time_s: float = 0.0
+    #: ``op: stats`` snapshot fetched from the server after the run (the
+    #: server-side percentiles come from the obs histograms), or ``None``
+    #: when the server stopped answering — which the harness treats as a
+    #: failed "server stays up" check.
+    server_stats: Optional[Dict[str, object]] = None
+
+    @property
+    def unanswered(self) -> int:
+        """Requests that never received a response line (client hangs)."""
+        return self.offered - self.answered
+
+    @property
+    def shed(self) -> int:
+        """Responses rejected by admission control or deadline enforcement."""
+        return sum(self.by_code.get(code, 0) for code in SHED_CODES)
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered requests that were shed."""
+        return self.shed / self.offered if self.offered else 0.0
+
+    def percentiles(self) -> Dict[str, float]:
+        """Client-observed latency percentiles (p50/p90/p99)."""
+        return percentile_keys(self.latency, "latency_s")
+
+    def healthy(self) -> bool:
+        """The contract under overload: no hangs, every error structured."""
+        return self.unanswered == 0 and self.unstructured_errors == 0
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        pct = self.percentiles()
+        achieved = self.answered / self.wall_time_s if self.wall_time_s else 0.0
+        lines = [
+            f"offered  : {self.offered} requests ({self.config.describe()})",
+            f"answered : {self.answered} ({achieved:.1f} resp/s), "
+            f"unanswered {self.unanswered}",
+            f"ok       : {self.ok}, shed {self.shed} "
+            f"({100 * self.shed_rate:.1f}%), unstructured errors "
+            f"{self.unstructured_errors}",
+            f"by code  : {json.dumps(dict(sorted(self.by_code.items())))}",
+            "latency  : p50 {p50:.1f}ms  p90 {p90:.1f}ms  p99 {p99:.1f}ms".format(
+                p50=pct["latency_s_p50"] * 1e3,
+                p90=pct["latency_s_p90"] * 1e3,
+                p99=pct["latency_s_p99"] * 1e3,
+            ),
+        ]
+        if self.server_stats is not None:
+            lines.append(
+                "server   : requests_total {rt}, shed_total {st}, "
+                "wave_size_max {wm}, latency_s_p99 {p99}".format(
+                    rt=self.server_stats.get("requests_total"),
+                    st=self.server_stats.get("shed_total"),
+                    wm=self.server_stats.get("wave_size_max"),
+                    p99=self.server_stats.get("latency_s_p99"),
+                )
+            )
+        else:
+            lines.append("server   : stats unavailable (op: stats got no answer)")
+        return "\n".join(lines)
+
+    def bench_extra(self) -> Dict[str, object]:
+        """The load-specific fields recorded into ``BENCH_results.json``."""
+        out: Dict[str, object] = {
+            "offered_rate": self.config.rate,
+            "offered_requests": self.offered,
+            "answered": self.answered,
+            "unanswered": self.unanswered,
+            "ok": self.ok,
+            "shed": self.shed,
+            "shed_rate": self.shed_rate,
+            "by_code": dict(self.by_code),
+            "unstructured_errors": self.unstructured_errors,
+            "tenants": self.config.tenants,
+            "deadline_ms": self.config.deadline_ms,
+        }
+        out.update(percentile_keys(self.latency, "client_latency_s"))
+        if self.server_stats is not None:
+            for key in (
+                "latency_s_p50", "latency_s_p90", "latency_s_p99",
+                "queue_wait_s_p99", "requests_per_s", "shed_total",
+                "wave_size_max",
+            ):
+                if key in self.server_stats:
+                    out[f"server_{key}"] = self.server_stats[key]
+        return out
+
+
+def build_payload(config: LoadConfig, index: int) -> Dict[str, object]:
+    """The ``index``-th request of the mixed traffic cycle."""
+    from repro.models import get_benchmark
+
+    model_name = config.models[index % len(config.models)]
+    engine = config.engines[index % len(config.engines)]
+    bench = get_benchmark(model_name)
+    payload: Dict[str, object] = {
+        "id": f"lg-{index}",
+        "model": bench.model_source,
+        "guide": bench.guide_source,
+        "engine": engine,
+        "sites": [0],
+        "tenant": f"tenant-{index % max(1, config.tenants)}",
+        "params": {
+            "num_particles": int(config.particles),
+            "seed": int(config.seed) + index,
+            "obs_values": list(bench.obs_values),
+        },
+    }
+    if bench.guide_param_inits:
+        # The established idiom (conformance + compiled-backend harnesses):
+        # the guide's positional args are its param inits, in declaration
+        # order.
+        payload["params"]["guide_args"] = list(bench.guide_param_inits.values())
+    if bench.model_args:
+        payload["params"]["model_args"] = list(bench.model_args)
+    if config.deadline_ms is not None:
+        payload["deadline_ms"] = float(config.deadline_ms)
+    return payload
+
+
+async def run_load(config: LoadConfig) -> LoadReport:
+    """Drive one open-loop run against a live server and report on it."""
+    import numpy as np
+
+    rng = np.random.default_rng(config.seed)
+    report = LoadReport(config=config)
+    sent_at: Dict[str, float] = {}
+    answered: Dict[str, Dict[str, object]] = {}
+
+    # One connection per tenant: concurrent JSONL streams, answers matched
+    # by id within each stream.
+    conns: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+    for _ in range(max(1, config.tenants)):
+        reader, writer = await asyncio.open_connection(config.host, config.port)
+        conns.append((reader, writer))
+
+    async def read_loop(reader: asyncio.StreamReader) -> None:
+        while True:
+            line = await reader.readline()
+            if not line:
+                return
+            try:
+                response = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            rid = response.get("id")
+            now = time.monotonic()
+            if rid in sent_at and rid not in answered:
+                answered[rid] = response
+                report.latency.observe(now - sent_at[rid])
+
+    readers = [asyncio.create_task(read_loop(reader)) for reader, _ in conns]
+
+    started = time.monotonic()
+    horizon = started + config.duration_s
+    index = 0
+    next_arrival = started
+    while next_arrival < horizon:
+        delay = next_arrival - time.monotonic()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        payload = build_payload(config, index)
+        _, writer = conns[index % len(conns)]
+        sent_at[payload["id"]] = time.monotonic()
+        # Open-loop: write without awaiting drain, so a slow server never
+        # throttles the arrival process.
+        writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        index += 1
+        next_arrival += float(rng.exponential(1.0 / config.rate))
+    report.offered = index
+
+    drain_until = time.monotonic() + config.drain_timeout_s
+    while len(answered) < report.offered and time.monotonic() < drain_until:
+        await asyncio.sleep(0.05)
+    report.wall_time_s = time.monotonic() - started
+
+    for _, writer in conns:
+        writer.close()
+    for task in readers:
+        task.cancel()
+    await asyncio.gather(*readers, return_exceptions=True)
+
+    report.answered = len(answered)
+    for response in answered.values():
+        if response.get("ok"):
+            report.ok += 1
+            continue
+        code = response.get("code")
+        if isinstance(code, str) and code in KNOWN_CODES:
+            report.by_code[code] = report.by_code.get(code, 0) + 1
+        else:
+            report.unstructured_errors += 1
+
+    report.server_stats = await fetch_stats(config.host, config.port)
+    return report
+
+
+async def fetch_stats(host: str, port: int, timeout_s: float = 10.0) -> Optional[Dict[str, object]]:
+    """One ``op: stats`` round trip; ``None`` if the server is unreachable."""
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(b'{"op": "stats", "id": "loadgen-stats"}\n')
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout=timeout_s)
+        writer.close()
+        response = json.loads(line)
+        counters = response.get("counters")
+        return counters if isinstance(counters, dict) else None
+    except (OSError, ValueError, asyncio.TimeoutError):
+        return None
+
+
+def record_bench_entry(
+    report: LoadReport, path: Optional[str] = None, suite: str = "load"
+) -> str:
+    """Append one load entry to ``BENCH_results.json`` (schema 2).
+
+    Self-contained re-implementation of ``benchmarks/_record.py``'s format
+    (per-run entry lists under ``runs``, capped history) so the CLI works
+    from an installed package without the benchmarks directory on path.
+    """
+    resolved = path or os.environ.get("REPRO_BENCH_RESULTS", "BENCH_results.json")
+    max_runs = 8
+    data: Dict[str, object] = {}
+    try:
+        with open(resolved, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        data = {}
+    if not isinstance(data, dict) or data.get("schema") != 2:
+        data = {"schema": 2, "created_at": time.strftime("%Y-%m-%dT%H:%M:%S"), "runs": []}
+    runs = data.setdefault("runs", [])
+    entry: Dict[str, object] = {
+        "suite": suite,
+        "model": "+".join(report.config.models),
+        "engine": "+".join(report.config.engines),
+        "backend": "interp",
+        "particles": report.config.particles,
+        "wall_time_s": report.wall_time_s,
+        "speedup": None,
+        "baseline": None,
+    }
+    entry.update(report.bench_extra())
+    runs.append(
+        {
+            "run": f"loadgen-{os.getpid()}",
+            "started_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "entries": [entry],
+        }
+    )
+    del runs[:-max_runs]
+    with open(resolved, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return resolved
+
+
+def parse_csv(text: str) -> Tuple[str, ...]:
+    """Split a ``--engines is,smc``-style comma list into a tuple."""
+    items = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not items:
+        raise ValueError(f"empty list {text!r}")
+    return items
+
+
+def report_as_json(report: LoadReport) -> Dict[str, object]:
+    """The whole report as one JSON-serialisable dict (``--json`` output)."""
+    out: Dict[str, object] = {
+        "offered": report.offered,
+        "answered": report.answered,
+        "unanswered": report.unanswered,
+        "ok": report.ok,
+        "shed": report.shed,
+        "shed_rate": report.shed_rate,
+        "by_code": dict(report.by_code),
+        "unstructured_errors": report.unstructured_errors,
+        "wall_time_s": report.wall_time_s,
+        "healthy": report.healthy(),
+        "server_stats": report.server_stats,
+    }
+    out.update(report.percentiles())
+    return out

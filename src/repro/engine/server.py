@@ -12,6 +12,19 @@ scheduling, never values: every request's shard plan and RNG streams are
 derived exactly as they would be for a solo run, and each request merges only
 its own shards.
 
+The service is bounded and fair, not best-effort: admission control rejects
+work beyond ``max_queue`` immediately (error code ``overloaded``) instead of
+queueing unboundedly, per-request deadlines (``deadline_ms`` on the wire)
+shed expired requests *before* dispatch with ``deadline_exceeded`` — an
+expired request is never executed — per-tenant token buckets
+(``tenant_rate``/``tenant_burst``) cap each tenant's admitted rate
+(``quota_exceeded``), and the dispatcher collects each wave round-robin
+across per-tenant queues (capped at ``max_batch`` requests per wave) so one
+tenant's burst cannot starve another's.  Every rejection is a structured
+``ok: false`` response with a machine-readable ``code`` — clients never
+hang on a silently dropped request, including across :meth:`stop`, which
+resolves both queued and in-flight requests before returning.
+
 Results stream back as each request completes (futures resolve
 out-of-order), and the service keeps throughput/latency counters
 (:class:`ServerCounters`) that the benchmark harness exports into
@@ -19,7 +32,9 @@ out-of-order), and the service keeps throughput/latency counters
 
 :func:`serve_tcp` exposes the service over a newline-delimited-JSON TCP
 protocol (one request object per line, one response object per line, matched
-by ``id``), which is what the ``repro serve`` CLI subcommand runs.
+by ``id``), which is what the ``repro serve`` CLI subcommand runs; the
+``repro loadgen`` open-loop load generator (:mod:`repro.engine.loadgen`)
+drives it at a configured offered rate.
 """
 
 from __future__ import annotations
@@ -28,8 +43,9 @@ import asyncio
 import dataclasses
 import json
 import time
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.engine.api import EngineResult, InferenceRequest, available_engines, run_engine
 from repro.engine.session import ProgramSession
@@ -72,6 +88,28 @@ _SERVER_PARTICLES = REGISTRY.counter(
     "repro_server_particles_total",
     "Particles requested across all accepted requests.",
 )
+_SERVER_SHED = REGISTRY.counter(
+    "repro_server_shed_total",
+    "Requests shed by admission control or deadline enforcement, by reason "
+    "(overloaded: queue full; quota_exceeded: tenant bucket empty; "
+    "deadline_exceeded: expired before execution; shutting_down: resolved "
+    "by stop()).",
+    labels=("reason",),
+)
+_SERVER_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_server_queue_depth",
+    "Requests currently admitted and waiting for dispatch (all tenants).",
+)
+_SERVER_TENANT_REQUESTS = REGISTRY.counter(
+    "repro_server_tenant_requests_total",
+    "Requests reaching admission control, by tenant.",
+    labels=("tenant",),
+)
+_SERVER_WAVE_SIZE = REGISTRY.histogram(
+    "repro_server_wave_size",
+    "Requests collected into one dispatch wave (bounded by max_batch).",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+)
 
 #: Fields a request payload may set on :class:`InferenceRequest`.
 REQUEST_FIELDS = frozenset(f.name for f in dataclasses.fields(InferenceRequest))
@@ -92,8 +130,27 @@ PAYLOAD_KEYS = frozenset(
         "sites",
         "force",
         "params",
+        "deadline_ms",
+        "tenant",
     }
 )
+
+#: Machine-readable error codes carried by every ``ok: false`` response.
+CODE_INVALID_REQUEST = "invalid_request"
+CODE_OVERLOADED = "overloaded"
+CODE_QUOTA_EXCEEDED = "quota_exceeded"
+CODE_DEADLINE_EXCEEDED = "deadline_exceeded"
+CODE_SHUTTING_DOWN = "shutting_down"
+CODE_ENGINE_ERROR = "engine_error"
+
+#: Codes that mean "the server chose not to run this" (admission control or
+#: deadline enforcement) rather than "this request was wrong or blew up".
+SHED_CODES = frozenset(
+    {CODE_OVERLOADED, CODE_QUOTA_EXCEEDED, CODE_DEADLINE_EXCEEDED, CODE_SHUTTING_DOWN}
+)
+
+#: Tenant requests fall back to this bucket when the payload names none.
+DEFAULT_TENANT = "default"
 
 
 @dataclass
@@ -120,6 +177,15 @@ class ServerCounters:
     #: for the same session (i.e. rode a coalesced wave).
     coalesced_requests_total: int = 0
     particles_total: int = 0
+    #: Requests the server declined to run, keyed by shed reason
+    #: (``overloaded``, ``quota_exceeded``, ``deadline_exceeded``,
+    #: ``shutting_down``).  Sheds also count toward ``requests_total`` and
+    #: ``failures_total``.
+    shed_total: Dict[str, int] = field(default_factory=dict)
+    #: Dispatch waves collected so far, and the largest one — under a burst
+    #: the max pins the ``max_batch`` bound.
+    waves_total: int = 0
+    wave_size_max: int = 0
     queue_wait_s_total: float = 0.0
     run_s_total: float = 0.0
     latency_s_total: float = 0.0
@@ -136,6 +202,7 @@ class ServerCounters:
         particles: int,
         ok: bool,
         busy_s: Optional[float] = None,
+        latency_s: Optional[float] = None,
     ) -> None:
         """Fold one finished request into the counters.
 
@@ -143,7 +210,11 @@ class ServerCounters:
         ``busy_s``, when given, is its share of actual engine busy time —
         requests that rode one coalesced wave each perceive the whole wave
         but only account for a fraction of it, so throughput rates stay
-        honest.  Failures are tallied but kept out of the latency aggregates.
+        honest.  ``latency_s`` is the measured enqueue-to-response time; it
+        covers validation and response serialisation too, so it is always
+        ``>= queue_wait_s + run_s`` (which remains the fallback when no
+        measurement is passed).  Failures are tallied but kept out of the
+        latency aggregates.
         """
         self.requests_total += 1
         self.particles_total += int(particles)
@@ -152,7 +223,7 @@ class ServerCounters:
         if not ok:
             self.failures_total += 1
             return
-        latency = queue_wait_s + run_s
+        latency = (queue_wait_s + run_s) if latency_s is None else latency_s
         busy = run_s if busy_s is None else busy_s
         self.queue_wait_s_total += queue_wait_s
         self.run_s_total += busy
@@ -165,6 +236,14 @@ class ServerCounters:
         _REQUEST_QUEUE_WAIT.observe(queue_wait_s)
         _REQUEST_RUN.observe(busy)
 
+    def observe_shed(self, reason: str) -> None:
+        """Record one request the server declined to run (``reason`` code)."""
+        self.requests_total += 1
+        self.failures_total += 1
+        self.shed_total[reason] = self.shed_total.get(reason, 0) + 1
+        _REQUESTS.labels(status="shed").inc()
+        _SERVER_SHED.labels(reason=reason).inc()
+
     def observe_batch(self, group_size: int) -> None:
         """Record one executed dispatch group of ``group_size`` requests."""
         self.batches_total += 1
@@ -173,6 +252,12 @@ class ServerCounters:
         if group_size > 1:
             self.coalesced_requests_total += group_size
             _SERVER_COALESCED.inc(group_size)
+
+    def observe_wave(self, wave_size: int) -> None:
+        """Record one collected dispatch wave of ``wave_size`` requests."""
+        self.waves_total += 1
+        self.wave_size_max = max(self.wave_size_max, wave_size)
+        _SERVER_WAVE_SIZE.observe(wave_size)
 
     def snapshot(self) -> Dict[str, object]:
         """The counters plus derived rates and percentiles, as one JSON dict.
@@ -190,6 +275,10 @@ class ServerCounters:
             "batches_total": self.batches_total,
             "coalesced_requests_total": self.coalesced_requests_total,
             "particles_total": self.particles_total,
+            "shed_total": sum(self.shed_total.values()),
+            "shed_by_reason": dict(self.shed_total),
+            "waves_total": self.waves_total,
+            "wave_size_max": self.wave_size_max,
             "uptime_s": uptime,
             "requests_per_s": self.requests_total / uptime,
             "particles_per_s": self.particles_total / max(self.run_s_total, 1e-9),
@@ -204,7 +293,7 @@ class ServerCounters:
         return out
 
 
-@dataclass
+@dataclass(eq=False)  # identity semantics: instances live in the in-flight set
 class _Pending:
     """One accepted request waiting in (or moving through) the queue."""
 
@@ -214,9 +303,34 @@ class _Pending:
     request: InferenceRequest
     sites: List[int]
     future: "asyncio.Future[Dict[str, object]]"
+    tenant: str = DEFAULT_TENANT
+    #: Monotonic time after which the request must not execute (``None``:
+    #: no deadline).  Measured from arrival, before validation.
+    deadline_at: Optional[float] = None
     enqueued_at: float = field(default_factory=time.monotonic)
     dispatched_at: float = 0.0
     batch_size: int = 1
+
+
+class _TokenBucket:
+    """Per-tenant admission quota: ``rate`` tokens/s, capped at ``burst``."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated_at")
+
+    def __init__(self, rate: float, burst: float, now: float):
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst))
+        self.tokens = self.burst
+        self.updated_at = now
+
+    def try_take(self, now: float) -> bool:
+        """Refill by elapsed time, then spend one token if available."""
+        self.tokens = min(self.burst, self.tokens + (now - self.updated_at) * self.rate)
+        self.updated_at = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
 
 
 class InferenceService:
@@ -225,28 +339,57 @@ class InferenceService:
     ``workers`` sizes the shared shard pool (and is the default worker count
     for requests that do not pin their own); ``batch_window_s`` optionally
     holds each dispatch batch open a little longer so concurrent callers can
-    land in the same wave.  Use as::
+    land in the same wave.  ``max_queue`` bounds the number of admitted
+    requests waiting for dispatch (overflow is rejected with ``overloaded``),
+    ``max_batch`` bounds each dispatch wave, and ``tenant_rate`` /
+    ``tenant_burst`` enable a per-tenant token-bucket quota (``None``
+    disables quotas).  Use as::
 
-        service = InferenceService(workers=4)
+        service = InferenceService(workers=4, max_queue=256)
         await service.start()
         response = await service.submit({"model": ..., "guide": ..., ...})
         await service.stop()
     """
 
-    def __init__(self, workers: int = 1, batch_window_s: float = 0.0):
+    def __init__(
+        self,
+        workers: int = 1,
+        batch_window_s: float = 0.0,
+        max_queue: int = 256,
+        max_batch: int = 32,
+        tenant_rate: Optional[float] = None,
+        tenant_burst: Optional[float] = None,
+    ):
         self.workers = max(1, int(workers))
         self.batch_window_s = max(0.0, float(batch_window_s))
+        self.max_queue = max(1, int(max_queue))
+        self.max_batch = max(1, int(max_batch))
+        self.tenant_rate = None if tenant_rate is None else max(0.0, float(tenant_rate))
+        if tenant_burst is None:
+            tenant_burst = max(1.0, self.tenant_rate or 1.0)
+        self.tenant_burst = max(1.0, float(tenant_burst))
         self.counters = ServerCounters()
-        self._queue: "asyncio.Queue[_Pending]" = None
+        # Per-tenant FIFO queues, serviced round-robin by the dispatcher.
+        # All queue state is touched only on the event-loop thread, so no
+        # locking is needed.
+        self._queues: "OrderedDict[str, Deque[_Pending]]" = OrderedDict()
+        self._queued = 0
+        self._buckets: Dict[str, _TokenBucket] = {}
+        self._inflight: "set[_Pending]" = set()
+        self._wake: Optional[asyncio.Event] = None
         self._dispatcher: Optional[asyncio.Task] = None
+        self._stopping = False
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
-        """Create the queue, pre-warm the shard pool, start the dispatcher."""
+        """Create the queues, pre-warm the shard pool, start the dispatcher."""
         from repro.engine.shard import ensure_pool
 
-        self._queue = asyncio.Queue()
+        self._queues = OrderedDict()
+        self._queued = 0
+        self._wake = asyncio.Event()
+        self._stopping = False
         # Fork the pool before any executor threads exist: forking a
         # multi-threaded process can deadlock the children.
         if self.workers > 1:
@@ -254,7 +397,14 @@ class InferenceService:
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
 
     async def stop(self) -> None:
-        """Stop the dispatcher and fail any requests still queued."""
+        """Stop the dispatcher; resolve every queued and in-flight request.
+
+        No accepted request is abandoned: requests still queued (and any
+        wave the cancelled dispatcher had in hand) resolve with a structured
+        ``shutting_down`` response, and requests already executing are
+        awaited, so every caller gets exactly one response.
+        """
+        self._stopping = True
         if self._dispatcher is not None:
             self._dispatcher.cancel()
             try:
@@ -262,40 +412,111 @@ class InferenceService:
             except asyncio.CancelledError:
                 pass
             self._dispatcher = None
-        while self._queue is not None and not self._queue.empty():
-            pending = self._queue.get_nowait()
-            if not pending.future.done():
-                pending.future.set_exception(InferenceError("server shutting down"))
+        for queue in self._queues.values():
+            for pending in queue:
+                self.counters.observe_shed(CODE_SHUTTING_DOWN)
+                _resolve_future(
+                    pending.future,
+                    self._error_response(
+                        pending.payload,
+                        InferenceError("server shutting down"),
+                        code=CODE_SHUTTING_DOWN,
+                    ),
+                )
+        self._queues.clear()
+        self._queued = 0
+        _SERVER_QUEUE_DEPTH.set(0)
+        if self._inflight:
+            await asyncio.gather(
+                *(pending.future for pending in list(self._inflight)),
+                return_exceptions=True,
+            )
 
     # -- request intake ----------------------------------------------------
 
     async def submit(self, payload: Dict[str, object]) -> Dict[str, object]:
-        """Validate, enqueue, and await one inference request.
+        """Validate, admit, enqueue, and await one inference request.
 
         Returns the response dict (also carrying per-request server timings);
-        invalid payloads and engine failures come back as ``ok: false``
-        responses rather than raising, so one bad request never takes down a
-        connection handler.
+        invalid payloads, admission rejections, and engine failures come back
+        as ``ok: false`` responses with a structured ``code`` rather than
+        raising, so one bad request never takes down a connection handler.
+        Admission order: validation, tenant quota, deadline, queue bound.
         """
         started = time.monotonic()
         try:
-            pending = await self._prepare(payload)
+            pending = await self._prepare(payload, arrived_at=started)
         except (ReproError, ValueError, TypeError, KeyError) as exc:
             self.counters.observe(0.0, time.monotonic() - started, 0, ok=False)
-            return self._error_response(payload, exc)
+            return self._error_response(payload, exc, code=CODE_INVALID_REQUEST)
+        _SERVER_TENANT_REQUESTS.labels(tenant=pending.tenant).inc()
+        # The stopping check precedes the not-started check: a submit racing
+        # (or trailing) stop() gets a structured response, never an exception.
+        if self._stopping:
+            return self._shed(pending, CODE_SHUTTING_DOWN, "server shutting down")
         if self._dispatcher is None:
             raise InferenceError("service not started; call await service.start() first")
-        await self._queue.put(pending)
+        now = time.monotonic()
+        if self.tenant_rate is not None:
+            bucket = self._buckets.get(pending.tenant)
+            if bucket is None:
+                bucket = self._buckets[pending.tenant] = _TokenBucket(
+                    self.tenant_rate, self.tenant_burst, now
+                )
+            if not bucket.try_take(now):
+                return self._shed(
+                    pending,
+                    CODE_QUOTA_EXCEEDED,
+                    f"tenant {pending.tenant!r} exceeded its admitted rate "
+                    f"({self.tenant_rate:g}/s, burst {self.tenant_burst:g})",
+                )
+        if pending.deadline_at is not None and now > pending.deadline_at:
+            return self._shed(
+                pending, CODE_DEADLINE_EXCEEDED, "deadline expired before admission"
+            )
+        if self._queued >= self.max_queue:
+            return self._shed(
+                pending,
+                CODE_OVERLOADED,
+                f"server queue is full ({self.max_queue} requests); retry later",
+            )
+        queue = self._queues.get(pending.tenant)
+        if queue is None:
+            queue = self._queues[pending.tenant] = deque()
+        queue.append(pending)
+        self._queued += 1
+        _SERVER_QUEUE_DEPTH.set(self._queued)
+        self._wake.set()
         return await pending.future
 
-    async def _prepare(self, payload: Dict[str, object]) -> _Pending:
-        """Resolve the payload into a certified session plus a typed request."""
+    def _shed(self, pending: _Pending, code: str, detail: str) -> Dict[str, object]:
+        """Count and shape one admission-control rejection."""
+        self.counters.observe_shed(code)
+        return self._error_response(pending.payload, InferenceError(detail), code=code)
+
+    async def _prepare(self, payload: Dict[str, object], arrived_at: float) -> _Pending:
+        """Resolve the payload into a certified session plus a typed request.
+
+        ``arrived_at`` anchors both the deadline and the latency clock at
+        payload arrival, so validation time counts against them.
+        """
         unknown = sorted(set(payload) - PAYLOAD_KEYS)
         if unknown:
             raise InferenceError(f"unknown request keys {unknown}")
         for key in ("model", "guide"):
             if not isinstance(payload.get(key), str):
                 raise InferenceError(f"request needs {key!r} source text")
+        tenant = payload.get("tenant", DEFAULT_TENANT)
+        if not isinstance(tenant, str) or not tenant or len(tenant) > 64:
+            raise InferenceError("tenant must be a non-empty string of at most 64 characters")
+        deadline_ms = payload.get("deadline_ms")
+        deadline_at: Optional[float] = None
+        if deadline_ms is not None:
+            if isinstance(deadline_ms, bool) or not isinstance(deadline_ms, (int, float)):
+                raise InferenceError("deadline_ms must be a positive number of milliseconds")
+            if deadline_ms <= 0:
+                raise InferenceError("deadline_ms must be a positive number of milliseconds")
+            deadline_at = arrived_at + float(deadline_ms) / 1e3
         engine = payload.get("engine", "is")
         if engine not in available_engines():
             raise InferenceError(
@@ -335,34 +556,120 @@ class InferenceService:
             request=request,
             sites=sites,
             future=asyncio.get_running_loop().create_future(),
+            tenant=tenant,
+            deadline_at=deadline_at,
+            enqueued_at=arrived_at,
         )
 
     # -- dispatch ----------------------------------------------------------
 
     async def _dispatch_loop(self) -> None:
-        """Drain the queue in batches and execute them off the event loop."""
+        """Collect bounded waves from the tenant queues and execute them.
+
+        Each wave takes at most ``max_batch`` requests, round-robin across
+        tenants, so a burst is served in bounded waves (bounded fused-wave
+        memory) and no tenant's backlog can monopolise dispatch.  On
+        cancellation (``stop()``), any wave already in hand resolves with a
+        structured ``shutting_down`` response instead of being abandoned.
+        """
         loop = asyncio.get_running_loop()
         while True:
-            batch = [await self._queue.get()]
+            await self._wake.wait()
             if self.batch_window_s:
                 await asyncio.sleep(self.batch_window_s)
-            while not self._queue.empty():
-                batch.append(self._queue.get_nowait())
+            batch = self._collect_wave()
+            if not self._queued:
+                self._wake.clear()
+            if not batch:
+                continue
+            self.counters.observe_wave(len(batch))
             now = time.monotonic()
             for pending in batch:
                 pending.dispatched_at = now
-            for group in self._group(batch):
-                self.counters.observe_batch(len(group))
-                try:
-                    await loop.run_in_executor(None, self._run_group, group)
-                except Exception as exc:  # noqa: BLE001 - dispatcher must survive
-                    # _run_group already shields per-request work; anything
-                    # escaping it is unexpected, but one poisoned group must
-                    # never wedge the dispatcher (and with it the server).
-                    for pending in group:
+            self._inflight.update(batch)
+            try:
+                for group in self._group(batch):
+                    self.counters.observe_batch(len(group))
+                    try:
+                        await loop.run_in_executor(None, self._run_group, group)
+                    except asyncio.CancelledError:
+                        raise
+                    except Exception as exc:  # noqa: BLE001 - dispatcher must survive
+                        # _run_group already shields per-request work; anything
+                        # escaping it is unexpected, but one poisoned group must
+                        # never wedge the dispatcher (and with it the server).
+                        for pending in group:
+                            _resolve_future(
+                                pending.future,
+                                self._error_response(
+                                    pending.payload, exc, code=CODE_ENGINE_ERROR
+                                ),
+                            )
+            except asyncio.CancelledError:
+                # stop() raced a dispatch: the executor may or may not get to
+                # these futures, and _resolve_future is first-write-wins on
+                # the loop thread — either way each caller sees one response.
+                for pending in batch:
+                    if not pending.future.done():
+                        self.counters.observe_shed(CODE_SHUTTING_DOWN)
                         _resolve_future(
-                            pending.future, self._error_response(pending.payload, exc)
+                            pending.future,
+                            self._error_response(
+                                pending.payload,
+                                InferenceError("server shutting down"),
+                                code=CODE_SHUTTING_DOWN,
+                            ),
                         )
+                raise
+            finally:
+                self._inflight.difference_update(batch)
+
+    def _collect_wave(self) -> List[_Pending]:
+        """Take up to ``max_batch`` queued requests, one per tenant per round.
+
+        Round-robin across the per-tenant queues: as long as ``max_batch``
+        is at least the number of active tenants, every tenant with queued
+        work lands at least one request in every wave.  Requests whose
+        deadline has already passed are shed here — before dispatch — and
+        never execute.
+        """
+        now = time.monotonic()
+        batch: List[_Pending] = []
+        while self._queued and len(batch) < self.max_batch:
+            took_any = False
+            for tenant in list(self._queues.keys()):
+                if len(batch) >= self.max_batch:
+                    break
+                queue = self._queues.get(tenant)
+                if not queue:
+                    self._queues.pop(tenant, None)
+                    continue
+                taken: Optional[_Pending] = None
+                while queue:
+                    candidate = queue.popleft()
+                    self._queued -= 1
+                    if candidate.deadline_at is not None and now > candidate.deadline_at:
+                        self.counters.observe_shed(CODE_DEADLINE_EXCEEDED)
+                        _resolve_future(
+                            candidate.future,
+                            self._error_response(
+                                candidate.payload,
+                                InferenceError("deadline expired while queued"),
+                                code=CODE_DEADLINE_EXCEEDED,
+                            ),
+                        )
+                        continue
+                    taken = candidate
+                    break
+                if not queue:
+                    self._queues.pop(tenant, None)
+                if taken is not None:
+                    batch.append(taken)
+                    took_any = True
+            if not took_any:
+                break
+        _SERVER_QUEUE_DEPTH.set(self._queued)
+        return batch
 
     def _group(self, batch: List[_Pending]) -> List[List[_Pending]]:
         """Partition a batch into per-(session, engine, backend) groups."""
@@ -381,7 +688,28 @@ class InferenceService:
         Importance-sampling groups with sharded members run as one fused
         pool wave; everything else runs member by member.  Either way each
         member's future resolves as soon as its own result exists.
+
+        A member whose deadline passed between wave collection and this
+        thread getting scheduled is shed here — the last gate before engine
+        execution, so an expired request is never executed.
         """
+        live: List[_Pending] = []
+        now = time.monotonic()
+        for pending in group:
+            if pending.deadline_at is not None and now > pending.deadline_at:
+                self.counters.observe_shed(CODE_DEADLINE_EXCEEDED)
+                response = self._error_response(
+                    pending.payload,
+                    InferenceError("deadline expired before execution"),
+                    code=CODE_DEADLINE_EXCEEDED,
+                )
+                loop = pending.future.get_loop()
+                loop.call_soon_threadsafe(_resolve_future, pending.future, response)
+            else:
+                live.append(pending)
+        group = live
+        if not group:
+            return
         wave_outcomes: Dict[int, object] = {}
         wave_s = 0.0
         if len(group) > 1 and group[0].engine == "is":
@@ -420,14 +748,24 @@ class InferenceService:
                 particles = int(pending.request.num_particles)
             except (TypeError, ValueError):
                 particles = 0
-            self.counters.observe(queue_wait, run_s, particles, ok, busy_s=busy_s)
             if ok:
                 try:
                     response = self._result_response(pending, result, queue_wait, run_s)
                 except Exception as exc:  # noqa: BLE001 - reported per request
-                    response = self._error_response(pending.payload, exc)
+                    ok = False
+                    response = self._error_response(
+                        pending.payload, exc, code=CODE_ENGINE_ERROR
+                    )
             else:
-                response = self._error_response(pending.payload, error)
+                response = self._error_response(pending.payload, error, code=CODE_ENGINE_ERROR)
+            # Latency is measured arrival-to-response-built — it includes
+            # validation and serialisation, not just queue_wait + run_s.
+            latency_s = time.monotonic() - pending.enqueued_at
+            if ok:
+                response["server"]["latency_s"] = latency_s
+            self.counters.observe(
+                queue_wait, run_s, particles, ok, busy_s=busy_s, latency_s=latency_s
+            )
             loop = pending.future.get_loop()
             loop.call_soon_threadsafe(_resolve_future, pending.future, response)
 
@@ -525,10 +863,12 @@ class InferenceService:
         }
 
     @staticmethod
-    def _error_response(payload: Dict[str, object], exc: Exception) -> Dict[str, object]:
+    def _error_response(
+        payload: Dict[str, object], exc: Exception, code: str = CODE_ENGINE_ERROR
+    ) -> Dict[str, object]:
         """The ``ok: false`` wire response for one failed request."""
         return {"id": payload.get("id") if isinstance(payload, dict) else None,
-                "ok": False, "error": str(exc)}
+                "ok": False, "error": str(exc), "code": code}
 
 
 def _resolve_future(future: "asyncio.Future", response: Dict[str, object]) -> None:
@@ -575,11 +915,13 @@ async def _handle_connection(
         try:
             payload = json.loads(line)
         except json.JSONDecodeError as exc:
-            await respond({"id": None, "ok": False, "error": f"bad JSON: {exc}"})
+            await respond({"id": None, "ok": False, "error": f"bad JSON: {exc}",
+                           "code": CODE_INVALID_REQUEST})
             return
         op = payload.get("op", "infer") if isinstance(payload, dict) else "infer"
         if not isinstance(payload, dict):
-            await respond({"id": None, "ok": False, "error": "request must be a JSON object"})
+            await respond({"id": None, "ok": False, "error": "request must be a JSON object",
+                           "code": CODE_INVALID_REQUEST})
         elif op == "stats":
             await respond({"id": payload.get("id"), "ok": True,
                            "counters": service.counters.snapshot()})
@@ -590,7 +932,8 @@ async def _handle_connection(
             await respond(await service.submit(payload))
         else:
             await respond({"id": payload.get("id"), "ok": False,
-                           "error": f"unknown op {op!r} (known: infer, metrics, stats)"})
+                           "error": f"unknown op {op!r} (known: infer, metrics, stats)",
+                           "code": CODE_INVALID_REQUEST})
 
     cancelled = False
     try:
@@ -673,14 +1016,27 @@ async def run_server(
     port: int = 7341,
     workers: int = 1,
     batch_window_s: float = 0.002,
+    max_queue: int = 256,
+    max_batch: int = 32,
+    tenant_rate: Optional[float] = None,
+    tenant_burst: Optional[float] = None,
 ) -> None:
     """Run the batch-inference server until cancelled (CLI entry point)."""
-    service = InferenceService(workers=workers, batch_window_s=batch_window_s)
+    service = InferenceService(
+        workers=workers,
+        batch_window_s=batch_window_s,
+        max_queue=max_queue,
+        max_batch=max_batch,
+        tenant_rate=tenant_rate,
+        tenant_burst=tenant_burst,
+    )
     await service.start()
     server = await serve_tcp(service, host, port)
     bound = ", ".join(str(sock.getsockname()) for sock in server.sockets)
     print(f"repro inference server listening on {bound} "
-          f"({workers} worker(s), batch window {batch_window_s * 1e3:.1f}ms)")
+          f"({workers} worker(s), batch window {batch_window_s * 1e3:.1f}ms, "
+          f"max queue {service.max_queue}, max batch {service.max_batch}, "
+          f"tenant rate {service.tenant_rate if service.tenant_rate is not None else 'off'})")
     try:
         async with server:
             await server.serve_forever()

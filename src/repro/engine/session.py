@@ -11,7 +11,6 @@ channel configuration.
 from __future__ import annotations
 
 import time
-from collections import OrderedDict
 from typing import Optional, Tuple
 
 from repro.core.ast import Program
@@ -24,7 +23,18 @@ from repro.core.typecheck import (
 from repro.engine.api import EngineResult, InferenceRequest, run_engine
 from repro.errors import InferenceError
 from repro.obs import REGISTRY, span
+from repro.utils.lru import LruCache
 
+_CACHE_EVICTIONS = REGISTRY.counter(
+    "repro_cache_evictions_total",
+    "Entries evicted from a cross-request cache by capacity pressure.",
+    labels=("cache",),
+)
+_CACHE_SIZE = REGISTRY.gauge(
+    "repro_cache_size",
+    "Current entry count of a cross-request cache.",
+    labels=("cache",),
+)
 _SESSION_CACHE_EVENTS = REGISTRY.counter(
     "repro_session_cache_total",
     "Session LRU lookups by outcome (hit: prepared pair reused; miss: full "
@@ -204,7 +214,6 @@ class ProgramSession:
         )
         cached = _SESSION_CACHE.get(key)
         if cached is not None:
-            _SESSION_CACHE.move_to_end(key)
             _SESSION_CACHE_EVENTS.labels(event="hit").inc()
             return cached
         _SESSION_CACHE_EVENTS.labels(event="miss").inc()
@@ -220,16 +229,28 @@ class ProgramSession:
                 typecheck=typecheck,
             )
         _SESSION_PREPARE_SECONDS.observe(time.perf_counter() - started)
-        _SESSION_CACHE[key] = session
-        while len(_SESSION_CACHE) > _SESSION_CACHE_SIZE:
-            _SESSION_CACHE.popitem(last=False)
+        _SESSION_CACHE.put(key, session)
+        _CACHE_SIZE.labels(cache="session").set(len(_SESSION_CACHE))
         return session
 
 
-_SESSION_CACHE: "OrderedDict[Tuple, ProgramSession]" = OrderedDict()
-_SESSION_CACHE_SIZE = 64
+_SESSION_CACHE: "LruCache[Tuple, ProgramSession]" = LruCache(
+    64, on_evict=lambda _key, _value: _CACHE_EVICTIONS.labels(cache="session").inc()
+)
+
+
+def set_session_cache_capacity(capacity: int) -> None:
+    """Re-cap the session LRU (``repro serve --session-cache``)."""
+    _SESSION_CACHE.set_capacity(capacity)
+    _CACHE_SIZE.labels(cache="session").set(len(_SESSION_CACHE))
+
+
+def session_cache_len() -> int:
+    """Current number of cached prepared sessions."""
+    return len(_SESSION_CACHE)
 
 
 def clear_session_cache() -> None:
     """Drop all cached sessions (used by tests and long-running servers)."""
     _SESSION_CACHE.clear()
+    _CACHE_SIZE.labels(cache="session").set(0)

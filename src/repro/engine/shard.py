@@ -82,6 +82,14 @@ _SHARD_PARTICLES = REGISTRY.histogram(
     "Particles per shard task.",
     buckets=DEFAULT_COUNT_BUCKETS,
 )
+_POOL_EVENTS = REGISTRY.counter(
+    "repro_pool_rebuilds_total",
+    "Worker-pool lifecycle events: broken (an infrastructure failure tore "
+    "the pool down), rebuilt (a later wave recreated it), recovered (a "
+    "rebuilt pool completed a wave, resetting the failure budget), gave_up "
+    "(the failure cap was hit; execution stays inline until shutdown_pool).",
+    labels=("event",),
+)
 
 #: Arrays smaller than this (total bytes per shard result) are returned
 #: through the pickle pipe; shared memory only pays for itself beyond it.
@@ -443,7 +451,12 @@ def _run_shard_task_packed(task: ShardTask) -> Tuple[str, object, object]:
 
 _POOL = None
 _POOL_SIZE = 0
-_POOL_BROKEN = False
+#: Consecutive infrastructure failures (killed worker, closed pipe, failed
+#: fork) since the last healthy wave.  A successful pool wave resets it; at
+#: ``POOL_MAX_FAILURES`` the pool stops being rebuilt and execution stays
+#: inline until :func:`shutdown_pool` explicitly resets the budget.
+_POOL_FAILURES = 0
+POOL_MAX_FAILURES = 3
 
 
 def _make_pool(workers: int):
@@ -458,30 +471,45 @@ def _make_pool(workers: int):
 
 
 def ensure_pool(workers: int):
-    """Return the persistent worker pool, growing it if needed.
+    """Return the persistent worker pool, growing or rebuilding it if needed.
 
-    Returns ``None`` (inline execution) when ``workers <= 1``, when pool
-    creation has failed before, or when the platform cannot fork.  The pool
+    Returns ``None`` (inline execution) when ``workers <= 1``, when the
+    platform cannot fork, or when ``POOL_MAX_FAILURES`` infrastructure
+    failures have happened without a healthy wave in between.  Below that
+    cap a broken pool is rebuilt on the next call — a single killed worker
+    costs one inline wave, not the rest of the server's lifetime.  The pool
     is a process-wide singleton: long-running servers reuse warm workers
     across requests, which is what keeps per-request latency flat.
     """
-    global _POOL, _POOL_SIZE, _POOL_BROKEN
-    if workers <= 1 or _POOL_BROKEN:
+    global _POOL, _POOL_SIZE, _POOL_FAILURES
+    if workers <= 1 or _POOL_FAILURES >= POOL_MAX_FAILURES:
         return None
     if _POOL is not None and _POOL_SIZE >= workers:
         return _POOL
     if _POOL is not None:
         _shutdown(_POOL)
         _POOL = None
+    rebuilding = _POOL_FAILURES > 0
     try:
         _POOL = _make_pool(workers)
     except Exception:
         _POOL = None
     if _POOL is None:
-        _POOL_BROKEN = True
+        _note_pool_failure()
         return None
+    if rebuilding:
+        _POOL_EVENTS.labels(event="rebuilt").inc()
     _POOL_SIZE = workers
     return _POOL
+
+
+def _note_pool_failure() -> None:
+    """Count one infrastructure failure, giving up at the retry cap."""
+    global _POOL_FAILURES
+    _POOL_FAILURES += 1
+    _POOL_EVENTS.labels(event="broken").inc()
+    if _POOL_FAILURES >= POOL_MAX_FAILURES:
+        _POOL_EVENTS.labels(event="gave_up").inc()
 
 
 def pool_available(workers: int = 2) -> bool:
@@ -498,13 +526,17 @@ def _shutdown(pool) -> None:
 
 
 def shutdown_pool() -> None:
-    """Tear down the persistent pool (tests, server shutdown, interpreter exit)."""
-    global _POOL, _POOL_SIZE, _POOL_BROKEN
+    """Tear down the persistent pool (tests, server shutdown, interpreter exit).
+
+    Also resets the infrastructure-failure budget: an explicit teardown is
+    the operator's way of saying "try forking again".
+    """
+    global _POOL, _POOL_SIZE, _POOL_FAILURES
     if _POOL is not None:
         _shutdown(_POOL)
     _POOL = None
     _POOL_SIZE = 0
-    _POOL_BROKEN = False
+    _POOL_FAILURES = 0
 
 
 atexit.register(shutdown_pool)
@@ -520,16 +552,27 @@ def execute_tasks(tasks: Sequence[ShardTask], workers: int) -> List[ShardResult]
     shared-memory block has been reclaimed and leave the pool healthy; only
     infrastructure failures (killed worker, closed pipe) tear the pool down,
     and that wave re-runs inline — a sharded run degrades, it does not fail.
+    The next wave rebuilds the pool (capped at ``POOL_MAX_FAILURES``
+    consecutive failures; a completed pool wave resets the budget).
     """
+    global _POOL, _POOL_SIZE, _POOL_FAILURES
     pool = ensure_pool(workers) if len(tasks) > 1 else None
     if pool is not None:
         try:
             encoded_results = pool.map(_run_shard_task_packed, tasks)
         except Exception:
-            global _POOL_BROKEN
-            shutdown_pool()
-            _POOL_BROKEN = True
+            # Tear down the broken pool but keep the failure budget: a later
+            # ensure_pool call rebuilds it (shutdown_pool would forgive).
+            if _POOL is not None:
+                _shutdown(_POOL)
+            _POOL = None
+            _POOL_SIZE = 0
+            _note_pool_failure()
             encoded_results = None
+        else:
+            if _POOL_FAILURES:
+                _POOL_FAILURES = 0
+                _POOL_EVENTS.labels(event="recovered").inc()
         if encoded_results is not None:
             # Unpack (and thereby unlink) every shard's block before
             # re-raising any task error, so a failing shard never leaks the

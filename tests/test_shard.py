@@ -144,3 +144,66 @@ def test_task_error_in_pool_does_not_poison_it():
     assert pool_available(2), "pool must survive a task-level error"
     results = execute_tasks([good, _weight_task(count=16, seed_entropy=3)], workers=2)
     assert len(results) == 2
+
+
+def _broken_map(*_args, **_kwargs):
+    raise OSError("simulated worker crash: pipe closed")
+
+
+def test_infrastructure_failure_degrades_inline_then_rebuilds():
+    """An infrastructure failure (dead worker, closed pipe) tears the pool
+    down and serves that wave inline; the *next* wave rebuilds the pool and
+    a completed pool wave resets the failure budget (review regression: the
+    old ``_POOL_BROKEN`` latch disabled the pool for the process lifetime
+    after a single transient failure)."""
+    from repro.engine import shard
+
+    if not pool_available(2):
+        pytest.skip("no multiprocessing pool in this environment")
+    shard.shutdown_pool()
+    tasks = [_weight_task(count=16, seed_entropy=k) for k in (1, 2)]
+    try:
+        pool = shard.ensure_pool(2)
+        pool.map = _broken_map  # next wave hits "infrastructure failure"
+        inline = execute_tasks(tasks, workers=2)
+        assert len(inline) == 2, "the failed wave must still serve inline"
+        assert shard._POOL_FAILURES == 1
+        assert shard._POOL is None, "broken pool must be torn down"
+        # The next wave rebuilds a healthy pool and forgives the failure.
+        rebuilt = execute_tasks(tasks, workers=2)
+        assert len(rebuilt) == 2
+        assert shard._POOL_FAILURES == 0, "a completed pool wave resets the budget"
+        assert shard._POOL is not None
+        for a, b in zip(inline, rebuilt):
+            for leaf_a, leaf_b in zip(a.leaves, b.leaves):
+                np.testing.assert_array_equal(
+                    leaf_a.model_log_weights, leaf_b.model_log_weights
+                )
+    finally:
+        shard.shutdown_pool()
+
+
+def test_pool_rebuilds_are_capped_then_forgiven_by_shutdown():
+    """After ``POOL_MAX_FAILURES`` consecutive infrastructure failures the
+    pool stops being rebuilt (execution stays inline); an explicit
+    ``shutdown_pool`` resets the budget."""
+    from repro.engine import shard
+
+    if not pool_available(2):
+        pytest.skip("no multiprocessing pool in this environment")
+    shard.shutdown_pool()
+    tasks = [_weight_task(count=16, seed_entropy=k) for k in (1, 2)]
+    try:
+        for i in range(shard.POOL_MAX_FAILURES):
+            pool = shard.ensure_pool(2)
+            assert pool is not None, f"rebuild {i} should still be allowed"
+            pool.map = _broken_map
+            assert len(execute_tasks(tasks, workers=2)) == 2
+        assert shard._POOL_FAILURES == shard.POOL_MAX_FAILURES
+        assert shard.ensure_pool(2) is None, "budget exhausted: no more rebuilds"
+        # Inline execution still serves traffic with the pool given up.
+        assert len(execute_tasks(tasks, workers=2)) == 2
+        shard.shutdown_pool()
+        assert shard.ensure_pool(2) is not None, "shutdown_pool forgives the budget"
+    finally:
+        shard.shutdown_pool()
