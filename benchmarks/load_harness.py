@@ -24,7 +24,13 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.engine.loadgen import LoadConfig, LoadReport, build_payload, run_load
+from repro.engine.loadgen import (
+    LoadConfig,
+    LoadReport,
+    build_payload,
+    run_load,
+    run_session_verify,
+)
 from repro.engine.server import InferenceService, serve_tcp
 
 
@@ -118,5 +124,76 @@ def run_overload_harness(
             server.close()
             await server.wait_closed()
             await service.stop()
+
+    return asyncio.run(go())
+
+
+@dataclass
+class StreamingOutcome:
+    """One streaming run plus the restart-recovery verdict."""
+
+    report: LoadReport
+    #: ``run_session_verify`` result from a *fresh* service pointed at the
+    #: same checkpoint directory: ``{"checked", "recovered", "failed"}``.
+    verify: Dict[str, object]
+    session_stats: Dict[str, object]
+
+
+def run_streaming_harness(
+    checkpoint_dir: str,
+    duration_s: float = 3.0,
+    rate: float = 30.0,
+    particles: int = 500,
+    sessions: int = 3,
+    pushes: int = 4,
+) -> StreamingOutcome:
+    """Streaming load against a real server, then prove restart recovery.
+
+    Phase one starts a service with ``checkpoint_dir``, drives open-loop
+    ``session.open/push/query`` cycles over the growable ``stream_rw``
+    family, and stops the service (which checkpoints every live session).
+    Phase two starts a *brand-new* service on the same directory and
+    re-queries every session the load run opened — each must restore from
+    its checkpoint (exact replay from seed + journal) and answer ``ok``.
+    """
+
+    async def go() -> StreamingOutcome:
+        service = InferenceService(workers=1, checkpoint_dir=checkpoint_dir)
+        await service.start()
+        server = await serve_tcp(service, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            config = LoadConfig(
+                port=port,
+                rate=rate,
+                duration_s=duration_s,
+                deadline_ms=None,
+                tenants=2,
+                particles=particles,
+                models=("stream_rw",),
+                streaming=True,
+                sessions=sessions,
+                pushes=pushes,
+            )
+            report = await run_load(config)
+            session_stats = service.sessions.stats()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.stop()
+
+        # Phase two: a fresh service, same checkpoint directory — every
+        # recorded session must come back via restore-on-miss.
+        service2 = InferenceService(workers=1, checkpoint_dir=checkpoint_dir)
+        await service2.start()
+        server2 = await serve_tcp(service2, "127.0.0.1", 0)
+        port2 = server2.sockets[0].getsockname()[1]
+        try:
+            verify = await run_session_verify("127.0.0.1", port2, report.sessions)
+        finally:
+            server2.close()
+            await server2.wait_closed()
+            await service2.stop()
+        return StreamingOutcome(report=report, verify=verify, session_stats=session_stats)
 
     return asyncio.run(go())

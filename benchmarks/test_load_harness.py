@@ -14,7 +14,7 @@ from __future__ import annotations
 import os
 
 import _record
-from load_harness import run_overload_harness
+from load_harness import run_overload_harness, run_streaming_harness
 from repro.engine.shard import shutdown_pool
 
 FAST = bool(os.environ.get("REPRO_FAST_BENCH"))
@@ -63,6 +63,46 @@ def test_overload_sheds_structurally_and_stays_up():
         backend="interp",
         particles=report.config.particles,
         wall_time_s=report.wall_time_s,
+        **{k: v for k, v in report.bench_extra().items()},
+    )
+    shutdown_pool()
+
+
+def test_streaming_load_and_restart_recovery(tmp_path):
+    outcome = run_streaming_harness(
+        checkpoint_dir=str(tmp_path / "ckpt"),
+        duration_s=1.5 if FAST else 3.0,
+        rate=20.0,
+        particles=200 if FAST else 500,
+    )
+    report = outcome.report
+
+    # The usual hardening contract holds for session traffic too.
+    assert report.unanswered == 0, f"{report.unanswered} requests never answered"
+    assert report.unstructured_errors == 0, "ok:false responses without a code"
+    assert report.ok > 0
+    assert len(report.sessions) > 0, "streaming mode opened no sessions"
+    # Every session the run opened answers a query on a fresh service
+    # restored purely from the checkpoint directory.
+    assert outcome.verify["checked"] == len(report.sessions)
+    assert outcome.verify["recovered"] == outcome.verify["checked"], (
+        f"sessions lost across restart: {outcome.verify['failed']}"
+    )
+
+    print(
+        f"\nstreaming: {report.offered} ops over {len(report.sessions)} sessions, "
+        f"ok {report.ok}, recovered {outcome.verify['recovered']}"
+        f"/{outcome.verify['checked']} after restart"
+    )
+    _record.record(
+        suite="load",
+        model="stream_rw",
+        engine="smc",
+        backend="interp",
+        particles=report.config.particles,
+        wall_time_s=report.wall_time_s,
+        sessions_recovered=outcome.verify["recovered"],
+        sessions_checked=outcome.verify["checked"],
         **{k: v for k, v in report.bench_extra().items()},
     )
     shutdown_pool()

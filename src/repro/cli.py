@@ -348,6 +348,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 max_batch=args.max_batch,
                 tenant_rate=args.tenant_rate,
                 tenant_burst=args.tenant_burst,
+                session_ttl_s=args.session_ttl,
+                max_sessions=args.max_sessions,
+                sessions_per_tenant=args.sessions_per_tenant,
+                checkpoint_dir=args.checkpoint_dir,
             )
         )
     except KeyboardInterrupt:
@@ -366,7 +370,31 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         record_bench_entry,
         report_as_json,
         run_load,
+        run_session_verify,
     )
+
+    if args.verify_sessions:
+        try:
+            recorded = json_mod.loads(Path(args.verify_sessions).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"loadgen: cannot read {args.verify_sessions}: {exc}", file=sys.stderr)
+            return 2
+        sessions = recorded.get("sessions") or []
+        if not sessions:
+            print(f"loadgen: no sessions recorded in {args.verify_sessions}", file=sys.stderr)
+            return 2
+        try:
+            verdict = asyncio.run(run_session_verify(args.host, args.port, sessions))
+        except ConnectionRefusedError:
+            print(f"loadgen: no server listening on {args.host}:{args.port}", file=sys.stderr)
+            return 2
+        print(
+            f"sessions : {verdict['recovered']}/{verdict['checked']} recovered "
+            f"after restart"
+        )
+        for failure in verdict["failed"]:
+            print(f"  failed : {json_mod.dumps(failure)}", file=sys.stderr)
+        return 0 if verdict["recovered"] == verdict["checked"] else 1
 
     config = LoadConfig(
         host=args.host,
@@ -380,6 +408,10 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         models=parse_csv(args.models),
         seed=args.seed,
         drain_timeout_s=args.drain_timeout,
+        streaming=args.streaming,
+        sessions=args.sessions,
+        pushes=args.pushes,
+        inject_kill_after_s=args.inject_worker_kill_after,
     )
     try:
         report = asyncio.run(run_load(config))
@@ -590,6 +622,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fused-kernel LRU capacity (default 64)")
     p_serve.add_argument("--session-cache", type=int, default=None,
                          help="prepared-session LRU capacity (default 64)")
+    p_serve.add_argument("--session-ttl", type=float, default=600.0,
+                         help="idle seconds before a streaming session expires "
+                              "(answers 'session_expired'; 0 disables the TTL)")
+    p_serve.add_argument("--max-sessions", type=int, default=256,
+                         help="live streaming sessions process-wide; past the cap "
+                              "the least-recently-used session is evicted "
+                              "(checkpointed first when --checkpoint-dir is set)")
+    p_serve.add_argument("--sessions-per-tenant", type=int, default=32,
+                         help="live streaming sessions one tenant may hold "
+                              "(opens beyond it fail with 'session_limit')")
+    p_serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                         help="directory for streaming-session checkpoints; "
+                              "sessions then survive eviction and server "
+                              "restarts (exact replay from seed + journal)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_load = sub.add_parser(
@@ -620,6 +666,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write the report as JSON to PATH")
     p_load.add_argument("--record", default=None, metavar="PATH",
                         help="append a 'load' entry to BENCH_results.json at PATH")
+    p_load.add_argument("--streaming", action="store_true",
+                        help="drive session.open/push/query cycles instead of "
+                             "one-shot infer requests (use --models stream_rw "
+                             "for the growable streaming family)")
+    p_load.add_argument("--sessions", type=int, default=4,
+                        help="concurrent streaming sessions cycled through")
+    p_load.add_argument("--pushes", type=int, default=None,
+                        help="observations pushed per session before its query "
+                             "(default: the model's own observation count)")
+    p_load.add_argument("--inject-worker-kill-after", type=float, default=None,
+                        metavar="SECONDS",
+                        help="failure injection: SIGKILL one shard-pool worker "
+                             "this many seconds into the run (loadgen and "
+                             "server must share a host)")
+    p_load.add_argument("--verify-sessions", default=None, metavar="PATH",
+                        help="instead of generating load, re-query the "
+                             "sessions recorded in a previous --json report "
+                             "and exit non-zero unless all recovered")
     p_load.set_defaults(func=cmd_loadgen)
 
     p_fuzz = sub.add_parser(

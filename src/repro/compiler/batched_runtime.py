@@ -67,7 +67,7 @@ from repro.engine.vectorize import (
     _broadcast_values,
     _Leaf,
 )
-from repro.errors import ChannelProtocolError, EvaluationError, TraceTypeMismatch
+from repro.errors import ChannelProtocolError, EvaluationError, TraceExhausted, TraceTypeMismatch
 
 __all__ = [
     "as_bool",
@@ -553,7 +553,7 @@ def fold_msg() -> VecMessage:
 
 def obs_value(obs: Sequence[tr.Message], position: int, what: str) -> object:
     if position >= len(obs):
-        raise TraceTypeMismatch(
+        raise TraceExhausted(
             f"{what}: expected a Message message but the trace is exhausted"
         )
     message = obs[position]
@@ -566,7 +566,7 @@ def obs_value(obs: Sequence[tr.Message], position: int, what: str) -> object:
 
 def obs_fold(obs: Sequence[tr.Message], position: int, what: str) -> None:
     if position >= len(obs):
-        raise TraceTypeMismatch(
+        raise TraceExhausted(
             f"{what}: expected a Fold message but the trace is exhausted"
         )
     message = obs[position]

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core import types as ty
-from repro.errors import TraceTypeMismatch
+from repro.errors import TraceExhausted, TraceTypeMismatch
 
 
 @dataclass(frozen=True)
@@ -140,7 +140,7 @@ class TraceCursor:
         """Consume the next message, requiring it to be of class ``expected``."""
         message = self.peek()
         if message is None:
-            raise TraceTypeMismatch(
+            raise TraceExhausted(
                 f"{what}: expected a {expected.__name__} message but the trace is exhausted"
             )
         if not isinstance(message, expected):

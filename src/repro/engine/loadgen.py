@@ -21,6 +21,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import signal
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -32,7 +33,13 @@ from repro.obs import HistogramValue, percentile_keys
 SHED_CODES = ("overloaded", "quota_exceeded", "deadline_exceeded", "shutting_down")
 
 #: Every structured code a server response may carry.
-KNOWN_CODES = SHED_CODES + ("invalid_request", "engine_error")
+KNOWN_CODES = SHED_CODES + (
+    "invalid_request",
+    "engine_error",
+    "session_not_found",
+    "session_expired",
+    "session_limit",
+)
 
 
 @dataclass
@@ -57,12 +64,25 @@ class LoadConfig:
     seed: int = 0
     #: How long to wait for straggler responses after the last arrival.
     drain_timeout_s: float = 30.0
+    #: Streaming traffic mode: arrivals drive ``session.*`` verbs (open /
+    #: push / query cycles across ``sessions`` concurrent sessions) instead
+    #: of one-shot ``infer`` requests.
+    streaming: bool = False
+    #: Concurrent streaming sessions cycled through (streaming mode only).
+    sessions: int = 4
+    #: Observations pushed per session before it is queried and replaced
+    #: (``None``: the model's own observation count).
+    pushes: Optional[int] = None
+    #: Structured failure injection: SIGKILL one shard-pool worker this many
+    #: seconds into the run (requires loadgen and server on one host).
+    inject_kill_after_s: Optional[float] = None
 
     def describe(self) -> str:
         """One-line human summary of the offered load."""
+        mode = f"streaming x{self.sessions} sessions, " if self.streaming else ""
         return (
             f"{self.rate:g} req/s x {self.duration_s:g}s "
-            f"({'+'.join(self.models)} / {'+'.join(self.engines)}, "
+            f"({mode}{'+'.join(self.models)} / {'+'.join(self.engines)}, "
             f"{self.particles} particles, {self.tenants} tenant(s), "
             f"deadline {self.deadline_ms if self.deadline_ms is not None else 'off'}ms)"
         )
@@ -87,6 +107,11 @@ class LoadReport:
     #: when the server stopped answering — which the harness treats as a
     #: failed "server stays up" check.
     server_stats: Optional[Dict[str, object]] = None
+    #: Sessions opened by streaming mode (capped), recorded so a later
+    #: ``--verify-sessions`` pass can prove they survive a server restart.
+    sessions: List[Dict[str, object]] = field(default_factory=list, repr=False)
+    #: PID of the shard-pool worker SIGKILLed by failure injection, if any.
+    injected_kill_pid: Optional[int] = None
 
     @property
     def unanswered(self) -> int:
@@ -129,6 +154,13 @@ class LoadReport:
                 p99=pct["latency_s_p99"] * 1e3,
             ),
         ]
+        if self.config.streaming:
+            kill = (
+                f", injected worker kill pid {self.injected_kill_pid}"
+                if self.injected_kill_pid is not None
+                else ""
+            )
+            lines.append(f"sessions : {len(self.sessions)} opened{kill}")
         if self.server_stats is not None:
             lines.append(
                 "server   : requests_total {rt}, shed_total {st}, "
@@ -158,6 +190,10 @@ class LoadReport:
             "tenants": self.config.tenants,
             "deadline_ms": self.config.deadline_ms,
         }
+        if self.config.streaming:
+            out["streaming"] = True
+            out["sessions_opened"] = len(self.sessions)
+            out["injected_kill_pid"] = self.injected_kill_pid
         out.update(percentile_keys(self.latency, "client_latency_s"))
         if self.server_stats is not None:
             for key in (
@@ -202,6 +238,69 @@ def build_payload(config: LoadConfig, index: int) -> Dict[str, object]:
     return payload
 
 
+def build_streaming_payload(
+    config: LoadConfig,
+    index: int,
+    slots: List[Dict[str, int]],
+    sessions_log: List[Dict[str, object]],
+) -> Dict[str, object]:
+    """The ``index``-th streaming arrival: advance one slot's open/push/query cycle.
+
+    Each of ``config.sessions`` slots cycles through ``session.open``, one
+    ``session.push`` per arrival, and a closing ``session.query`` before
+    starting a fresh cycle.  Session ids are client-chosen
+    (``lg{seed}-{slot}-{cycle}``) so the open-loop arrival process never has
+    to wait for the open's response before pushing — the server executes
+    same-session ops in arrival order.  Sessions are deliberately never
+    closed: a later ``--verify-sessions`` pass re-queries the recorded ids to
+    prove they survived a restart via checkpoints.
+    """
+    from repro.models import STREAMING_FAMILIES, get_benchmark
+
+    slot = index % max(1, config.sessions)
+    state = slots[slot]
+    model_name = config.models[slot % len(config.models)]
+    bench = get_benchmark(model_name)
+    pushes = int(config.pushes) if config.pushes else max(1, len(bench.obs_values))
+    tenant = f"tenant-{slot % max(1, config.tenants)}"
+    session_id = f"lg{config.seed}-{slot}-{state['cycle']}"
+    step = state["step"]
+
+    payload: Dict[str, object] = {
+        "id": f"lg-{index}",
+        "tenant": tenant,
+        "session_id": session_id,
+    }
+    if step == 0:
+        payload["op"] = "session.open"
+        payload["benchmark"] = model_name
+        if model_name in STREAMING_FAMILIES:
+            payload["grow"] = True
+        payload["params"] = {
+            "num_particles": int(config.particles),
+            "seed": int(config.seed) + index,
+        }
+        if len(sessions_log) < 256:
+            sessions_log.append(
+                {"session_id": session_id, "tenant": tenant, "model": model_name}
+            )
+        state["step"] = 1
+    elif step <= pushes:
+        payload["op"] = "session.push"
+        payload["values"] = [
+            float(bench.obs_values[(step - 1) % len(bench.obs_values)])
+        ]
+        state["step"] = step + 1
+    else:
+        payload["op"] = "session.query"
+        payload["sites"] = [0]
+        state["step"] = 0
+        state["cycle"] += 1
+    if config.deadline_ms is not None:
+        payload["deadline_ms"] = float(config.deadline_ms)
+    return payload
+
+
 async def run_load(config: LoadConfig) -> LoadReport:
     """Drive one open-loop run against a live server and report on it."""
     import numpy as np
@@ -235,6 +334,31 @@ async def run_load(config: LoadConfig) -> LoadReport:
 
     readers = [asyncio.create_task(read_loop(reader)) for reader, _ in conns]
 
+    async def inject_kill() -> None:
+        # Structured failure injection: SIGKILL one shard-pool worker
+        # mid-run.  The pool rebuilds (bounded by its failure budget) and
+        # sessions recover from checkpoints — the report's outcome counts
+        # plus a --verify-sessions pass prove it.
+        await asyncio.sleep(float(config.inject_kill_after_s or 0.0))
+        stats = await fetch_stats_raw(config.host, config.port)
+        pool = (stats or {}).get("pool")
+        pids = pool.get("worker_pids") if isinstance(pool, dict) else None
+        if pids:
+            try:
+                os.kill(int(pids[0]), signal.SIGKILL)
+                report.injected_kill_pid = int(pids[0])
+            except (OSError, ValueError):
+                pass
+
+    kill_task = (
+        asyncio.create_task(inject_kill())
+        if config.inject_kill_after_s is not None
+        else None
+    )
+
+    slots: List[Dict[str, int]] = [
+        {"cycle": 0, "step": 0} for _ in range(max(1, config.sessions))
+    ]
     started = time.monotonic()
     horizon = started + config.duration_s
     index = 0
@@ -243,8 +367,15 @@ async def run_load(config: LoadConfig) -> LoadReport:
         delay = next_arrival - time.monotonic()
         if delay > 0:
             await asyncio.sleep(delay)
-        payload = build_payload(config, index)
-        _, writer = conns[index % len(conns)]
+        if config.streaming:
+            # Same-session ops must share a connection so they reach the
+            # server in arrival order; slot -> tenant -> connection is fixed.
+            slot = index % max(1, config.sessions)
+            payload = build_streaming_payload(config, index, slots, report.sessions)
+            _, writer = conns[slot % len(conns)]
+        else:
+            payload = build_payload(config, index)
+            _, writer = conns[index % len(conns)]
         sent_at[payload["id"]] = time.monotonic()
         # Open-loop: write without awaiting drain, so a slow server never
         # throttles the arrival process.
@@ -260,6 +391,9 @@ async def run_load(config: LoadConfig) -> LoadReport:
 
     for _, writer in conns:
         writer.close()
+    if kill_task is not None:
+        kill_task.cancel()
+        await asyncio.gather(kill_task, return_exceptions=True)
     for task in readers:
         task.cancel()
     await asyncio.gather(*readers, return_exceptions=True)
@@ -279,8 +413,10 @@ async def run_load(config: LoadConfig) -> LoadReport:
     return report
 
 
-async def fetch_stats(host: str, port: int, timeout_s: float = 10.0) -> Optional[Dict[str, object]]:
-    """One ``op: stats`` round trip; ``None`` if the server is unreachable."""
+async def fetch_stats_raw(
+    host: str, port: int, timeout_s: float = 10.0
+) -> Optional[Dict[str, object]]:
+    """One ``op: stats`` round trip returning the full response dict."""
     try:
         reader, writer = await asyncio.open_connection(host, port)
         writer.write(b'{"op": "stats", "id": "loadgen-stats"}\n')
@@ -288,10 +424,60 @@ async def fetch_stats(host: str, port: int, timeout_s: float = 10.0) -> Optional
         line = await asyncio.wait_for(reader.readline(), timeout=timeout_s)
         writer.close()
         response = json.loads(line)
-        counters = response.get("counters")
-        return counters if isinstance(counters, dict) else None
+        return response if isinstance(response, dict) else None
     except (OSError, ValueError, asyncio.TimeoutError):
         return None
+
+
+async def fetch_stats(host: str, port: int, timeout_s: float = 10.0) -> Optional[Dict[str, object]]:
+    """One ``op: stats`` round trip; ``None`` if the server is unreachable."""
+    response = await fetch_stats_raw(host, port, timeout_s)
+    counters = (response or {}).get("counters")
+    return counters if isinstance(counters, dict) else None
+
+
+async def run_session_verify(
+    host: str,
+    port: int,
+    sessions: List[Dict[str, object]],
+    timeout_s: float = 30.0,
+) -> Dict[str, object]:
+    """Re-query recorded sessions against a (possibly restarted) server.
+
+    The recovery check behind ``repro loadgen --verify-sessions``: every
+    session a streaming run opened should answer ``session.query`` again —
+    after a worker kill, and after a full server restart pointed at the same
+    ``--checkpoint-dir`` (restore-on-miss rebuilds each session from its
+    checkpoint and replays the journal).
+    """
+    results: Dict[str, object] = {"checked": 0, "recovered": 0, "failed": []}
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for i, entry in enumerate(sessions):
+            payload = {
+                "id": f"verify-{i}",
+                "op": "session.query",
+                "tenant": entry.get("tenant"),
+                "session_id": entry.get("session_id"),
+            }
+            writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=timeout_s)
+            response = json.loads(line)
+            results["checked"] = int(results["checked"]) + 1
+            if response.get("ok"):
+                results["recovered"] = int(results["recovered"]) + 1
+            else:
+                results["failed"].append(  # type: ignore[union-attr]
+                    {
+                        "session_id": entry.get("session_id"),
+                        "code": response.get("code"),
+                        "error": response.get("error"),
+                    }
+                )
+    finally:
+        writer.close()
+    return results
 
 
 def record_bench_entry(
@@ -362,5 +548,9 @@ def report_as_json(report: LoadReport) -> Dict[str, object]:
         "healthy": report.healthy(),
         "server_stats": report.server_stats,
     }
+    if report.config.streaming:
+        out["streaming"] = True
+        out["sessions"] = list(report.sessions)
+        out["injected_kill_pid"] = report.injected_kill_pid
     out.update(report.percentiles())
     return out

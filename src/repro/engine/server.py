@@ -49,6 +49,13 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.engine.api import EngineResult, InferenceRequest, available_engines, run_engine
 from repro.engine.session import ProgramSession
+from repro.engine.streaming import (
+    CODE_SESSION_EXPIRED,
+    CODE_SESSION_LIMIT,
+    CODE_SESSION_NOT_FOUND,
+    SessionManager,
+    StreamingError,
+)
 from repro.errors import InferenceError, ReproError
 from repro.obs import REGISTRY, HistogramValue, percentile_keys, span
 
@@ -134,6 +141,32 @@ PAYLOAD_KEYS = frozenset(
         "tenant",
     }
 )
+
+#: Per-op payload key sets for the streaming-session verbs.  Every session
+#: op also rides the normal admission pipeline (quota, deadline, queue
+#: bound), so the shared service keys appear in each set.
+_SESSION_COMMON_KEYS = frozenset({"id", "op", "tenant", "deadline_ms", "session_id"})
+SESSION_OPS: Dict[str, frozenset] = {
+    "session.open": _SESSION_COMMON_KEYS
+    | frozenset(
+        {
+            "model",
+            "guide",
+            "model_entry",
+            "guide_entry",
+            "latent_channel",
+            "obs_channel",
+            "benchmark",
+            "grow",
+            "force",
+            "params",
+            "max_steps",
+        }
+    ),
+    "session.push": _SESSION_COMMON_KEYS | frozenset({"values"}),
+    "session.query": _SESSION_COMMON_KEYS | frozenset({"sites"}),
+    "session.close": _SESSION_COMMON_KEYS,
+}
 
 #: Machine-readable error codes carried by every ``ok: false`` response.
 CODE_INVALID_REQUEST = "invalid_request"
@@ -298,12 +331,15 @@ class _Pending:
     """One accepted request waiting in (or moving through) the queue."""
 
     payload: Dict[str, object]
-    session: ProgramSession
+    session: Optional[ProgramSession]
     engine: str
-    request: InferenceRequest
+    request: Optional[InferenceRequest]
     sites: List[int]
     future: "asyncio.Future[Dict[str, object]]"
     tenant: str = DEFAULT_TENANT
+    #: The streaming-session verb (``open``/``push``/``query``/``close``)
+    #: when this is a session op rather than an inference request.
+    session_op: Optional[str] = None
     #: Monotonic time after which the request must not execute (``None``:
     #: no deadline).  Measured from arrival, before validation.
     deadline_at: Optional[float] = None
@@ -359,6 +395,10 @@ class InferenceService:
         max_batch: int = 32,
         tenant_rate: Optional[float] = None,
         tenant_burst: Optional[float] = None,
+        session_ttl_s: float = 600.0,
+        max_sessions: int = 256,
+        sessions_per_tenant: int = 32,
+        checkpoint_dir: Optional[str] = None,
     ):
         self.workers = max(1, int(workers))
         self.batch_window_s = max(0.0, float(batch_window_s))
@@ -368,6 +408,16 @@ class InferenceService:
         if tenant_burst is None:
             tenant_burst = max(1.0, self.tenant_rate or 1.0)
         self.tenant_burst = max(1.0, float(tenant_burst))
+        #: The streaming-session table (``op: session.*`` verbs); bounded,
+        #: TTL-expired, and — with ``checkpoint_dir`` — durable across
+        #: restarts.
+        self.sessions = SessionManager(
+            capacity=max_sessions,
+            ttl_s=session_ttl_s,
+            per_tenant=sessions_per_tenant,
+            checkpoint_dir=checkpoint_dir,
+            default_workers=self.workers,
+        )
         self.counters = ServerCounters()
         # Per-tenant FIFO queues, serviced round-robin by the dispatcher.
         # All queue state is touched only on the event-loop thread, so no
@@ -378,6 +428,7 @@ class InferenceService:
         self._inflight: "set[_Pending]" = set()
         self._wake: Optional[asyncio.Event] = None
         self._dispatcher: Optional[asyncio.Task] = None
+        self._sweeper: Optional[asyncio.Task] = None
         self._stopping = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -395,6 +446,21 @@ class InferenceService:
         if self.workers > 1:
             await asyncio.get_running_loop().run_in_executor(None, ensure_pool, self.workers)
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        if self.sessions.ttl_s:
+            self._sweeper = asyncio.create_task(self._sweep_loop())
+
+    async def _sweep_loop(self) -> None:
+        """Periodically expire TTL-overdue streaming sessions.
+
+        Lazy expiry on touch already guarantees an expired session never
+        answers; the sweep just reclaims memory for sessions nobody touches
+        again.
+        """
+        interval = max(1.0, min(30.0, self.sessions.ttl_s / 10.0))
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(interval)
+            await loop.run_in_executor(None, self.sessions.sweep)
 
     async def stop(self) -> None:
         """Stop the dispatcher; resolve every queued and in-flight request.
@@ -402,9 +468,20 @@ class InferenceService:
         No accepted request is abandoned: requests still queued (and any
         wave the cancelled dispatcher had in hand) resolve with a structured
         ``shutting_down`` response, and requests already executing are
-        awaited, so every caller gets exactly one response.
+        awaited, so every caller gets exactly one response.  Streaming
+        sessions are not abandoned either: queued/in-flight session ops
+        resolve like any other request (``shutting_down``), and the session
+        table itself is checkpointed to disk (when a checkpoint directory is
+        configured) so every open session survives the restart.
         """
         self._stopping = True
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            try:
+                await self._sweeper
+            except asyncio.CancelledError:
+                pass
+            self._sweeper = None
         if self._dispatcher is not None:
             self._dispatcher.cancel()
             try:
@@ -431,6 +508,9 @@ class InferenceService:
                 *(pending.future for pending in list(self._inflight)),
                 return_exceptions=True,
             )
+        # Only after every in-flight push has resolved is the table quiescent
+        # and safe to persist.
+        await asyncio.get_running_loop().run_in_executor(None, self.sessions.shutdown)
 
     # -- request intake ----------------------------------------------------
 
@@ -494,29 +574,81 @@ class InferenceService:
         self.counters.observe_shed(code)
         return self._error_response(pending.payload, InferenceError(detail), code=code)
 
+    @staticmethod
+    def _validate_tenant(payload: Dict[str, object]) -> str:
+        tenant = payload.get("tenant", DEFAULT_TENANT)
+        if not isinstance(tenant, str) or not tenant or len(tenant) > 64:
+            raise InferenceError("tenant must be a non-empty string of at most 64 characters")
+        return tenant
+
+    @staticmethod
+    def _resolve_deadline(payload: Dict[str, object], arrived_at: float) -> Optional[float]:
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is None:
+            return None
+        if isinstance(deadline_ms, bool) or not isinstance(deadline_ms, (int, float)):
+            raise InferenceError("deadline_ms must be a positive number of milliseconds")
+        if deadline_ms <= 0:
+            raise InferenceError("deadline_ms must be a positive number of milliseconds")
+        return arrived_at + float(deadline_ms) / 1e3
+
+    def _prepare_session_op(
+        self, payload: Dict[str, object], arrived_at: float, op: str
+    ) -> _Pending:
+        """Validate one ``session.*`` payload into a queueable request.
+
+        Deliberately cheap and synchronous: the expensive work (parsing,
+        certification, the replay itself) happens at execution time in the
+        worker thread, and skipping the executor hop here keeps same-session
+        pushes admitted in arrival order.
+        """
+        unknown = sorted(set(payload) - SESSION_OPS[op])
+        if unknown:
+            raise InferenceError(f"unknown {op} keys {unknown}")
+        tenant = self._validate_tenant(payload)
+        deadline_at = self._resolve_deadline(payload, arrived_at)
+        session_id = payload.get("session_id")
+        if session_id is not None and not isinstance(session_id, str):
+            raise InferenceError("session_id must be a string")
+        if op != "session.open" and not session_id:
+            raise InferenceError(f"{op} needs a session_id")
+        if op == "session.push":
+            values = payload.get("values")
+            if not isinstance(values, list) or not values:
+                raise InferenceError("session.push needs a non-empty values list")
+        sites: List[int] = []
+        if op == "session.query":
+            sites = [int(s) for s in payload.get("sites", [0])]
+        return _Pending(
+            payload=payload,
+            session=None,
+            engine=op,
+            request=None,
+            sites=sites,
+            future=asyncio.get_running_loop().create_future(),
+            tenant=tenant,
+            deadline_at=deadline_at,
+            enqueued_at=arrived_at,
+            session_op=op.split(".", 1)[1],
+        )
+
     async def _prepare(self, payload: Dict[str, object], arrived_at: float) -> _Pending:
         """Resolve the payload into a certified session plus a typed request.
 
         ``arrived_at`` anchors both the deadline and the latency clock at
         payload arrival, so validation time counts against them.
         """
+        op = payload.get("op", "infer")
+        if op in SESSION_OPS:
+            return self._prepare_session_op(payload, arrived_at, op)
         unknown = sorted(set(payload) - PAYLOAD_KEYS)
         if unknown:
             raise InferenceError(f"unknown request keys {unknown}")
         for key in ("model", "guide"):
             if not isinstance(payload.get(key), str):
                 raise InferenceError(f"request needs {key!r} source text")
-        tenant = payload.get("tenant", DEFAULT_TENANT)
-        if not isinstance(tenant, str) or not tenant or len(tenant) > 64:
-            raise InferenceError("tenant must be a non-empty string of at most 64 characters")
-        deadline_ms = payload.get("deadline_ms")
-        deadline_at: Optional[float] = None
-        if deadline_ms is not None:
-            if isinstance(deadline_ms, bool) or not isinstance(deadline_ms, (int, float)):
-                raise InferenceError("deadline_ms must be a positive number of milliseconds")
-            if deadline_ms <= 0:
-                raise InferenceError("deadline_ms must be a positive number of milliseconds")
-            deadline_at = arrived_at + float(deadline_ms) / 1e3
+        tenant = self._validate_tenant(payload)
+        deadline_at = self._resolve_deadline(payload, arrived_at)
         engine = payload.get("engine", "is")
         if engine not in available_engines():
             raise InferenceError(
@@ -672,10 +804,19 @@ class InferenceService:
         return batch
 
     def _group(self, batch: List[_Pending]) -> List[List[_Pending]]:
-        """Partition a batch into per-(session, engine, backend) groups."""
-        groups: Dict[Tuple[int, str, str], List[_Pending]] = {}
+        """Partition a batch into per-(session, engine, backend) groups.
+
+        Session ops group by their session id instead: ops against one
+        streaming session execute sequentially in arrival order (a push must
+        never overtake the push before it), while ops against different
+        sessions still ride the same wave.
+        """
+        groups: Dict[Tuple, List[_Pending]] = {}
         for pending in batch:
-            key = (id(pending.session), pending.engine, pending.request.backend)
+            if pending.session_op is not None:
+                key = ("session", pending.payload.get("session_id") or id(pending))
+            else:
+                key = (id(pending.session), pending.engine, pending.request.backend)
             groups.setdefault(key, []).append(pending)
         for group in groups.values():
             for pending in group:
@@ -709,6 +850,9 @@ class InferenceService:
                 live.append(pending)
         group = live
         if not group:
+            return
+        if group[0].session_op is not None:
+            self._run_session_group(group)
             return
         wave_outcomes: Dict[int, object] = {}
         wave_s = 0.0
@@ -768,6 +912,70 @@ class InferenceService:
             )
             loop = pending.future.get_loop()
             loop.call_soon_threadsafe(_resolve_future, pending.future, response)
+
+    def _run_session_group(self, group: List[_Pending]) -> None:
+        """Execute one same-session group of ``session.*`` ops (worker thread).
+
+        Members run strictly in arrival order — the grouping key guarantees
+        every op against one session id lands in the same group, so a push
+        can never overtake the push before it.  Structured failures
+        (``session_not_found``/``session_expired``/``session_limit``/
+        ``invalid_request``) resolve the member's future like any other
+        error response; anything unexpected maps to ``engine_error``.
+        """
+        for pending in group:
+            started = time.monotonic()
+            ok = True
+            try:
+                body = self._execute_session_op(pending)
+                response: Dict[str, object] = {
+                    "id": pending.payload.get("id"),
+                    "ok": True,
+                    "op": pending.payload.get("op"),
+                }
+                response.update(_json_safe(body))
+                response["server"] = {
+                    "queue_wait_s": pending.dispatched_at - pending.enqueued_at,
+                    "run_s": time.monotonic() - started,
+                    "batch_size": pending.batch_size,
+                }
+            except StreamingError as exc:
+                ok = False
+                response = self._error_response(pending.payload, exc, code=exc.code)
+            except (ReproError, ValueError, TypeError, KeyError) as exc:
+                ok = False
+                response = self._error_response(pending.payload, exc, code=CODE_ENGINE_ERROR)
+            run_s = time.monotonic() - started
+            latency_s = time.monotonic() - pending.enqueued_at
+            if ok:
+                response["server"]["latency_s"] = latency_s
+            self.counters.observe(
+                pending.dispatched_at - pending.enqueued_at,
+                run_s,
+                0,
+                ok,
+                latency_s=latency_s,
+            )
+            loop = pending.future.get_loop()
+            loop.call_soon_threadsafe(_resolve_future, pending.future, response)
+
+    def _execute_session_op(self, pending: _Pending) -> Dict[str, object]:
+        """Route one validated session op to the session table."""
+        payload = pending.payload
+        op = pending.session_op
+        tenant = pending.tenant
+        if op == "open":
+            return self.sessions.open(
+                tenant, payload, session_id=payload.get("session_id")
+            )
+        session_id = str(payload["session_id"])
+        if op == "push":
+            return self.sessions.push(tenant, session_id, payload["values"])
+        if op == "query":
+            return self.sessions.query(tenant, session_id, pending.sites)
+        if op == "close":
+            return self.sessions.close(tenant, session_id)
+        raise InferenceError(f"unknown session op {op!r}")
 
     def _run_is_wave(self, group: List[_Pending]) -> Dict[int, object]:
         """Run a group of same-session ``is`` requests as one pool wave.
@@ -923,16 +1131,21 @@ async def _handle_connection(
             await respond({"id": None, "ok": False, "error": "request must be a JSON object",
                            "code": CODE_INVALID_REQUEST})
         elif op == "stats":
+            from repro.engine.shard import pool_worker_pids
+
             await respond({"id": payload.get("id"), "ok": True,
-                           "counters": service.counters.snapshot()})
+                           "counters": service.counters.snapshot(),
+                           "sessions": service.sessions.stats(),
+                           "pool": {"worker_pids": pool_worker_pids()}})
         elif op == "metrics":
             await respond({"id": payload.get("id"), "ok": True,
                            "metrics": REGISTRY.snapshot()})
-        elif op == "infer":
+        elif op == "infer" or op in SESSION_OPS:
             await respond(await service.submit(payload))
         else:
+            known = ", ".join(["infer", "metrics", "stats"] + sorted(SESSION_OPS))
             await respond({"id": payload.get("id"), "ok": False,
-                           "error": f"unknown op {op!r} (known: infer, metrics, stats)",
+                           "error": f"unknown op {op!r} (known: {known})",
                            "code": CODE_INVALID_REQUEST})
 
     cancelled = False
@@ -1020,6 +1233,10 @@ async def run_server(
     max_batch: int = 32,
     tenant_rate: Optional[float] = None,
     tenant_burst: Optional[float] = None,
+    session_ttl_s: float = 600.0,
+    max_sessions: int = 256,
+    sessions_per_tenant: int = 32,
+    checkpoint_dir: Optional[str] = None,
 ) -> None:
     """Run the batch-inference server until cancelled (CLI entry point)."""
     service = InferenceService(
@@ -1029,6 +1246,10 @@ async def run_server(
         max_batch=max_batch,
         tenant_rate=tenant_rate,
         tenant_burst=tenant_burst,
+        session_ttl_s=session_ttl_s,
+        max_sessions=max_sessions,
+        sessions_per_tenant=sessions_per_tenant,
+        checkpoint_dir=checkpoint_dir,
     )
     await service.start()
     server = await serve_tcp(service, host, port)
@@ -1036,7 +1257,9 @@ async def run_server(
     print(f"repro inference server listening on {bound} "
           f"({workers} worker(s), batch window {batch_window_s * 1e3:.1f}ms, "
           f"max queue {service.max_queue}, max batch {service.max_batch}, "
-          f"tenant rate {service.tenant_rate if service.tenant_rate is not None else 'off'})")
+          f"tenant rate {service.tenant_rate if service.tenant_rate is not None else 'off'}, "
+          f"sessions {max_sessions} cap / {session_ttl_s:g}s TTL"
+          f"{', checkpoints in ' + checkpoint_dir if checkpoint_dir else ''})")
     try:
         async with server:
             await server.serve_forever()

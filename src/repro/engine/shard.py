@@ -517,6 +517,21 @@ def pool_available(workers: int = 2) -> bool:
     return ensure_pool(workers) is not None
 
 
+def pool_worker_pids() -> "list[int]":
+    """PIDs of the live pool workers (empty when execution is inline).
+
+    Exposed through the server's ``op: stats`` so failure-injection harnesses
+    (``repro loadgen --inject-worker-kill-after``) can kill a real worker
+    mid-wave and assert the pool-rebuild path keeps sessions serving.
+    """
+    if _POOL is None:
+        return []
+    try:
+        return [proc.pid for proc in _POOL._pool if proc.pid is not None]
+    except Exception:
+        return []
+
+
 def _shutdown(pool) -> None:
     try:
         pool.terminate()

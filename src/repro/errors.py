@@ -58,6 +58,18 @@ class TraceTypeMismatch(ReproError):
     """Raised when a guidance trace does not satisfy a guide type (σ : A fails)."""
 
 
+class TraceExhausted(TraceTypeMismatch):
+    """Raised when a replayed trace ends before the program stops consuming it.
+
+    A strict sub-case of :class:`TraceTypeMismatch`: the trace was fine as far
+    as it went, the program simply demanded more messages.  Streaming sessions
+    rely on this distinction — a model that outruns the observations pushed so
+    far is *buffering* (waiting for more data), not broken — so both runtimes
+    (the lockstep interpreter and the compiled batched kernels) raise this
+    subclass at trace-exhaustion sites.
+    """
+
+
 class EvaluationError(ReproError):
     """Raised when big-step evaluation of a command gets stuck.
 

@@ -13,19 +13,23 @@
 from repro.models.library import (
     Benchmark,
     COIN_GUIDE_PARAM_SOURCE,
+    STREAMING_FAMILIES,
     WEIGHT_GUIDE_POSITIVE_SOURCE,
     all_benchmarks,
     get_benchmark,
     selected_benchmarks,
     source_loc,
+    streaming_sources,
 )
 
 __all__ = [
     "Benchmark",
     "COIN_GUIDE_PARAM_SOURCE",
+    "STREAMING_FAMILIES",
     "WEIGHT_GUIDE_POSITIVE_SOURCE",
     "all_benchmarks",
     "selected_benchmarks",
     "get_benchmark",
     "source_loc",
+    "streaming_sources",
 ]

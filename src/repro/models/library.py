@@ -807,6 +807,48 @@ proc SeasonalGuide() provide latent {
 
 
 # ---------------------------------------------------------------------------
+# Growable streaming families
+# ---------------------------------------------------------------------------
+
+
+def streaming_sources(steps: int) -> Tuple[str, str]:
+    """Model/guide sources of the ``stream_rw`` family unrolled to ``steps``.
+
+    A Gaussian random walk conditioning on one noisy observation per step:
+    latent state ``x_t ~ Normal(x_{t-1}, 1)`` and observation
+    ``y_t ~ Normal(x_t, 0.5)``.  The program is *generated straight-line* for
+    the requested length — every length certifies under the guide-type check
+    and stays inside the compiled backend's fragment — which is what lets a
+    streaming session grow its model one observation at a time while staying
+    bit-identical to the equivalent one-shot run over the same prefix
+    (see :mod:`repro.engine.streaming`).
+    """
+    steps = int(steps)
+    if steps < 1:
+        raise ValueError(f"streaming_sources needs steps >= 1, got {steps}")
+    model = ["proc StreamRW() consume latent provide obs {"]
+    guide = ["proc StreamRWGuide() provide latent {"]
+    prev = "0.0"
+    for t in range(1, steps + 1):
+        model.append(f"  x{t} <- sample.recv{{latent}}(Normal({prev}, 1.0));")
+        model.append(f"  _ <- sample.send{{obs}}(Normal(x{t}, 0.5));")
+        guide.append(f"  x{t} <- sample.send{{latent}}(Normal({prev}, 1.5));")
+        prev = f"x{t}"
+    model.append(f"  return(x{steps})")
+    model.append("}")
+    guide.append(f"  return(x{steps})")
+    guide.append("}")
+    return "\n".join(model) + "\n", "\n".join(guide) + "\n"
+
+
+#: Growable model families a streaming session may open with ``grow: true``:
+#: name -> callable producing ``(model_source, guide_source)`` for a step
+#: count.  Fixed-source pairs buffer until their observation demand is met;
+#: growable families re-unroll to the journal length on every push.
+STREAMING_FAMILIES = {"stream_rw": streaming_sources}
+
+
+# ---------------------------------------------------------------------------
 # The registry
 # ---------------------------------------------------------------------------
 
@@ -1077,6 +1119,19 @@ def _build_registry() -> Dict[str, Benchmark]:
             inference="IS",
             obs_values=(1.1, 1.9, 3.2),
             selected=False,
+        ),
+        Benchmark(
+            name="stream_rw",
+            description="Gaussian random walk (growable streaming family)",
+            model_source=streaming_sources(4)[0],
+            model_entry="StreamRW",
+            guide_source=streaming_sources(4)[1],
+            guide_entry="StreamRWGuide",
+            inference="IS",
+            obs_values=(0.4, 1.1, 0.8, 1.6),
+            selected=False,
+            notes="Registered here as its 4-step unroll; streaming sessions "
+                  "re-unroll it per pushed observation (STREAMING_FAMILIES).",
         ),
     ]
     return {b.name: b for b in benchmarks}

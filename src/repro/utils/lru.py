@@ -62,6 +62,18 @@ class LruCache(Generic[K, V]):
         self._data.move_to_end(key)
         self._shrink_to(self._capacity)
 
+    def pop(self, key: K) -> Optional[V]:
+        """Remove and return an entry (``None`` if absent).
+
+        A deliberate owner action — like :meth:`clear`, it never fires the
+        eviction callback.
+        """
+        return self._data.pop(key, None)
+
+    def values(self) -> "list[V]":
+        """Snapshot of the cached values, oldest-recency first."""
+        return list(self._data.values())
+
     def set_capacity(self, capacity: int) -> None:
         """Change the cap, evicting oldest entries if the cache must shrink."""
         if capacity < 1:
