@@ -13,13 +13,21 @@ numbers when both wrote the same path:
 
 .. code-block:: json
 
-    {"schema": 2,
+    {"schema": 3,
      "runs": [{"run": "12345-1700000000", "started_at": "...",
                "entries": [{"suite": "compiled_backend", "model": "switching",
                             "engine": "is", "backend": "compiled",
                             "particles": 10000, "wall_time_s": 0.0118,
                             "speedup": 4.4, "baseline": "interp",
-                            "extra": {}}]}]}
+                            "extra": {}}]}],
+     "curves": {}}
+
+Schema 3 adds the top-level ``curves`` map, written by ``repro bench
+evaluate`` (see :mod:`repro.bench.results`, the in-package counterpart of
+this module): one slot per evaluate tag holding that run's
+accuracy-vs-wall-time scaling curves.  The pytest harnesses here never
+write ``curves`` but must round-trip it — resetting a run record or
+appending an entry leaves recorded curve sets untouched.
 
 ``wall_time_s`` is the best-of-N wall time of the measured configuration;
 ``speedup`` (optional) is relative to the named ``baseline``.  The output
@@ -40,7 +48,7 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: How many historical runs one artifact retains (oldest pruned first).
 MAX_RUNS = 8
@@ -68,6 +76,7 @@ def _fresh_document() -> dict:
         "schema": SCHEMA_VERSION,
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "runs": [],
+        "curves": {},
     }
 
 
@@ -82,7 +91,16 @@ def _load() -> dict:
     if not isinstance(data, dict):
         return _fresh_document()
     if data.get("schema") == SCHEMA_VERSION:
+        data.setdefault("runs", [])
+        data.setdefault("curves", {})
         return data
+    if data.get("schema") == 2 and isinstance(data.get("runs"), list):
+        # Schema 3 only adds the ``curves`` map; schema-2 run records carry
+        # over untouched.
+        document = _fresh_document()
+        document["created_at"] = data.get("created_at", document["created_at"])
+        document["runs"] = data["runs"]
+        return document
     if data.get("schema") == 1 and isinstance(data.get("entries"), list):
         # Migrate a schema-1 artifact in place: its flat entry list becomes
         # one legacy run, so no measurement is lost across the upgrade.

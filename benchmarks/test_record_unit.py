@@ -103,3 +103,114 @@ def test_corrupt_artifact_is_replaced_not_fatal(artifact):
     set_run("run-a")
     _record.record(suite="s", model="m", engine="is", wall_time_s=0.1)
     assert len(_record.all_entries()) == 1
+
+
+# ---------------------------------------------------------------------------
+# Schema-2 -> 3 migration property: arbitrary entry lists round-trip.
+# ---------------------------------------------------------------------------
+
+def _random_entry(rng):
+    """One schema-2 entry with randomized shape (optional fields, extras)."""
+    entry = {
+        "suite": rng.choice(["load", "compiled_backend", "fig2", "söndra-suite"]),
+        "model": f"model-{rng.randrange(100)}",
+        "engine": rng.choice(["is", "smc", "svi", "mh"]),
+        "backend": rng.choice(["interp", "compiled"]),
+        "particles": rng.choice([None, rng.randrange(1, 100000)]),
+        "wall_time_s": rng.random() * 10,
+    }
+    if rng.random() < 0.5:
+        entry["speedup"] = rng.random() * 5
+        entry["baseline"] = "interp"
+    if rng.random() < 0.5:
+        entry["extra"] = {
+            "groups": rng.randrange(10),
+            "nested": {"p50_ms": rng.random(), "flags": [True, False, None]},
+        }
+    return entry
+
+
+def _random_schema2_document(rng):
+    return {
+        "schema": 2,
+        "created_at": "2026-0{}-01T00:00:00".format(rng.randrange(1, 10)),
+        "runs": [
+            {
+                "run": f"session-{i}-{rng.randrange(10**6)}",
+                "started_at": None if rng.random() < 0.2 else "2026-01-01T00:00:00",
+                "entries": [_random_entry(rng) for _ in range(rng.randrange(0, 6))],
+            }
+            for i in range(rng.randrange(0, _record.MAX_RUNS))
+        ],
+    }
+
+
+def test_schema_2_migration_round_trips_arbitrary_runs(artifact):
+    """Property: for any schema-2 document, migrating to schema 3 preserves
+    every prior session's run record byte-identically and only adds the
+    ``curves`` map; appending a new entry afterwards clobbers nothing."""
+    import copy
+    import random
+
+    path, set_run = artifact
+    for seed in range(25):
+        rng = random.Random(seed)
+        document = _random_schema2_document(rng)
+        original_runs = copy.deepcopy(document["runs"])
+        path.write_text(json.dumps(document))
+
+        set_run(f"migration-run-{seed}")
+        _record.record(suite="post", model="m", engine="is", wall_time_s=0.1)
+
+        data = json.loads(path.read_text())
+        assert data["schema"] == _record.SCHEMA_VERSION
+        assert data["curves"] == {}
+        assert data["created_at"] == document["created_at"]
+        # Every prior session survives untouched; the new run is appended.
+        assert data["runs"][:-1] == original_runs
+        assert data["runs"][-1]["run"] == f"migration-run-{seed}"
+        assert [e["suite"] for e in data["runs"][-1]["entries"]] == ["post"]
+
+
+def test_schema_3_load_is_idempotent_and_preserves_curves(artifact):
+    """Recorded curve sets survive harness writes (reset and record)."""
+    path, set_run = artifact
+    curves = {"bench:v1:seed=0": {"passed": True, "curves": [{"key": "weight/is"}]}}
+    path.write_text(json.dumps({
+        "schema": 3,
+        "created_at": "2026-01-01T00:00:00",
+        "runs": [{"run": "older", "started_at": None, "entries": []}],
+        "curves": curves,
+    }))
+    set_run("run-a")
+    _record.reset_results()
+    _record.record(suite="s", model="m", engine="is", wall_time_s=0.1)
+
+    data = json.loads(path.read_text())
+    assert data["schema"] == _record.SCHEMA_VERSION
+    assert data["curves"] == curves
+    assert [run["run"] for run in data["runs"]] == ["older", "run-a"]
+
+
+def test_package_writer_agrees_with_harness_migration(artifact):
+    """`repro.bench.results` (the in-package writer used by the CLI) and this
+    module must produce the same schema-3 view of a schema-2 artifact."""
+    import random
+
+    from repro.bench import results as bench_results
+
+    path, _set_run = artifact
+    rng = random.Random(1234)
+    document = _random_schema2_document(rng)
+    path.write_text(json.dumps(document))
+
+    assert bench_results.SCHEMA_VERSION == _record.SCHEMA_VERSION
+    migrated = bench_results.load_results(str(path))
+    assert migrated["schema"] == _record.SCHEMA_VERSION
+    assert migrated["runs"] == document["runs"]
+    assert migrated["curves"] == {}
+
+    bench_results.record_curves("bench:v1:seed=7", {"passed": True}, str(path))
+    data = json.loads(path.read_text())
+    assert data["runs"] == document["runs"]
+    assert list(data["curves"]) == ["bench:v1:seed=7"]

@@ -1,0 +1,50 @@
+"""The public benchmark subsystem: ``repro bench run`` / ``repro bench evaluate``.
+
+A versioned snapshot (``bench/snapshots/v1.json``) pins every library model —
+with exact golden posteriors where conjugacy or enumeration provides them —
+plus parameterized families synthesized deterministically from the fuzzer's
+spec IR (HMM chains of length N, mixtures of width K, recursion of depth D).
+``runner`` sweeps the runnable entries across particles × engine × backend ×
+shards and writes a per-run directory; ``evaluate`` folds the points into
+accuracy-vs-wall-time scaling curves, gates them against a pinned baseline,
+and records the curves into ``BENCH_results.json`` (schema 3).
+"""
+
+from repro.bench.evaluate import EvaluateConfig, build_curves, evaluate_run
+from repro.bench.golden import (
+    beta_bernoulli_posterior_mean,
+    binary_hmm_smoothed,
+    enumerate_two_bernoulli,
+    geometric_walk_first_step_mean,
+    linear_gaussian_smoothed,
+    mixture_index_posterior_mean,
+    normal_normal_posterior_mean,
+)
+from repro.bench.runner import RunnerConfig, run_sweep
+from repro.bench.snapshot import (
+    SNAPSHOT_FORMAT,
+    build_snapshot,
+    default_snapshot_path,
+    load_snapshot,
+    render_snapshot,
+)
+
+__all__ = [
+    "EvaluateConfig",
+    "RunnerConfig",
+    "SNAPSHOT_FORMAT",
+    "beta_bernoulli_posterior_mean",
+    "binary_hmm_smoothed",
+    "build_curves",
+    "build_snapshot",
+    "default_snapshot_path",
+    "enumerate_two_bernoulli",
+    "evaluate_run",
+    "geometric_walk_first_step_mean",
+    "linear_gaussian_smoothed",
+    "load_snapshot",
+    "mixture_index_posterior_mean",
+    "normal_normal_posterior_mean",
+    "render_snapshot",
+    "run_sweep",
+]

@@ -1,0 +1,220 @@
+"""Exact posterior derivations backing the benchmark snapshot's golden values.
+
+Every function here computes a posterior quantity *without* running any
+inference engine: conjugate updates, exhaustive enumeration of finite
+discrete latents, linear-Gaussian precision solves, and truncated series for
+the geometric-stopping recursion family.  The conformance suite
+(``tests/conformance/test_posterior_conformance.py``) pins the same numbers
+as literals with their derivations; ``tests/bench/test_golden.py`` checks
+this module reproduces those pins, so the snapshot builder and the
+conformance suite can never disagree about what "exact" means.
+
+All distributions follow the engine convention: ``Normal(mean, std)`` takes
+a *standard deviation*, not a variance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def normal_normal_posterior_mean(
+    prior_mean: float,
+    prior_std: float,
+    obs_std: float,
+    observations: Sequence[float],
+) -> float:
+    """Posterior mean of a Normal mean under a conjugate Normal prior.
+
+    ``w ~ Normal(prior_mean, prior_std)``, ``y_i ~ Normal(w, obs_std)``:
+    the posterior precision is the sum of prior and per-observation
+    precisions, and the mean is the precision-weighted average.
+    """
+    prior_prec = 1.0 / prior_std**2
+    obs_prec = 1.0 / obs_std**2
+    total_prec = prior_prec + obs_prec * len(observations)
+    weighted = prior_mean * prior_prec + obs_prec * float(np.sum(observations))
+    return weighted / total_prec
+
+
+def beta_bernoulli_posterior_mean(
+    alpha: float, beta: float, observations: Sequence[bool]
+) -> float:
+    """Posterior mean of a Bernoulli bias under a conjugate Beta prior."""
+    successes = sum(1 for value in observations if value)
+    failures = len(observations) - successes
+    return (alpha + successes) / (alpha + beta + successes + failures)
+
+
+def enumerate_two_bernoulli(
+    p_first: float,
+    p_second_given_first: Tuple[float, float],
+    obs_true_probability: Dict[Tuple[bool, bool], float],
+    observed: bool = True,
+) -> Tuple[float, float]:
+    """Exact posterior marginals of two chained Bernoulli latents.
+
+    ``first ~ Ber(p_first)``, ``second ~ Ber(p_second_given_first[first])``
+    (index 0 = first is True, 1 = first is False), then one Bernoulli
+    observation whose success probability depends on both.  Returns
+    ``(P(first | obs), P(second | obs))`` by enumerating the four states.
+    """
+    posterior = {}
+    for first in (True, False):
+        pf = p_first if first else 1.0 - p_first
+        p_second = p_second_given_first[0 if first else 1]
+        for second in (True, False):
+            ps = p_second if second else 1.0 - p_second
+            p_obs = obs_true_probability[(first, second)]
+            likelihood = p_obs if observed else 1.0 - p_obs
+            posterior[(first, second)] = pf * ps * likelihood
+    total = sum(posterior.values())
+    p_first_true = (posterior[(True, True)] + posterior[(True, False)]) / total
+    p_second_true = (posterior[(True, True)] + posterior[(False, True)]) / total
+    return p_first_true, p_second_true
+
+
+def _normal_pdf(x: float, mean: float, std: float) -> float:
+    z = (x - mean) / std
+    return math.exp(-0.5 * z * z) / (std * math.sqrt(2.0 * math.pi))
+
+
+def binary_hmm_smoothed(
+    init_p: float,
+    trans_p: Tuple[float, float],
+    emit_means: Tuple[float, float],
+    emit_std: float,
+    observations: Sequence[float],
+) -> List[float]:
+    """Smoothed marginals ``P(s_t = 1 | y)`` of a two-state HMM, by forward-backward.
+
+    ``s_1 ~ Ber(init_p)``, ``s_t ~ Ber(trans_p[0] if s_{t-1} else trans_p[1])``,
+    ``y_t ~ Normal(emit_means[0] if s_t else emit_means[1], emit_std)``.
+    The O(N) recursion matches the 2^N enumeration exactly, so it also
+    serves the parameterized ``hmm_chain`` family at lengths enumeration
+    could not reach.
+    """
+    n = len(observations)
+    # State index 1 = True, 0 = False throughout.
+    init = np.array([1.0 - init_p, init_p])
+    trans = np.array(
+        [
+            [1.0 - trans_p[1], trans_p[1]],  # from state 0 (False)
+            [1.0 - trans_p[0], trans_p[0]],  # from state 1 (True)
+        ]
+    )
+    emit = np.array(
+        [
+            [_normal_pdf(y, emit_means[1], emit_std), _normal_pdf(y, emit_means[0], emit_std)]
+            for y in observations
+        ]
+    )
+    forward = np.zeros((n, 2))
+    forward[0] = init * emit[0]
+    forward[0] /= forward[0].sum()
+    for t in range(1, n):
+        forward[t] = (forward[t - 1] @ trans) * emit[t]
+        forward[t] /= forward[t].sum()
+    backward = np.ones((n, 2))
+    for t in range(n - 2, -1, -1):
+        backward[t] = trans @ (emit[t + 1] * backward[t + 1])
+        backward[t] /= backward[t].sum()
+    smoothed = forward * backward
+    smoothed /= smoothed.sum(axis=1, keepdims=True)
+    return [float(row[1]) for row in smoothed]
+
+
+def linear_gaussian_smoothed(
+    prior_mean: float,
+    prior_std: float,
+    trans_std: float,
+    obs_std: float,
+    observations: Sequence[float],
+) -> List[float]:
+    """Smoothed state means of a linear-Gaussian chain, by precision solve.
+
+    ``x_1 ~ Normal(prior_mean, prior_std)``, ``x_t ~ Normal(x_{t-1},
+    trans_std)``, ``y_t ~ Normal(x_t, obs_std)``.  The joint over states is
+    Gaussian with a tridiagonal precision matrix; solving ``Λ μ = b`` gives
+    the exact smoothed means (the kalman and stream_rw golden values).
+    """
+    n = len(observations)
+    prior_prec = 1.0 / prior_std**2
+    trans_prec = 1.0 / trans_std**2
+    obs_prec = 1.0 / obs_std**2
+    precision = np.zeros((n, n))
+    b = np.zeros(n)
+    precision[0, 0] += prior_prec
+    b[0] += prior_mean * prior_prec
+    for t in range(1, n):
+        precision[t, t] += trans_prec
+        precision[t - 1, t - 1] += trans_prec
+        precision[t, t - 1] -= trans_prec
+        precision[t - 1, t] -= trans_prec
+    for t, y in enumerate(observations):
+        precision[t, t] += obs_prec
+        b[t] += float(y) * obs_prec
+    return [float(m) for m in np.linalg.solve(precision, b)]
+
+
+def mixture_index_posterior_mean(
+    weights: Sequence[float],
+    component_means: Sequence[float],
+    emit_std: float,
+    observation: float,
+) -> float:
+    """Posterior mean of a categorical index given one Gaussian emission.
+
+    ``z ~ Cat(weights)`` (unnormalized), ``y ~ Normal(component_means[z],
+    emit_std)``.  Engines expose the categorical site as its integer value,
+    so the golden "mean" is ``Σ_k k · P(z = k | y)``.
+    """
+    posterior = np.array(
+        [
+            w * _normal_pdf(observation, m, emit_std)
+            for w, m in zip(weights, component_means)
+        ]
+    )
+    posterior /= posterior.sum()
+    return float(np.dot(np.arange(len(posterior)), posterior))
+
+
+def geometric_walk_first_step_mean(
+    cont_p: float,
+    step_std: float,
+    obs_std: float,
+    observation: float,
+    tail_mass: float = 1e-12,
+) -> float:
+    """Posterior mean of the *first* step of a geometric-stopping random walk.
+
+    The ``recursion_depth`` family draws steps ``x_i ~ Normal(0, step_std)``
+    and continues with probability ``cont_p`` after each, so the stopping
+    time has ``P(T = t) = cont_p^(t-1) (1 - cont_p)`` for ``t >= 1``; the
+    observation is ``y ~ Normal(Σ_{i<=T} x_i, obs_std)``.  Conditioned on
+    ``T = t`` everything is jointly Gaussian with ``Cov(x_1, y) = step_var``
+    and ``Var(y) = t·step_var + obs_var``, so
+
+        E[x_1 | y, T=t] = y · step_var / (t·step_var + obs_var)
+        P(T=t | y)     ∝ P(T=t) · N(y; 0, sqrt(t·step_var + obs_var))
+
+    and the answer is the mixture over ``t``, truncated once the remaining
+    geometric prior mass falls below ``tail_mass``.
+    """
+    step_var = step_std**2
+    obs_var = obs_std**2
+    numerator = 0.0
+    evidence = 0.0
+    prior_t = 1.0 - cont_p  # P(T = 1)
+    t = 1
+    while prior_t > tail_mass:
+        marginal_std = math.sqrt(t * step_var + obs_var)
+        weight = prior_t * _normal_pdf(observation, 0.0, marginal_std)
+        numerator += weight * observation * step_var / (t * step_var + obs_var)
+        evidence += weight
+        prior_t *= cont_p
+        t += 1
+    return numerator / evidence

@@ -12,6 +12,8 @@ Usage (after ``python setup.py develop`` / ``pip install -e .``)::
     python -m repro.cli serve        --port 7341 --workers 4   # batch-inference server
     python -m repro.cli loadgen      --port 7341 --rate 50 --duration 5   # open-loop load
     python -m repro.cli benchmarks                       # list the bundled benchmarks
+    python -m repro.cli bench run    --fast --out bench_runs/smoke   # benchmark sweep
+    python -m repro.cli bench evaluate --run bench_runs/smoke        # curves + gates
 
 ``run-is`` executes on the vectorized particle engine by default; pass
 ``--engine sequential`` for the original one-particle-at-a-time loop.
@@ -23,6 +25,7 @@ and ``--guide-entry``.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import math
 import sys
 from pathlib import Path
@@ -490,6 +493,115 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_bench_run(args: argparse.Namespace) -> int:
+    """Sweep the benchmark snapshot and write a per-run directory."""
+    from repro.bench.runner import RunnerConfig, fast_config, run_sweep
+    from repro.engine.loadgen import parse_csv
+
+    if args.fast:
+        config = fast_config(seed=args.seed)
+    else:
+        config = RunnerConfig(seed=args.seed)
+    overrides = {}
+    if args.particles:
+        overrides["particles"] = tuple(int(p) for p in parse_csv(args.particles))
+    if args.engines:
+        overrides["engines"] = parse_csv(args.engines)
+    if args.backends:
+        overrides["backends"] = parse_csv(args.backends)
+    if args.shards:
+        overrides["shards"] = tuple(int(s) for s in parse_csv(args.shards))
+    if args.repeats is not None:
+        overrides["repeats"] = args.repeats
+    if args.models:
+        overrides["models"] = parse_csv(args.models)
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+
+    out_dir = Path(args.out)
+    progress = None if args.quiet else (lambda line: print(f"[bench] {line}"))
+    snapshot_path = Path(args.snapshot) if args.snapshot else None
+    document = run_sweep(config, out_dir, snapshot_path=snapshot_path, progress=progress)
+    models = sorted({point["model"] for point in document["points"]})
+    print(
+        f"bench run: {len(document['points'])} sweep points over "
+        f"{len(models)} models -> {out_dir}"
+    )
+    return 0
+
+
+def cmd_bench_evaluate(args: argparse.Namespace) -> int:
+    """Build scaling curves from a run directory and gate quality/speed."""
+    import json
+
+    from repro.bench.evaluate import (
+        EvaluateConfig,
+        baseline_payload,
+        evaluate_run,
+        load_baseline,
+        record_report,
+    )
+
+    config = EvaluateConfig(
+        quality_sigma=args.quality_sigma,
+        speed_factor=args.speed_factor,
+        min_wall_s=args.min_wall_ms / 1e3,
+    )
+    baseline = load_baseline(Path(args.baseline)) if args.baseline else None
+    report, violations = evaluate_run(Path(args.run), config, baseline=baseline)
+    print(
+        f"bench evaluate: {report['curve_count']} curves over "
+        f"{len(report['models'])} models (snapshot {report['snapshot']})"
+    )
+    if args.write_baseline:
+        payload = baseline_payload(report["curves"], report["snapshot"])
+        Path(args.write_baseline).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"baseline written to {args.write_baseline}")
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"report written to {args.report}")
+    if not args.no_record:
+        path = record_report(report)
+        print(f"curves recorded into {path}")
+    for violation in violations:
+        print(f"VIOLATION {json.dumps(violation, sort_keys=True)}", file=sys.stderr)
+    if violations:
+        print(f"bench evaluate: FAILED ({len(violations)} violation(s))", file=sys.stderr)
+        return 1
+    print("bench evaluate: all gates passed")
+    return 0
+
+
+def cmd_bench_snapshot(args: argparse.Namespace) -> int:
+    """Check (default) or regenerate the pinned benchmark snapshot."""
+    from repro.bench.snapshot import default_snapshot_path, render_snapshot, write_snapshot
+
+    path = Path(args.path) if args.path else default_snapshot_path()
+    if args.write:
+        write_snapshot(path)
+        print(f"snapshot written to {path}")
+        return 0
+    expected = render_snapshot()
+    try:
+        actual = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        print(f"bench snapshot: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+    if actual != expected:
+        print(
+            f"bench snapshot: {path} is stale — regenerate with "
+            f"'repro bench snapshot --write' and review the diff",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench snapshot: {path} matches the live code")
+    return 0
+
+
 def cmd_benchmarks(_args: argparse.Namespace) -> int:
     print(f"{'name':<12} {'selected':<9} {'inference':<9} {'LOC':>4}  description")
     for bench in all_benchmarks():
@@ -713,6 +825,74 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser("benchmarks", help="list the bundled benchmark programs")
     p_bench.set_defaults(func=cmd_benchmarks)
+
+    p_suite = sub.add_parser(
+        "bench",
+        help="versioned benchmark suite: snapshot sweeps, scaling curves, "
+             "regression gates",
+    )
+    suite_sub = p_suite.add_subparsers(dest="bench_command", required=True)
+
+    p_run = suite_sub.add_parser(
+        "run", help="sweep the pinned snapshot across engines/backends/particles"
+    )
+    p_run.add_argument("--out", default="bench_runs/latest", metavar="DIR",
+                       help="per-run output directory (config/results/metrics)")
+    p_run.add_argument("--seed", type=int, default=0,
+                       help="root seed; every sweep point derives its own seed "
+                            "from this and its identity")
+    p_run.add_argument("--fast", action="store_true",
+                       help="CI smoke shape: small particle ladder, one shard "
+                            "count, one repeat, smallest family sizes")
+    p_run.add_argument("--particles", default=None,
+                       help="comma-separated particle ladder override")
+    p_run.add_argument("--engines", default=None,
+                       help="comma-separated engine override (default is,smc,svi)")
+    p_run.add_argument("--backends", default=None,
+                       help="comma-separated backend override (default interp,compiled)")
+    p_run.add_argument("--shards", default=None,
+                       help="comma-separated shard-count override")
+    p_run.add_argument("--repeats", type=int, default=None,
+                       help="best-of-N wall-time repeats per point")
+    p_run.add_argument("--models", default=None,
+                       help="comma-separated snapshot instance filter "
+                            "(e.g. weight,hmm_chain/8)")
+    p_run.add_argument("--snapshot", default=None, metavar="PATH",
+                       help="snapshot file to sweep (default bench/snapshots/v1.json)")
+    p_run.add_argument("--quiet", action="store_true",
+                       help="suppress per-point progress lines")
+    p_run.set_defaults(func=cmd_bench_run)
+
+    p_eval = suite_sub.add_parser(
+        "evaluate",
+        help="render scaling curves from a run and gate quality/speed regressions",
+    )
+    p_eval.add_argument("--run", default="bench_runs/latest", metavar="DIR",
+                        help="run directory written by 'bench run'")
+    p_eval.add_argument("--baseline", default=None, metavar="PATH",
+                        help="pinned baseline curves; enables the speed gate")
+    p_eval.add_argument("--write-baseline", default=None, metavar="PATH",
+                        help="write this run's curves as a new baseline")
+    p_eval.add_argument("--report", default=None, metavar="PATH",
+                        help="also write the full evaluation report as JSON")
+    p_eval.add_argument("--quality-sigma", type=float, default=5.0,
+                        help="Monte-Carlo slack multiplier for the quality gate")
+    p_eval.add_argument("--speed-factor", type=float, default=1.75,
+                        help="maximum geometric-mean wall-time ratio vs baseline")
+    p_eval.add_argument("--min-wall-ms", type=float, default=5.0,
+                        help="points faster than this in both runs skip the speed gate")
+    p_eval.add_argument("--no-record", action="store_true",
+                        help="do not record curves into BENCH_results.json")
+    p_eval.set_defaults(func=cmd_bench_evaluate)
+
+    p_snap = suite_sub.add_parser(
+        "snapshot", help="check (default) or regenerate the pinned snapshot"
+    )
+    p_snap.add_argument("--write", action="store_true",
+                        help="regenerate the snapshot file from the live code")
+    p_snap.add_argument("--path", default=None,
+                        help="snapshot file (default bench/snapshots/v1.json)")
+    p_snap.set_defaults(func=cmd_bench_snapshot)
 
     return parser
 

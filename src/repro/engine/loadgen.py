@@ -483,23 +483,15 @@ async def run_session_verify(
 def record_bench_entry(
     report: LoadReport, path: Optional[str] = None, suite: str = "load"
 ) -> str:
-    """Append one load entry to ``BENCH_results.json`` (schema 2).
+    """Append one load entry to ``BENCH_results.json`` (schema 3).
 
-    Self-contained re-implementation of ``benchmarks/_record.py``'s format
-    (per-run entry lists under ``runs``, capped history) so the CLI works
-    from an installed package without the benchmarks directory on path.
+    Delegates to :mod:`repro.bench.results` (the in-package counterpart of
+    ``benchmarks/_record.py``) so the CLI works from an installed package
+    without the benchmarks directory on path, and so prior-schema artifacts
+    migrate instead of being reset.
     """
-    resolved = path or os.environ.get("REPRO_BENCH_RESULTS", "BENCH_results.json")
-    max_runs = 8
-    data: Dict[str, object] = {}
-    try:
-        with open(resolved, "r", encoding="utf-8") as fh:
-            data = json.load(fh)
-    except (OSError, ValueError):
-        data = {}
-    if not isinstance(data, dict) or data.get("schema") != 2:
-        data = {"schema": 2, "created_at": time.strftime("%Y-%m-%dT%H:%M:%S"), "runs": []}
-    runs = data.setdefault("runs", [])
+    from repro.bench import results as bench_results
+
     entry: Dict[str, object] = {
         "suite": suite,
         "model": "+".join(report.config.models),
@@ -511,18 +503,7 @@ def record_bench_entry(
         "baseline": None,
     }
     entry.update(report.bench_extra())
-    runs.append(
-        {
-            "run": f"loadgen-{os.getpid()}",
-            "started_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
-            "entries": [entry],
-        }
-    )
-    del runs[:-max_runs]
-    with open(resolved, "w", encoding="utf-8") as fh:
-        json.dump(data, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    return resolved
+    return str(bench_results.append_run_entry(entry, f"loadgen-{os.getpid()}", path))
 
 
 def parse_csv(text: str) -> Tuple[str, ...]:

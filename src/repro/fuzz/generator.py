@@ -504,3 +504,198 @@ def generate(seed: int, config: Optional[FuzzConfig] = None) -> FuzzCase:
         model_source=emitted.model_source,
         guide_source=emitted.guide_source,
     )
+
+
+# ---------------------------------------------------------------------------
+# Deterministic benchmark families
+# ---------------------------------------------------------------------------
+
+#: The parameterized model families the benchmark suite sweeps.  Unlike
+#: :func:`generate`, family synthesis draws no random numbers at all: the
+#: spec is a closed-form function of ``(family, size)``, so the emitted
+#: sources can be pinned byte-for-byte in ``bench/snapshots/v1.json`` and
+#: their posteriors derived exactly in :mod:`repro.bench.golden`.
+BENCH_FAMILIES = ("hmm_chain", "mixture_width", "recursion_depth")
+
+#: Fixed family constants, shared with the golden derivations: the HMM's
+#: transition/emission table, the mixture's emission spacing, the walk's
+#: step/observation scales.  Changing any of these is a snapshot bump.
+HMM_CHAIN_INIT_P = 0.5
+HMM_CHAIN_TRANS_P = (0.7, 0.3)  # P(s_t=1 | s_{t-1}=1), P(s_t=1 | s_{t-1}=0)
+HMM_CHAIN_EMIT_MEANS = (1.0, -1.0)
+HMM_CHAIN_EMIT_STD = 1.0
+MIXTURE_COMPONENT_SPACING = 0.8
+MIXTURE_EMIT_STD = 1.0
+RECURSION_STEP_STD = 1.0
+RECURSION_OBS_STD = 0.5
+
+
+def recursion_cont_p(depth: int) -> float:
+    """The continue probability giving the walk a mean length of ``depth``.
+
+    Rounded to the literal the emitter prints, so golden derivations use
+    exactly the probability the program runs with.
+    """
+    return _round(1.0 - 1.0 / depth)
+
+
+def mixture_weights(width: int) -> Tuple[float, ...]:
+    """The (unnormalized) component weights of ``mixture_width(K)``."""
+    return tuple(_round(1.0 + 0.3 * k) for k in range(width))
+
+
+def _hmm_chain_spec(size: int, seed: int) -> ProgramSpec:
+    """A binary HMM unrolled to ``size`` steps, one emission per state."""
+    if size < 1:
+        raise ValueError(f"hmm_chain needs size >= 1, got {size}")
+    hi, lo = HMM_CHAIN_TRANS_P
+    nodes: List[Node] = []
+    var_types: Dict[str, str] = {}
+    prev: Optional[str] = None
+    for t in range(1, size + 1):
+        var = f"s{t}"
+        var_types[var] = "bool"
+        if prev is None:
+            model_params = (ast.RealLit(HMM_CHAIN_INIT_P),)
+            guide_params = (ast.RealLit(0.6),)
+        else:
+            model_params = (ast.IfExpr(ast.Var(prev), ast.RealLit(hi), ast.RealLit(lo)),)
+            guide_params = (ast.IfExpr(ast.Var(prev), ast.RealLit(0.65), ast.RealLit(0.35)),)
+        nodes.append(
+            LatentSite(
+                var=var,
+                support="bool",
+                model_family=ast.DistKind.BER,
+                model_params=model_params,
+                guide_family=ast.DistKind.BER,
+                guide_params=guide_params,
+            )
+        )
+        nodes.append(
+            ObsSite(
+                support="real",
+                family=ast.DistKind.NORMAL,
+                model_params=(
+                    ast.IfExpr(
+                        ast.Var(var),
+                        _real_lit(HMM_CHAIN_EMIT_MEANS[0]),
+                        _real_lit(HMM_CHAIN_EMIT_MEANS[1]),
+                    ),
+                    ast.RealLit(HMM_CHAIN_EMIT_STD),
+                ),
+            )
+        )
+        prev = var
+    ret = ast.Var(f"s{size}")
+    return ProgramSpec(seed=seed, nodes=tuple(nodes), ret_model=ret, ret_guide=ret, var_types=var_types)
+
+
+def _mixture_width_spec(size: int, seed: int) -> ProgramSpec:
+    """One categorical latent of ``size`` components with a Gaussian emission."""
+    if size < 2:
+        raise ValueError(f"mixture_width needs size >= 2, got {size}")
+    model_params = tuple(ast.RealLit(w) for w in mixture_weights(size))
+    guide_params = tuple(ast.RealLit(1.0) for _ in range(size))
+    # ``z1 * spacing`` both promotes the ℕ-typed site into the numeric tower
+    # (the same trick as _ExprGen._real_var) and spaces the component means.
+    emission_mean = ast.PrimOp(
+        ast.BinOp.MUL, ast.Var("z1"), ast.RealLit(MIXTURE_COMPONENT_SPACING)
+    )
+    nodes: Tuple[Node, ...] = (
+        LatentSite(
+            var="z1",
+            support="cat",
+            model_family=ast.DistKind.CAT,
+            model_params=model_params,
+            guide_family=ast.DistKind.CAT,
+            guide_params=guide_params,
+            cat_n=size,
+        ),
+        ObsSite(
+            support="real",
+            family=ast.DistKind.NORMAL,
+            model_params=(emission_mean, ast.RealLit(MIXTURE_EMIT_STD)),
+        ),
+    )
+    ret = ast.PrimOp(ast.BinOp.MUL, ast.Var("z1"), ast.RealLit(1.0))
+    return ProgramSpec(
+        seed=seed, nodes=nodes, ret_model=ret, ret_guide=ret, var_types={"z1": "cat"}
+    )
+
+
+def _recursion_depth_spec(size: int, seed: int) -> ProgramSpec:
+    """A geometric-stopping walk whose mean length is ``size``."""
+    if size < 2:
+        raise ValueError(f"recursion_depth needs size >= 2, got {size}")
+    cont_p = recursion_cont_p(size)
+    body = (
+        LatentSite(
+            var="x1",
+            support="real",
+            model_family=ast.DistKind.NORMAL,
+            model_params=(ast.RealLit(0.0), ast.RealLit(RECURSION_STEP_STD)),
+            guide_family=ast.DistKind.NORMAL,
+            guide_params=(ast.RealLit(0.0), ast.RealLit(1.2)),
+        ),
+    )
+    # Model and guide share cont_p, so the continuation weights cancel and
+    # the importance weights carry only the step proposals.
+    walk = Recurse(
+        var="r1",
+        helper="Loop1",
+        body=body,
+        cont_var="k1",
+        model_cont_p=cont_p,
+        guide_cont_p=cont_p,
+        acc_init=ast.RealLit(0.0),
+        acc_update=ast.PrimOp(ast.BinOp.ADD, ast.Var("acc"), ast.Var("x1")),
+        guide_ret=ast.Var("x1"),
+    )
+    nodes: Tuple[Node, ...] = (
+        walk,
+        ObsSite(
+            support="real",
+            family=ast.DistKind.NORMAL,
+            model_params=(ast.Var("r1"), ast.RealLit(RECURSION_OBS_STD)),
+        ),
+    )
+    ret = ast.Var("r1")
+    return ProgramSpec(
+        seed=seed,
+        nodes=nodes,
+        ret_model=ret,
+        ret_guide=ret,
+        var_types={"acc": "real", "x1": "real", "k1": "bool", "r1": "real"},
+    )
+
+
+_FAMILY_BUILDERS = {
+    "hmm_chain": _hmm_chain_spec,
+    "mixture_width": _mixture_width_spec,
+    "recursion_depth": _recursion_depth_spec,
+}
+
+
+def synthesize_family(family: str, size: int) -> FuzzCase:
+    """Build the pinned benchmark instance ``family(size)``.
+
+    A pure function — identical inputs always yield byte-identical sources.
+    The returned case reuses :class:`FuzzCase` so the differential harness's
+    helpers (observation synthesis, site counting) apply unchanged; its
+    ``seed`` is a synthetic label, not a generator seed.
+    """
+    try:
+        builder = _FAMILY_BUILDERS[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown bench family {family!r}; available: {BENCH_FAMILIES}"
+        ) from None
+    seed = BENCH_FAMILIES.index(family) * 100000 + int(size)
+    spec = builder(int(size), seed)
+    emitted = emit_sources(spec)
+    return FuzzCase(
+        seed=seed,
+        spec=spec,
+        model_source=emitted.model_source,
+        guide_source=emitted.guide_source,
+    )

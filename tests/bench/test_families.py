@@ -1,0 +1,128 @@
+"""The parameterized benchmark families: determinism, certification, accuracy.
+
+``synthesize_family`` is the bench suite's program generator — unlike the
+fuzzer's random ``generate``, its output is a pure function of ``(family,
+size)`` and must stay byte-identical across runs, or the pinned snapshot
+churns.  Every emitted pair must certify under the guide-type checker (the
+paper's soundness property is the point of benchmarking them), and the
+engines must agree with the snapshot's exact golden posteriors within
+Monte-Carlo error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import golden
+from repro.bench.runner import _site_population, point_seed
+from repro.bench.snapshot import FAMILY_SIZES
+from repro.engine.session import ProgramSession
+from repro.fuzz.generator import (
+    BENCH_FAMILIES,
+    HMM_CHAIN_EMIT_MEANS,
+    HMM_CHAIN_EMIT_STD,
+    HMM_CHAIN_INIT_P,
+    HMM_CHAIN_TRANS_P,
+    MIXTURE_COMPONENT_SPACING,
+    MIXTURE_EMIT_STD,
+    RECURSION_OBS_STD,
+    RECURSION_STEP_STD,
+    mixture_weights,
+    recursion_cont_p,
+    synthesize_family,
+)
+from repro.fuzz.oracles import default_obs_values
+from repro.utils.numerics import weighted_mean_se
+
+
+@pytest.mark.parametrize("family", BENCH_FAMILIES)
+def test_synthesis_is_deterministic(family):
+    size = min(FAMILY_SIZES[family])
+    first = synthesize_family(family, size)
+    second = synthesize_family(family, size)
+    assert first.model_source == second.model_source
+    assert first.guide_source == second.guide_source
+    assert first.seed == second.seed
+
+
+def test_unknown_family_is_rejected():
+    with pytest.raises(ValueError, match="unknown bench family"):
+        synthesize_family("zipf_tail", 3)
+
+
+@pytest.mark.parametrize("family", BENCH_FAMILIES)
+@pytest.mark.parametrize("size_index", [0, -1])
+def test_every_pinned_instance_certifies(family, size_index):
+    size = sorted(FAMILY_SIZES[family])[size_index]
+    case = synthesize_family(family, size)
+    session = ProgramSession.from_sources(case.model_source, case.guide_source)
+    assert session.certified
+
+
+def test_hmm_chain_size_counts_latent_sites():
+    small = synthesize_family("hmm_chain", 4)
+    large = synthesize_family("hmm_chain", 8)
+    assert small.model_source.count("sample.recv{latent}") == 4
+    assert large.model_source.count("sample.recv{latent}") == 8
+    # One observation per chain step.
+    assert small.model_source.count("sample.send{obs}") == 4
+    assert large.model_source.count("sample.send{obs}") == 8
+
+
+def _posterior_mean(session, site, obs_values, seed, particles=6000):
+    result = session.infer(
+        "is", num_particles=particles, obs_values=obs_values, seed=seed
+    )
+    values, log_weights = _site_population(result, site)
+    return weighted_mean_se(np.asarray(values, dtype=float), log_weights)
+
+
+def test_hmm_chain_engine_agrees_with_forward_backward():
+    case = synthesize_family("hmm_chain", 4)
+    obs_values = default_obs_values(case)
+    exact = golden.binary_hmm_smoothed(
+        HMM_CHAIN_INIT_P, HMM_CHAIN_TRANS_P, HMM_CHAIN_EMIT_MEANS,
+        HMM_CHAIN_EMIT_STD, obs_values,
+    )
+    session = ProgramSession.from_sources(case.model_source, case.guide_source)
+    for site, golden_mean in enumerate(exact):
+        mean, se = _posterior_mean(
+            session, site, obs_values, seed=point_seed(0, f"hmm_chain/4/{site}")
+        )
+        assert mean == pytest.approx(golden_mean, abs=0.05 + 5 * se)
+
+
+def test_mixture_width_engine_agrees_with_enumeration():
+    case = synthesize_family("mixture_width", 5)
+    obs_values = default_obs_values(case)
+    exact = golden.mixture_index_posterior_mean(
+        mixture_weights(5),
+        [MIXTURE_COMPONENT_SPACING * k for k in range(5)],
+        MIXTURE_EMIT_STD,
+        float(obs_values[0]),
+    )
+    session = ProgramSession.from_sources(case.model_source, case.guide_source)
+    mean, se = _posterior_mean(session, 0, obs_values, seed=point_seed(0, "mixture/5"))
+    assert mean == pytest.approx(exact, abs=0.05 + 5 * se)
+
+
+def test_recursion_depth_engine_agrees_with_geometric_mixture():
+    case = synthesize_family("recursion_depth", 2)
+    obs_values = default_obs_values(case)
+    exact = golden.geometric_walk_first_step_mean(
+        recursion_cont_p(2), RECURSION_STEP_STD, RECURSION_OBS_STD, float(obs_values[0])
+    )
+    session = ProgramSession.from_sources(case.model_source, case.guide_source)
+    # The geometric-stopping walk has heavy-tailed weights; average a few
+    # seeds and allow the family's wider snapshot tolerance.
+    means, ses = zip(
+        *(
+            _posterior_mean(
+                session, 0, obs_values, seed=point_seed(s, "recursion/2"), particles=8000
+            )
+            for s in range(3)
+        )
+    )
+    pooled_se = float(np.sqrt(sum(se**2 for se in ses)) / len(ses))
+    assert float(np.mean(means)) == pytest.approx(exact, abs=0.12 + 5 * pooled_se)

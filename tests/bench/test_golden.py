@@ -1,0 +1,156 @@
+"""The golden derivations must reproduce the conformance suite's pins.
+
+``tests/conformance/test_posterior_conformance.py`` states each exact
+posterior as a literal with its derivation in a comment;
+:mod:`repro.bench.golden` computes the same quantities programmatically for
+the snapshot.  These tests tie the two together — if either side changes,
+the disagreement is a test failure, not a silent snapshot drift.  The
+functions with no conformance pin (mixture index, geometric walk) are
+checked against independent brute-force enumerations instead.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench import golden
+
+# The conformance suite's observation tuples (models/library.py).
+WEIGHT_OBS = (9.5,)
+COIN_OBS = (True, True, False, True, True)
+HMM_OBS = (0.8, 1.1, -0.9, -1.2)
+KALMAN_OBS = (0.4, 0.9, 1.3, 1.9)
+
+
+def test_normal_normal_matches_weight_pin():
+    assert golden.normal_normal_posterior_mean(8.5, 1.0, 0.75, WEIGHT_OBS) == pytest.approx(
+        9.14, abs=1e-9
+    )
+
+
+def test_beta_bernoulli_matches_coin_pin():
+    assert golden.beta_bernoulli_posterior_mean(2.0, 2.0, COIN_OBS) == pytest.approx(
+        2.0 / 3.0, abs=1e-12
+    )
+
+
+def test_enumeration_matches_sprinkler_pin():
+    rain, _sprinkler = golden.enumerate_two_bernoulli(
+        0.2,
+        (0.01, 0.4),
+        {(True, True): 0.99, (True, False): 0.8, (False, True): 0.9, (False, False): 0.05},
+    )
+    assert rain == pytest.approx(0.339515, abs=1e-6)
+
+
+def test_enumeration_matches_burglary_pin():
+    burglary, _quake = golden.enumerate_two_bernoulli(
+        0.01,
+        (0.02, 0.02),
+        {(True, True): 0.95, (True, False): 0.94, (False, True): 0.29, (False, False): 0.01},
+    )
+    assert burglary == pytest.approx(0.378411, abs=1e-6)
+
+
+def test_forward_backward_matches_hmm_pin():
+    smoothed = golden.binary_hmm_smoothed(0.5, (0.7, 0.3), (1.0, -1.0), 1.0, HMM_OBS)
+    assert smoothed == pytest.approx([0.892642, 0.884778, 0.146949, 0.057596], abs=1e-6)
+
+
+def test_precision_solve_matches_kalman_pin():
+    smoothed = golden.linear_gaussian_smoothed(0.0, 1.0, 1.0, 0.5, KALMAN_OBS)
+    assert smoothed == pytest.approx([0.414619, 0.887716, 1.311675, 1.782335], abs=1e-6)
+
+
+def test_forward_backward_matches_exhaustive_enumeration():
+    """The O(N) recursion against the 2^N enumeration it replaces."""
+    init_p, trans_p, emit_means, emit_std = 0.4, (0.8, 0.25), (1.3, -0.7), 0.9
+    observations = (0.5, -1.0, 1.4, 0.2, -0.3)
+    n = len(observations)
+
+    def normal_pdf(x, mean, std):
+        z = (x - mean) / std
+        return math.exp(-0.5 * z * z) / (std * math.sqrt(2.0 * math.pi))
+
+    weights = {}
+    for bits in range(2**n):
+        states = [(bits >> t) & 1 for t in range(n)]
+        p = init_p if states[0] else 1.0 - init_p
+        for t in range(1, n):
+            cont = trans_p[0] if states[t - 1] else trans_p[1]
+            p *= cont if states[t] else 1.0 - cont
+        for t, y in enumerate(observations):
+            p *= normal_pdf(y, emit_means[0] if states[t] else emit_means[1], emit_std)
+        weights[tuple(states)] = p
+    total = sum(weights.values())
+    brute = [
+        sum(p for states, p in weights.items() if states[t]) / total for t in range(n)
+    ]
+
+    fast = golden.binary_hmm_smoothed(init_p, trans_p, emit_means, emit_std, observations)
+    assert fast == pytest.approx(brute, abs=1e-12)
+
+
+def test_precision_solve_matches_sequential_conditioning():
+    """One-step chain sanity: with a single observation the smoothed mean is
+    the conjugate normal-normal posterior."""
+    y = 1.7
+    smoothed = golden.linear_gaussian_smoothed(0.0, 1.0, 1.0, 0.5, (y,))
+    assert smoothed[0] == pytest.approx(
+        golden.normal_normal_posterior_mean(0.0, 1.0, 0.5, (y,)), abs=1e-12
+    )
+
+
+def test_mixture_index_matches_direct_enumeration():
+    weights = (1.0, 1.3, 1.6, 1.9)
+    means = [0.8 * k for k in range(4)]
+    y = 1.1
+    posterior = np.array(
+        [
+            w * math.exp(-0.5 * (y - m) ** 2) / math.sqrt(2.0 * math.pi)
+            for w, m in zip(weights, means)
+        ]
+    )
+    posterior /= posterior.sum()
+    expected = float(np.dot(np.arange(4), posterior))
+    assert golden.mixture_index_posterior_mean(weights, means, 1.0, y) == pytest.approx(
+        expected, abs=1e-12
+    )
+
+
+def test_geometric_walk_degenerates_to_normal_normal():
+    """With cont_p -> 0 the walk always stops after one step, so the answer
+    is the conjugate posterior of a single Normal(0, step_std) latent."""
+    y = -1.9
+    almost_stopped = golden.geometric_walk_first_step_mean(1e-15, 1.0, 0.5, y)
+    assert almost_stopped == pytest.approx(
+        golden.normal_normal_posterior_mean(0.0, 1.0, 0.5, (y,)), abs=1e-9
+    )
+
+
+def test_geometric_walk_matches_truncated_enumeration():
+    """Independent finite-sum reimplementation over stopping times."""
+    cont_p, step_std, obs_std, y = 0.6, 1.1, 0.4, 1.3
+    step_var, obs_var = step_std**2, obs_std**2
+    numerator = evidence = 0.0
+    for t in range(1, 400):  # geometric mass beyond t=400 is ~0.6^399
+        prior_t = (cont_p ** (t - 1)) * (1.0 - cont_p)
+        marg_var = t * step_var + obs_var
+        density = math.exp(-0.5 * y * y / marg_var) / math.sqrt(2.0 * math.pi * marg_var)
+        weight = prior_t * density
+        numerator += weight * y * step_var / marg_var
+        evidence += weight
+    assert golden.geometric_walk_first_step_mean(
+        cont_p, step_std, obs_std, y
+    ) == pytest.approx(numerator / evidence, abs=1e-9)
+
+
+def test_geometric_walk_is_odd_in_the_observation():
+    mean = golden.geometric_walk_first_step_mean(0.5, 1.0, 0.5, 0.0)
+    assert mean == pytest.approx(0.0, abs=1e-12)
+    plus = golden.geometric_walk_first_step_mean(0.5, 1.0, 0.5, 0.9)
+    minus = golden.geometric_walk_first_step_mean(0.5, 1.0, 0.5, -0.9)
+    assert plus == pytest.approx(-minus, abs=1e-12)

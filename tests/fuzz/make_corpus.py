@@ -1,26 +1,65 @@
 #!/usr/bin/env python
-"""Regenerate the pinned fuzz corpus in ``tests/fuzz/corpus/``.
+"""Regenerate or verify the pinned fuzz corpus in ``tests/fuzz/corpus/``.
 
 Run after an *intentional* generator change, then review the diff — the
 corpus is the deterministic record of what the generator produced and what
 the typechecker said, so its churn should always be explainable::
 
     PYTHONPATH=src python tests/fuzz/make_corpus.py
+
+``--check`` rebuilds the corpus into a scratch directory and compares it
+bit-for-bit against the pinned files, exiting non-zero on any drift — CI
+runs this so a generator change can never silently invalidate the pinned
+corpus (the same discipline as ``repro bench snapshot``).
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
+import tempfile
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 
-def main() -> int:
+def _corpus_files(directory: Path) -> dict:
+    return {path.name: path.read_bytes() for path in sorted(directory.glob("*.json"))}
+
+
+def check(directory: Path) -> int:
     from repro.fuzz.corpus import build_corpus
 
-    directory = Path(__file__).resolve().parent / "corpus"
+    with tempfile.TemporaryDirectory(prefix="corpus-check-") as scratch:
+        rebuilt_dir = Path(scratch)
+        build_corpus(rebuilt_dir)
+        pinned = _corpus_files(directory)
+        rebuilt = _corpus_files(rebuilt_dir)
+
+    drift = []
+    for name in sorted(set(pinned) - set(rebuilt)):
+        drift.append(f"  pinned but no longer generated: {name}")
+    for name in sorted(set(rebuilt) - set(pinned)):
+        drift.append(f"  generated but not pinned: {name}")
+    for name in sorted(set(pinned) & set(rebuilt)):
+        if pinned[name] != rebuilt[name]:
+            drift.append(f"  content differs: {name}")
+    if drift:
+        print(f"corpus drift against {directory}:")
+        print("\n".join(drift))
+        print(
+            "regenerate with 'PYTHONPATH=src python tests/fuzz/make_corpus.py' "
+            "and review the diff"
+        )
+        return 1
+    print(f"corpus check: {len(pinned)} pinned entries match the generator bit-for-bit")
+    return 0
+
+
+def regenerate(directory: Path) -> int:
+    from repro.fuzz.corpus import build_corpus
+
     for stale in directory.glob("*.json"):
         stale.unlink()
     entries = build_corpus(directory)
@@ -28,6 +67,18 @@ def main() -> int:
     mutants = len(entries) - generated
     print(f"wrote {len(entries)} entries ({generated} generated, {mutants} mutants) to {directory}")
     return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the pinned corpus reproduces bit-for-bit instead of rewriting it",
+    )
+    args = parser.parse_args()
+    directory = Path(__file__).resolve().parent / "corpus"
+    return check(directory) if args.check else regenerate(directory)
 
 
 if __name__ == "__main__":
