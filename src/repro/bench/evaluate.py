@@ -50,9 +50,17 @@ class EvaluateConfig:
 
 
 def curve_key(point: dict) -> str:
-    """The curve a sweep point belongs to."""
+    """The curve a sweep point belongs to.
+
+    The backend segment carries the JIT tier as a ``+tier`` suffix (matching
+    the runner's point keys), so ``compiled`` and ``compiled+mega`` gate as
+    separate curves.  Points from runs predating the tier field stay on
+    their historical keys.
+    """
+    jit = point.get("jit", "none")
+    backend = point["backend"] if jit == "none" else f"{point['backend']}+{jit}"
     return "{}/{}/{}/shards={}".format(
-        point["model"], point["engine"], point["backend"], point["shards"]
+        point["model"], point["engine"], backend, point["shards"]
     )
 
 
@@ -96,6 +104,7 @@ def build_curves(results_doc: dict) -> List[dict]:
                 "model": first["model"],
                 "engine": first["engine"],
                 "backend": first["backend"],
+                "jit": first.get("jit", "none"),
                 "shards": first["shards"],
                 "points": curve_points,
             }

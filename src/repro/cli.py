@@ -112,15 +112,23 @@ def _refuse_uncertified(session: ProgramSession, args: argparse.Namespace) -> bo
 
 
 def _print_backend(session, diagnostics: dict) -> None:
-    """Report which particle runtime actually served the request."""
+    """Report which particle runtime actually served the request.
+
+    The fallback reason is surfaced uniformly across ``run-is``/``run-smc``/
+    ``run-svi``: the per-run diagnostics win (they carry runtime fallbacks
+    like a mid-run sequential divert), with the session's compile-gate
+    verdict as the fallback source.
+    """
     backend = diagnostics.get("backend")
     if backend is None and session.compiled_backend_supported is None:
         return
-    if session.compiled_fallback_reason is not None:
-        print(f"backend                 : interp (compiled fallback: "
-              f"{session.compiled_fallback_reason})")
+    reason = diagnostics.get("fallback_reason") or session.compiled_fallback_reason
+    if reason is not None:
+        print(f"backend                 : interp (compiled fallback: {reason})")
     elif backend is not None:
-        print(f"backend                 : {backend}")
+        jit = diagnostics.get("jit", "none")
+        suffix = f" (jit={jit})" if jit not in (None, "none") else ""
+        print(f"backend                 : {backend}{suffix}")
 
 
 def _print_sharding(args: argparse.Namespace) -> None:
@@ -204,6 +212,7 @@ def cmd_run_is(args: argparse.Namespace) -> int:
             obs_values=args.obs or None,  # empty --obs means prior predictive
             seed=args.seed,
             backend=args.backend,
+            jit=args.jit,
             **_shard_kwargs(args),
         )
         _print_engine_summary(result, num_particles)
@@ -235,6 +244,7 @@ def cmd_run_smc(args: argparse.Namespace) -> int:
             ess_threshold=args.ess_threshold,
             rejuvenate=not args.no_rejuvenation,
             backend=args.backend,
+            jit=args.jit,
             **_shard_kwargs(args),
         )
         _print_engine_summary(result, num_particles)
@@ -304,6 +314,7 @@ def cmd_run_svi(args: argparse.Namespace) -> int:
             rao_blackwellize=args.rao_blackwellize,
             final_particles=args.final_particles,
             backend=args.backend,
+            jit=args.jit,
             **_shard_kwargs(args),
         )
         diagnostics = result.diagnostics()
@@ -509,6 +520,8 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
         overrides["engines"] = parse_csv(args.engines)
     if args.backends:
         overrides["backends"] = parse_csv(args.backends)
+    if args.jits:
+        overrides["jits"] = parse_csv(args.jits)
     if args.shards:
         overrides["shards"] = tuple(int(s) for s in parse_csv(args.shards))
     if args.repeats is not None:
@@ -573,6 +586,20 @@ def cmd_bench_evaluate(args: argparse.Namespace) -> int:
         print(f"bench evaluate: FAILED ({len(violations)} violation(s))", file=sys.stderr)
         return 1
     print("bench evaluate: all gates passed")
+    return 0
+
+
+def cmd_bench_plot(args: argparse.Namespace) -> int:
+    """Render per-model scaling-curve SVGs from a run directory."""
+    from repro.bench.evaluate import evaluate_run
+    from repro.bench.plots import plot_report
+
+    report, _violations = evaluate_run(Path(args.run))
+    out_dir = Path(args.out) if args.out else Path(args.run) / "plots"
+    written = plot_report(report, out_dir)
+    for name in written:
+        print(f"bench plot: wrote {out_dir / name}")
+    print(f"bench plot: {len(written)} figure(s) in {out_dir}")
     return 0
 
 
@@ -654,6 +681,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "batched kernels compiled per model/guide pair "
                             "(bitwise-identical results; falls back to interp "
                             "for recursive programs)")
+        p.add_argument("--jit", choices=["none", "mega"], default="none",
+                       help="compiled-backend tier: 'none' dispatches per-group "
+                            "sub-kernels, 'mega' schedules the whole path tree "
+                            "inside one emitted megakernel (bitwise-identical; "
+                            "also compiles the SVI rescoring pass)")
         p.add_argument("--workers", type=int, default=1,
                        help="worker processes for sharded execution (1 = in-process). "
                             "Results depend on the shard plan, not the pool size — "
@@ -850,6 +882,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated engine override (default is,smc,svi)")
     p_run.add_argument("--backends", default=None,
                        help="comma-separated backend override (default interp,compiled)")
+    p_run.add_argument("--jits", default=None,
+                       help="comma-separated compiled-backend JIT tiers to sweep "
+                            "(default none,mega; interp points ignore this)")
     p_run.add_argument("--shards", default=None,
                        help="comma-separated shard-count override")
     p_run.add_argument("--repeats", type=int, default=None,
@@ -884,6 +919,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--no-record", action="store_true",
                         help="do not record curves into BENCH_results.json")
     p_eval.set_defaults(func=cmd_bench_evaluate)
+
+    p_plot = suite_sub.add_parser(
+        "plot", help="render one scaling-curve SVG per model from a run"
+    )
+    p_plot.add_argument("--run", default="bench_runs/latest", metavar="DIR",
+                        help="run directory written by 'bench run'")
+    p_plot.add_argument("--out", default=None, metavar="DIR",
+                        help="output directory for SVGs (default <run>/plots)")
+    p_plot.set_defaults(func=cmd_bench_plot)
 
     p_snap = suite_sub.add_parser(
         "snapshot", help="check (default) or regenerate the pinned snapshot"

@@ -38,7 +38,7 @@ from __future__ import annotations
 import math
 from typing import Optional, Sequence, Tuple
 
-import numpy as np
+from repro.xp import np
 
 from repro.core import ast
 from repro.core.semantics import traces as tr
@@ -65,6 +65,7 @@ from repro.engine.vectorize import (
     VecMessage,
     VectorizationUnsupported,
     _broadcast_values,
+    _GroupResult,
     _Leaf,
 )
 from repro.errors import ChannelProtocolError, EvaluationError, TraceExhausted, TraceTypeMismatch
@@ -300,6 +301,58 @@ def chk_pois(rate) -> None:
     )
 
 
+# Single-parameter variants for the megakernel tier: when provenance proves
+# one parameter of a two-parameter family, only the other needs its check.
+# Each reproduces the corresponding ``_require_all`` call of the combined
+# ``chk_*`` above verbatim (same predicate, same message), so skipping a
+# *proven* parameter's check is unobservable — a proven parameter passes it
+# by construction.
+
+
+def chk_normal_mean(mean) -> None:
+    _require_all(np.isfinite(mean), ast.DistKind.NORMAL, "mean must be a finite real")
+
+
+def chk_normal_stddev(stddev) -> None:
+    _require_all(
+        np.isfinite(stddev) & (np.asarray(stddev) > 0.0),
+        ast.DistKind.NORMAL,
+        "stddev must be positive",
+    )
+
+
+def chk_gamma_shape(shape) -> None:
+    _require_all(
+        np.isfinite(shape) & (np.asarray(shape) > 0.0),
+        ast.DistKind.GAMMA,
+        "shape must be positive",
+    )
+
+
+def chk_gamma_rate(rate) -> None:
+    _require_all(
+        np.isfinite(rate) & (np.asarray(rate) > 0.0),
+        ast.DistKind.GAMMA,
+        "rate must be positive",
+    )
+
+
+def chk_beta_alpha(alpha) -> None:
+    _require_all(
+        np.isfinite(alpha) & (np.asarray(alpha) > 0.0),
+        ast.DistKind.BETA,
+        "alpha must be positive",
+    )
+
+
+def chk_beta_beta(beta) -> None:
+    _require_all(
+        np.isfinite(beta) & (np.asarray(beta) > 0.0),
+        ast.DistKind.BETA,
+        "beta must be positive",
+    )
+
+
 # ---------------------------------------------------------------------------
 # Per-family batched samplers (array-parameter fast paths)
 #
@@ -377,8 +430,7 @@ def score_normal_at(mean, stddev, y, n: int) -> np.ndarray:
     if not _is_plain_number(y):
         return _fallback_score(ast.DistKind.NORMAL, (mean, stddev), y, n)
     ok = bool(np.isfinite(y))
-    with np.errstate(over="ignore"):
-        lp = normal_log_prob_inbounds(mean, stddev, y if ok else 0.0)
+    lp = normal_log_prob_inbounds(mean, stddev, y if ok else 0.0)
     return _spread(lp, ok, n)
 
 
@@ -602,4 +654,144 @@ def make_leaf(
         guide_value=guide_value,
         model_site_scores=model_site_scores,
         guide_site_scores=guide_site_scores,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Megakernel support: integer gathers, path stamps, and compiled rescoring
+# ---------------------------------------------------------------------------
+#
+# The ``gat*`` helpers are the megakernel's counterparts to the ``slc*``
+# mask slicers above.  They take integer *positions* (``np.flatnonzero`` of
+# the arm mask, computed once per fork arm) instead of a boolean mask, so
+# each state array pays O(subgroup) gather work rather than an O(parent)
+# mask scan — NumPy fancy indexing makes the two bitwise-identical.  The
+# recorded-message logs need no runtime gathering at all: the megakernel
+# compiler tracks them symbolically and the generated leaves materialize
+# the message lists from already-gathered payload variables.
+
+
+def gat(value: object, positions: np.ndarray) -> object:
+    """Gather one live variable down to a subgroup (tuples recurse)."""
+    if isinstance(value, np.ndarray):
+        return value[positions]
+    if isinstance(value, tuple):
+        return tuple(gat(item, positions) for item in value)
+    return value
+
+
+def gat_led(ledger: list, positions: np.ndarray) -> list:
+    return [(channel, scores[positions]) for channel, scores in ledger]
+
+
+def mega_leaf(
+    indices: np.ndarray,
+    lw_model: np.ndarray,
+    lw_guide: np.ndarray,
+    recorded: dict,
+    obs_scores: list,
+    model_value: object,
+    guide_value: object,
+    model_site_scores: list,
+    guide_site_scores: list,
+    path_id: int,
+) -> _Leaf:
+    """A leaf stamped with its compile-time path id for compiled rescoring."""
+    leaf = make_leaf(
+        indices, lw_model, lw_guide, recorded, obs_scores,
+        model_value, guide_value, model_site_scores, guide_site_scores,
+    )
+    leaf.mega_path = path_id
+    return leaf
+
+
+class RescoreDivert(Exception):
+    """The compiled rescore pass cannot replay this leaf on its straight line.
+
+    Raised when a re-evaluated pure branch predicate no longer uniformly
+    selects the compiled arm (the interpretive rescorer would split, follow
+    the flipped arm, or fail its log checks) or when a leaf carries no
+    megakernel path stamp.  Callers delegate the *whole leaf* to the
+    interpretive :meth:`~repro.engine.vectorize.ParticleVectorizer.rescore_group`,
+    which reproduces the exact interpreter semantics for every divergent case.
+    """
+
+
+def rep_val(log: list, position: int, channel: str) -> object:
+    """Consume a recorded sample value during compiled rescoring."""
+    entry = _rep_take(log, position, "val", channel)
+    return entry.payload
+
+
+def rep_dir(log: list, position: int, channel: str, expected: bool) -> None:
+    """Consume a recorded branch selection; divert when it contradicts the path."""
+    entry = _rep_take(log, position, "dir", channel)
+    if bool(entry.payload) != expected:
+        raise RescoreDivert(
+            f"recorded branch selection on {channel!r} contradicts the leaf's "
+            "compiled path stamp"
+        )
+
+
+def rep_fold(log: list, position: int, channel: str) -> None:
+    """Consume a recorded procedure-call marker during compiled rescoring."""
+    _rep_take(log, position, "fold", channel)
+
+
+def _rep_take(log: list, position: int, kind: str, channel: str) -> VecMessage:
+    if position >= len(log):
+        raise ChannelProtocolError(
+            f"rescore on {channel!r} ran past the recorded message log; the "
+            "replayed execution diverged from the recorded control path"
+        )
+    entry = log[position]
+    if entry.kind != kind:
+        raise ChannelProtocolError(
+            f"group replay on {channel!r}: expected a {kind} message, found "
+            f"a {entry.kind} message"
+        )
+    return entry
+
+
+def rep_pure(pred: object, expected: bool) -> None:
+    """Check a re-evaluated pure branch still selects the compiled arm.
+
+    A mixed or flipped predicate means the straight-line replay is invalid;
+    the caller falls back to the interpretive rescorer, which reproduces the
+    exact split/flip/protocol-error semantics.
+    """
+    selection = uniform_or_none(pred)
+    if selection is None or bool(selection) != expected:
+        raise RescoreDivert(
+            "pure branch predicate changed under the rescoring arguments"
+        )
+
+
+def rep_end(log: list, position: int, channel: str) -> None:
+    """Assert the compiled rescore consumed the channel's whole recorded log."""
+    if position < len(log):
+        raise ChannelProtocolError(
+            f"rescore on {channel!r} consumed only {position} of "
+            f"{len(log)} recorded messages; the replayed "
+            "execution diverged from the recorded control path"
+        )
+
+
+def rescore_result(
+    lw_model: np.ndarray,
+    lw_guide: np.ndarray,
+    model_value: object,
+    guide_value: object,
+    obs_scores: list,
+    model_site_scores: list,
+    guide_site_scores: list,
+    recorded: dict,
+) -> _GroupResult:
+    """Assemble a compiled rescore pass's outputs as the interpreter's result type."""
+    return _GroupResult(
+        log_weights={"model": lw_model, "guide": lw_guide},
+        values={"model": model_value, "guide": guide_value},
+        recorded=recorded,
+        obs_scores={"model": obs_scores, "guide": []},
+        site_scores={"model": model_site_scores, "guide": guide_site_scores},
     )

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
+from repro.xp import np
 from scipy import stats
 
 from repro.core import types as ty
@@ -46,22 +46,24 @@ def normal_log_prob_kernel(mean, stddev, x: np.ndarray) -> np.ndarray:
 # compiled batched backend calls these when the value's provenance (the
 # family that sampled it) proves support membership; anything else must go
 # through the masked kernel.  ``tests/test_fused_codegen.py`` pins the
-# bitwise agreement per family.
+# bitwise agreement per family.  Unlike the masked kernels these enter no
+# ``np.errstate`` context of their own — the compiled kernels hold one
+# ``errstate(over="ignore")`` for the whole run (a per-call context was
+# measurably hot at fine-grained control-flow groups), and errstate only
+# affects warning emission, never values.
 
 
 def normal_log_prob_inbounds(mean, stddev, x: np.ndarray) -> np.ndarray:
     """``normal_log_prob_kernel`` for values known to be finite reals."""
-    with np.errstate(over="ignore"):
-        z = (x - mean) / stddev
-        return -0.5 * z * z - np.log(stddev) - 0.5 * LOG_2PI
+    z = (x - mean) / stddev
+    return -0.5 * z * z - np.log(stddev) - 0.5 * LOG_2PI
 
 
 def gamma_log_prob_inbounds(shape, rate, x: np.ndarray) -> np.ndarray:
     """``gamma_log_prob_kernel`` for values known to be finite and positive."""
     from scipy.special import gammaln
 
-    with np.errstate(over="ignore"):
-        return shape * np.log(rate) - gammaln(shape) + (shape - 1.0) * np.log(x) - rate * x
+    return shape * np.log(rate) - gammaln(shape) + (shape - 1.0) * np.log(x) - rate * x
 
 
 def beta_log_prob_inbounds(alpha, beta, x: np.ndarray) -> np.ndarray:

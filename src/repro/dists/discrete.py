@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-import numpy as np
+from repro.xp import np
 
 from repro.core import types as ty
 from repro.dists.base import (
@@ -69,8 +69,9 @@ def poisson_log_prob_inbounds(rate, x: np.ndarray) -> np.ndarray:
     """``poisson_log_prob_kernel`` for values known to be naturals."""
     from scipy.special import gammaln
 
-    with np.errstate(over="ignore"):
-        return x * np.log(rate) - rate - gammaln(x + 1.0)
+    # No errstate here: the compiled kernels hold one per-run
+    # ``errstate(over="ignore")`` (see repro.dists.continuous).
+    return x * np.log(rate) - rate - gammaln(x + 1.0)
 
 
 class Bernoulli(Distribution):

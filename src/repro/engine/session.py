@@ -86,7 +86,9 @@ class ProgramSession:
 
         self._model_guide_types = None
         self._guide_guide_types = None
-        self._fused = None
+        #: Per-JIT-tier kernel memo: ``{"none": (kernel, reason), "mega": ...}``,
+        #: filled in lazily by :meth:`fused_kernel`.
+        self._fused = {}
         #: Compiled-backend feature check, filled in lazily by
         #: :meth:`fused_kernel`: ``None`` until a compiled-backend request
         #: arrives, then ``True``/``False``.
@@ -150,28 +152,33 @@ class ProgramSession:
 
     # -- compiled backend ------------------------------------------------------
 
-    def fused_kernel(self):
-        """The pair's fused batched kernel, compiled once and cached.
+    def fused_kernel(self, jit: str = "none"):
+        """The pair's compiled batched kernel, compiled once per tier and cached.
 
-        Returns ``(kernel, None)`` when the pair is inside the compiled
-        fragment and ``(None, reason)`` otherwise; the decision is recorded
-        on :attr:`compiled_backend_supported` / :attr:`compiled_fallback_reason`.
+        ``jit="none"`` compiles the fused per-region kernel, ``jit="mega"``
+        the cross-group megakernel.  Returns ``(kernel, None)`` when the
+        pair is inside the compiled fragment and ``(None, reason)``
+        otherwise; the latest decision is recorded on
+        :attr:`compiled_backend_supported` / :attr:`compiled_fallback_reason`
+        (both tiers share the same fragment gate, so the verdict does not
+        depend on the tier).
         """
-        if self._fused is None:
+        if jit not in self._fused:
             from repro.engine.backend import fused_kernel_for
 
-            self._fused = fused_kernel_for(
+            self._fused[jit] = fused_kernel_for(
                 self.model_program,
                 self.guide_program,
                 self.model_entry,
                 self.guide_entry,
                 latent_channel=self.latent_channel,
                 obs_channel=self.obs_channel,
+                jit=jit,
             )
-            kernel, reason = self._fused
-            self.compiled_backend_supported = kernel is not None
-            self.compiled_fallback_reason = reason
-        return self._fused
+        kernel, reason = self._fused[jit]
+        self.compiled_backend_supported = kernel is not None
+        self.compiled_fallback_reason = reason
+        return self._fused[jit]
 
     # -- serving ---------------------------------------------------------------
 

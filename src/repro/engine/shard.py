@@ -186,6 +186,9 @@ class ShardTask:
     #: process boundary.  Weights, traces, and observation scores are
     #: unaffected.
     trim_site_scores: bool = False
+    #: Compiled-backend JIT tier the shard executes (frozen by the parent,
+    #: like ``backend``, so workers never re-resolve the tier).
+    jit: str = "none"
     #: Position of this shard in its wave's plan (names its trace track).
     index: int = 0
     #: Capture trace spans in the executing process and ship them home.
@@ -205,6 +208,10 @@ class ShardResult:
     leaves: List[_Leaf]
     vectorized: bool
     backend: str
+    #: JIT tier the shard ran at (mirrors ``VectorRunResult.jit``).
+    jit: str = "none"
+    #: Compiled→interp fallback reason observed inside the shard, if any.
+    fallback_reason: Optional[str] = None
     #: Wall time of the shard task in its executing process.
     wall_s: float = 0.0
     #: Array bytes the result carried across the process boundary (0 when it
@@ -232,6 +239,7 @@ def run_shard_task(task: ShardTask) -> ShardResult:
         shard=task.index,
         particles=task.count,
         backend=task.backend,
+        jit=task.jit,
     ):
         runner = make_particle_runner(
             task.model_program,
@@ -244,6 +252,8 @@ def run_shard_task(task: ShardTask) -> ShardResult:
             latent_channel=task.latent_channel,
             obs_channel=task.obs_channel,
             backend=task.backend,
+            jit=task.jit,
+            trim_site_scores=task.trim_site_scores,
         )
         run = runner.run(task.count, np.random.default_rng(task.seed))
     leaves = run.leaves
@@ -256,6 +266,8 @@ def run_shard_task(task: ShardTask) -> ShardResult:
         leaves=leaves,
         vectorized=run.vectorized,
         backend=run.backend,
+        jit=getattr(run, "jit", "none"),
+        fallback_reason=getattr(run, "fallback_reason", None),
         wall_s=time.perf_counter() - started,
     )
 
@@ -653,6 +665,7 @@ class ShardWave:
                 for leaf in result.leaves:
                     leaves.append(replace(leaf, indices=leaf.indices + task.start))
         _SHARD_MERGE_SECONDS.observe(time.perf_counter() - merge_started)
+        fallback_reasons = [r.fallback_reason for r in results if r.fallback_reason]
         return VectorRunResult(
             self.num_particles,
             leaves,
@@ -664,6 +677,8 @@ class ShardWave:
                 if results and all(r.backend == "compiled" for r in results)
                 else "interp"
             ),
+            jit=results[0].jit if results else "none",
+            fallback_reason=fallback_reasons[0] if fallback_reasons else None,
         )
 
 
@@ -691,6 +706,7 @@ class ShardedParticleRunner:
         latent_channel: str = "latent",
         obs_channel: str = "obs",
         backend: str = "interp",
+        jit: str = "none",
         session=None,
         workers: int = 1,
         shards: int = 1,
@@ -703,8 +719,8 @@ class ShardedParticleRunner:
         self.latent_channel = latent_channel
         self.obs_channel = obs_channel
         self.obs_trace = tuple(obs_trace) if obs_trace is not None else None
-        #: In-process runner: serves 1-shard runs (bit-identical legacy path),
-        #: SVI group rescoring, and the compiled-fallback diagnostics.
+        #: In-process runner: serves 1-shard runs (bit-identical legacy path)
+        #: and SVI group rescoring.
         self.local = make_particle_runner(
             model_program,
             guide_program,
@@ -716,7 +732,21 @@ class ShardedParticleRunner:
             latent_channel=latent_channel,
             obs_channel=obs_channel,
             backend=backend,
+            jit=jit,
             session=session,
+            trim_site_scores=trim_site_scores,
+        )
+        # Fallback state is resolved ONCE here, at construction, and frozen
+        # on the runner itself.  It used to be read through ``self.local`` on
+        # every access, which let concurrently-running requests observe a
+        # torn view (one thread seeing the compiled verdict while another
+        # still saw the pre-resolution default).  ``effective_backend`` is
+        # what every shard of every run of this runner executes.
+        self.requested_backend = backend
+        self.jit = jit
+        self.fallback_reason: Optional[str] = getattr(self.local, "fallback_reason", None)
+        self.effective_backend: str = (
+            backend if self.fallback_reason is None else "interp"
         )
         self._task_template = ShardTask(
             model_program=model_program,
@@ -730,7 +760,8 @@ class ShardedParticleRunner:
             obs_channel=obs_channel,
             # Freeze the *resolved* backend so workers never re-attempt a
             # compilation the parent already knows falls back.
-            backend=backend if getattr(self.local, "fallback_reason", None) is None else "interp",
+            backend=self.effective_backend,
+            jit=jit if self.effective_backend == "compiled" else "none",
             count=0,
             trim_site_scores=trim_site_scores,
         )
@@ -738,12 +769,7 @@ class ShardedParticleRunner:
     @property
     def backend(self) -> str:
         """The backend the underlying runners execute (after fallback)."""
-        return self.local.backend
-
-    @property
-    def fallback_reason(self) -> Optional[str]:
-        """Why the compiled backend fell back to the interpreter, if it did."""
-        return getattr(self.local, "fallback_reason", None)
+        return self.effective_backend
 
     def prepare(self, num_particles: int, rng: np.random.Generator) -> ShardWave:
         """Build the shard tasks for one run without executing them.
@@ -777,10 +803,18 @@ class ShardedParticleRunner:
         """
         rng = ensure_rng(rng)
         if self.num_shards == 1 or num_particles == 1:
-            return self.local.run(num_particles, rng)
-        wave = self.prepare(num_particles, rng)
-        results = execute_tasks(wave.tasks, self.workers)
-        return wave.merge(results, self.latent_channel, self.obs_channel)
+            run = self.local.run(num_particles, rng)
+        else:
+            wave = self.prepare(num_particles, rng)
+            results = execute_tasks(wave.tasks, self.workers)
+            run = wave.merge(results, self.latent_channel, self.obs_channel)
+        # A gate-level fallback (unsupported fragment) is resolved here at
+        # construction, so the interp runners below never see it — stamp the
+        # hoisted reason onto the result for diagnostics.  Runtime fallbacks
+        # already arrive stamped by the compiled runner itself.
+        if self.fallback_reason is not None and getattr(run, "fallback_reason", None) is None:
+            run.fallback_reason = self.fallback_reason
+        return run
 
     def rescore_group(self, leaf: _Leaf, rng=None):
         """Replay one recorded control-flow group in-process (no randomness)."""

@@ -29,7 +29,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
+from repro.xp import np
 
 from repro.core import ast
 from repro.core.semantics import traces as tr
@@ -147,6 +147,7 @@ def smc(
     latent_channel: str = "latent",
     obs_channel: str = "obs",
     backend: str = "interp",
+    jit: str = "none",
     session=None,
     workers: int = 1,
     shards: Optional[int] = None,
@@ -184,6 +185,7 @@ def smc(
         latent_channel=latent_channel,
         obs_channel=obs_channel,
         backend=backend,
+        jit=jit,
         session=session,
         workers=workers,
         shards=shards,

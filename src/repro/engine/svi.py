@@ -42,7 +42,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
+from repro.xp import np
 
 from repro.core import ast
 from repro.core.semantics import traces as tr
@@ -106,6 +106,7 @@ def estimate_elbo_batched(
     latent_channel: str = "latent",
     obs_channel: str = "obs",
     backend: str = "interp",
+    jit: str = "none",
     session=None,
     workers: int = 1,
     shards: Optional[int] = None,
@@ -131,6 +132,7 @@ def estimate_elbo_batched(
         latent_channel=latent_channel,
         obs_channel=obs_channel,
         backend=backend,
+        jit=jit,
         session=session,
         workers=workers,
         shards=shards,
@@ -185,6 +187,7 @@ def elbo_and_score_gradient(
     rao_blackwellize: bool = False,
     score_epsilon: float = DEFAULT_SCORE_EPSILON,
     backend: str = "interp",
+    jit: str = "none",
     session=None,
     workers: int = 1,
     shards: Optional[int] = None,
@@ -214,12 +217,16 @@ def elbo_and_score_gradient(
     from repro.engine.backend import make_particle_runner
 
     def vectorizer_at(
-        at: ParamStore, at_backend: str = "interp", at_shards: Optional[int] = 1
+        at: ParamStore,
+        at_backend: str = "interp",
+        at_jit: str = "none",
+        at_shards: Optional[int] = 1,
     ) -> ParticleVectorizer:
-        # The sampling pass honours the backend and shard choices; the ±ε
-        # *rescoring* passes replay recorded groups through the interpreter
-        # in-process either way (rescore_group is replay machinery that
-        # consumes no randomness, so there is nothing to shard).
+        # The sampling pass honours the backend and shard choices.  The ±ε
+        # *rescoring* passes run in-process either way (rescore_group is
+        # replay machinery that consumes no randomness, so there is nothing
+        # to shard): under ``jit="mega"`` they replay through the compiled
+        # rescore pass, otherwise through the interpreter.
         return make_particle_runner(
             model_program,
             guide_program,
@@ -231,6 +238,7 @@ def elbo_and_score_gradient(
             latent_channel=latent_channel,
             obs_channel=obs_channel,
             backend=at_backend,
+            jit=at_jit,
             session=session,
             workers=workers,
             shards=at_shards,
@@ -239,9 +247,18 @@ def elbo_and_score_gradient(
             trim_site_scores=not rao_blackwellize,
         )
 
+    # Rescoring tier: the megakernel ships a compiled group-rescoring pass
+    # (bitwise-identical to the interpretive replay), so the ±ε vectorizers
+    # reuse the compiled backend there.  The fused tier has no compiled
+    # rescore — those requests keep the interpretive replay.
+    if backend == "compiled" and jit == "mega":
+        rescore_backend, rescore_jit = "compiled", "mega"
+    else:
+        rescore_backend, rescore_jit = "interp", "none"
+
     sample_started = time.perf_counter()
     with span("svi.sample", particles=num_particles):
-        run = vectorizer_at(store, backend, shards).run(num_particles, rng)
+        run = vectorizer_at(store, backend, jit, shards).run(num_particles, rng)
     _SVI_PHASE_SECONDS.labels(phase="sample").observe(
         time.perf_counter() - sample_started
     )
@@ -270,8 +287,12 @@ def elbo_and_score_gradient(
     rescore_started = time.perf_counter()
     with span("svi.rescore", particles=num_particles):
         for name, index in store.coordinates():
-            plus = vectorizer_at(store.perturbed(name, index, +eps))
-            minus = vectorizer_at(store.perturbed(name, index, -eps))
+            plus = vectorizer_at(
+                store.perturbed(name, index, +eps), rescore_backend, rescore_jit
+            )
+            minus = vectorizer_at(
+                store.perturbed(name, index, -eps), rescore_backend, rescore_jit
+            )
             contrib = np.zeros(f.size)
             valid = finite.copy()
             with np.errstate(invalid="ignore"):
@@ -406,6 +427,7 @@ def fit_svi(
     score_epsilon: float = DEFAULT_SCORE_EPSILON,
     grad_clip_norm: Optional[float] = 10.0,
     backend: str = "interp",
+    jit: str = "none",
     session=None,
     workers: int = 1,
     shards: Optional[int] = None,
@@ -444,6 +466,7 @@ def fit_svi(
             rao_blackwellize=rao_blackwellize,
             score_epsilon=score_epsilon,
             backend=backend,
+            jit=jit,
             session=session,
             workers=workers,
             shards=shards,
@@ -551,6 +574,10 @@ class SVIEngineResult(EngineResult):
         run = getattr(self._importance, "run", None)
         if run is not None:
             out["backend"] = run.backend
+            out["jit"] = getattr(run, "jit", "none")
+            reason = getattr(run, "fallback_reason", None)
+            if reason is not None:
+                out["fallback_reason"] = reason
         return out
 
 

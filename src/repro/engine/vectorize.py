@@ -39,7 +39,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
+from repro.xp import np
 from collections import deque
 
 from repro.core import ast
@@ -931,6 +931,9 @@ class ParticleVectorizer:
             latent_channel=self.latent_channel,
             obs_channel=self.obs_channel,
             vectorized=vectorized,
+            # Set by make_particle_runner when this interp runner is serving
+            # a compiled request whose pair is outside the fused fragment.
+            fallback_reason=getattr(self, "fallback_reason", None),
         )
 
     def rescore_group(self, leaf: _Leaf, rng=None) -> _GroupResult:
@@ -1098,6 +1101,8 @@ class VectorRunResult:
         obs_channel: str = "obs",
         vectorized: bool = True,
         backend: str = "interp",
+        jit: str = "none",
+        fallback_reason: Optional[str] = None,
     ):
         self.num_particles = num_particles
         self.leaves = leaves
@@ -1108,6 +1113,14 @@ class VectorRunResult:
         #: lockstep interpreter, possibly via its sequential fallback) or
         #: ``"compiled"`` (a fused batched kernel).
         self.backend = backend
+        #: Which JIT tier the compiled backend was *requested* at: ``"none"``
+        #: (per-region fused kernel) or ``"mega"`` (cross-group megakernel).
+        #: Carries the requested tier even when ``backend`` reports a
+        #: fallback to ``"interp"`` so diagnostics can pair the two.
+        self.jit = jit
+        #: Why a compiled-backend run was served by the interpreter instead
+        #: (``None`` when no fallback happened).
+        self.fallback_reason = fallback_reason
 
         self.model_log_weights = np.empty(num_particles)
         self.guide_log_weights = np.empty(num_particles)
@@ -1265,6 +1278,7 @@ def vectorized_importance(
     obs_channel: str = "obs",
     raise_on_all_zero: bool = True,
     backend: str = "interp",
+    jit: str = "none",
     session=None,
     workers: int = 1,
     shards: Optional[int] = None,
@@ -1291,6 +1305,7 @@ def vectorized_importance(
         latent_channel=latent_channel,
         obs_channel=obs_channel,
         backend=backend,
+        jit=jit,
         session=session,
         workers=workers,
         shards=shards,

@@ -1,0 +1,82 @@
+"""The array-namespace seam: every numeric hot path imports ``np`` from here.
+
+``repro.xp`` is the single point where the project binds to an array
+library.  Today the active namespace is NumPy; the seam exists so a
+drop-in accelerated namespace (CuPy, JAX's ``jax.numpy``, or a
+Numba-jitted shim) can be swapped in at one import site instead of a
+tree-wide rewrite.  The modules routed through the seam are the numeric
+hot paths: ``dists/`` (base/continuous/discrete), the compiled kernels'
+``compiler/batched_runtime.py``, and the engine loops
+(``engine/vectorize.py``, ``engine/smc.py``, ``engine/svi.py``).
+Generated fused/mega kernels also import their ``np`` from here, which is
+why the kernel caches key on :func:`active_namespace` — a kernel compiled
+against one namespace must never be served to another.
+
+Two contracts:
+
+* **No installs.**  The seam only ever *detects* accelerators that are
+  already importable; it never adds a dependency.  On a plain NumPy
+  environment every helper degrades to the identity.
+* **Bitwise stability.**  The conformance suite pins interp/compiled/mega
+  parity bit-for-bit under the NumPy namespace.  An accelerated namespace
+  is opted into explicitly (``REPRO_XP_JIT=1``) and is *outside* that
+  bitwise contract until proven; that is why :func:`jit` defaults to the
+  identity even when Numba happens to be importable.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+
+import numpy as np
+
+__all__ = ["np", "active_namespace", "jit", "jit_backend", "numba_available"]
+
+#: Name of the active array namespace.  There is exactly one today; the
+#: kernel-cache keys carry it so a future second namespace can never be
+#: served a stale kernel (see ``engine/backend.py``).
+_ACTIVE = "numpy"
+
+
+def active_namespace() -> str:
+    """The name of the array namespace every seam import resolves to."""
+    return _ACTIVE
+
+
+def numba_available() -> bool:
+    """True when a Numba installation is importable (never installed by us)."""
+    return importlib.util.find_spec("numba") is not None
+
+
+def jit_backend() -> str:
+    """Which JIT decorates :func:`jit`-wrapped helpers: ``"numba"`` or ``"none"``.
+
+    Numba is used only when it is both importable *and* explicitly opted
+    into via ``REPRO_XP_JIT=1`` — accelerated codegen is outside the
+    bitwise-parity contract until a conformance run proves it.
+    """
+    if os.environ.get("REPRO_XP_JIT", "") == "1" and numba_available():
+        return "numba"
+    return "none"
+
+
+def jit(fn=None, **options):
+    """Decorate a pure numeric kernel with the active JIT, or the identity.
+
+    Usage mirrors ``numba.njit``: bare (``@jit``) or with options
+    (``@jit(cache=True)``).  Under the default NumPy namespace this is the
+    identity decorator, so decorated helpers stay bit-identical to the
+    interpreter and carry zero import-time cost.
+    """
+
+    def wrap(func):
+        if jit_backend() == "numba":  # pragma: no cover - env-gated accelerator
+            import numba
+
+            return numba.njit(**options)(func)
+        return func
+
+    if fn is not None:
+        return wrap(fn)
+    return wrap

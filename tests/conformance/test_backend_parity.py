@@ -1,19 +1,24 @@
 """Compiled-vs-interpretive backend parity: same bits, different runtime.
 
 The compiled batched backend is an execution strategy, not an estimator: for
-every conformance model, running the fused kernel and the interpretive
-vectorizer with common random numbers must produce **bitwise-equal**
-log-weights and samples.  This is what makes ``backend="compiled"`` safe to
-select anywhere — every downstream quantity (posterior means, evidence,
-resampling decisions, SVI gradients) is a deterministic function of the
-per-particle weights, values, and the shared RNG stream.
+every conformance model, running the fused kernel — at either JIT tier —
+and the interpretive vectorizer with common random numbers must produce
+**bitwise-equal** log-weights and samples.  This is what makes
+``backend="compiled"`` (and ``jit="mega"``) safe to select anywhere — every
+downstream quantity (posterior means, evidence, resampling decisions, SVI
+gradients) is a deterministic function of the per-particle weights, values,
+and the shared RNG stream.
 
-The suite covers three layers:
+The suite covers four layers:
 
 * raw runs — model/guide log-weights, per-site sample values, recorded
-  message columns, and the per-observation score matrix;
+  message columns, and the per-observation score matrix, across
+  interp × compiled × compiled+mega;
 * engines — ``is``/``smc``/``svi`` results through
-  :class:`~repro.engine.session.ProgramSession` under both backends;
+  :class:`~repro.engine.session.ProgramSession` under every backend tier;
+* rescoring — the megakernel's *compiled* group-rescoring pass against the
+  interpretive replay on the SVI ledger path (per-site score ledgers
+  included), with the fallback metric reading zero on supported models;
 * the fallback — recursive models compile to the interpreter with a recorded
   reason, and still produce identical results (trivially, same runtime).
 """
@@ -26,8 +31,9 @@ import pytest
 from repro.compiler import fused_unsupported_reason
 from repro.core.semantics import traces as tr
 from repro.engine import ProgramSession, make_particle_runner
-from repro.engine.backend import CompiledParticleRunner
+from repro.engine.backend import CompiledParticleRunner, MegaParticleRunner
 from repro.models import all_benchmarks, get_benchmark
+from repro.obs import REGISTRY
 
 #: Guide arguments for benchmarks whose guides take per-run parameters.
 GUIDE_ARGS = {"outliers": (True,)}
@@ -44,9 +50,9 @@ RECURSIVE = [b for b in EXPRESSIBLE if b not in COMPILABLE]
 NUM_PARTICLES = 800
 
 
-def _pair_of_runs(bench, obs, seed):
+def _runner_common(bench, obs):
     guide_args = GUIDE_ARGS.get(bench.name, tuple(bench.guide_param_inits.values()))
-    common = dict(
+    return dict(
         model_program=bench.model_program(),
         guide_program=bench.guide_program(),
         model_entry=bench.model_entry,
@@ -54,12 +60,20 @@ def _pair_of_runs(bench, obs, seed):
         obs_trace=obs,
         guide_args=guide_args,
     )
+
+
+def _trio_of_runs(bench, obs, seed):
+    """(interp, compiled, compiled+mega) runs under common random numbers."""
+    common = _runner_common(bench, obs)
     interp = make_particle_runner(backend="interp", **common)
     compiled = make_particle_runner(backend="compiled", **common)
+    mega = make_particle_runner(backend="compiled", jit="mega", **common)
     assert isinstance(compiled, CompiledParticleRunner)
+    assert isinstance(mega, MegaParticleRunner)
     return (
         interp.run(NUM_PARTICLES, np.random.default_rng(seed)),
         compiled.run(NUM_PARTICLES, np.random.default_rng(seed)),
+        mega.run(NUM_PARTICLES, np.random.default_rng(seed)),
     )
 
 
@@ -100,30 +114,33 @@ def _assert_bitwise_equal_runs(r1, r2, context: str):
 @pytest.mark.parametrize("seed", [0, 7])
 def test_backends_bitwise_equal_with_observations(bench, seed):
     obs = tuple(tr.ValP(v) for v in bench.obs_values)
-    r1, r2 = _pair_of_runs(bench, obs, seed)
-    assert r2.backend == "compiled" and r1.backend == "interp"
+    r1, r2, r3 = _trio_of_runs(bench, obs, seed)
+    assert r1.backend == "interp" and r2.backend == "compiled" and r3.backend == "compiled"
+    assert r2.jit == "none" and r3.jit == "mega"
     _assert_bitwise_equal_runs(r1, r2, bench.name)
+    _assert_bitwise_equal_runs(r1, r3, f"{bench.name} (mega)")
 
 
 @pytest.mark.parametrize("bench", COMPILABLE, ids=lambda b: b.name)
 def test_backends_bitwise_equal_prior_predictive(bench):
     """Without an observation trace the model *draws* its observations; the
-    compiled kernel must consume the RNG for them in the interpreter's order."""
-    r1, r2 = _pair_of_runs(bench, None, seed=3)
+    compiled kernels must consume the RNG for them in the interpreter's order."""
+    r1, r2, r3 = _trio_of_runs(bench, None, seed=3)
     _assert_bitwise_equal_runs(r1, r2, f"{bench.name} (prior predictive)")
+    _assert_bitwise_equal_runs(r1, r3, f"{bench.name} (prior predictive, mega)")
 
 
-@pytest.mark.parametrize(
-    "name, engine, kwargs",
-    [
-        ("kalman", "is", {}),
-        ("switching", "is", {}),
-        ("jump", "smc", {}),
-        ("hmm", "smc", {}),
-        ("weight", "svi", dict(guide_params={"loc": 8.5, "log_scale": 0.0}, num_steps=6)),
-        ("coin", "svi", dict(num_steps=0)),
-    ],
-)
+ENGINE_MATRIX = [
+    ("kalman", "is", {}),
+    ("switching", "is", {}),
+    ("jump", "smc", {}),
+    ("hmm", "smc", {}),
+    ("weight", "svi", dict(guide_params={"loc": 8.5, "log_scale": 0.0}, num_steps=6)),
+    ("coin", "svi", dict(num_steps=0)),
+]
+
+
+@pytest.mark.parametrize("name, engine, kwargs", ENGINE_MATRIX)
 def test_engines_identical_across_backends(name, engine, kwargs):
     bench = get_benchmark(name)
     session = ProgramSession(
@@ -131,22 +148,106 @@ def test_engines_identical_across_backends(name, engine, kwargs):
         bench.model_entry, bench.guide_entry,
     )
     results = {
-        backend: session.infer(
+        tier: session.infer(
             engine,
             num_particles=500,
             obs_values=bench.obs_values,
             seed=19,
             backend=backend,
+            jit=jit,
             **kwargs,
         )
-        for backend in ("interp", "compiled")
+        for tier, (backend, jit) in {
+            "interp": ("interp", "none"),
+            "compiled": ("compiled", "none"),
+            "mega": ("compiled", "mega"),
+        }.items()
     }
-    assert results["interp"].posterior_mean(0) == results["compiled"].posterior_mean(0)
-    assert results["interp"].log_evidence() == results["compiled"].log_evidence()
-    ess = {k: r.effective_sample_size() for k, r in results.items()}
-    assert ess["interp"] == ess["compiled"]
+    for tier in ("compiled", "mega"):
+        assert results["interp"].posterior_mean(0) == results[tier].posterior_mean(0), tier
+        assert results["interp"].log_evidence() == results[tier].log_evidence(), tier
+        assert (
+            results["interp"].effective_sample_size()
+            == results[tier].effective_sample_size()
+        ), tier
+    assert results["mega"].diagnostics().get("jit") == "mega"
     assert session.compiled_backend_supported is True
     assert session.compiled_fallback_reason is None
+
+
+@pytest.mark.parametrize(
+    "name, engine, kwargs",
+    [(n, e, k) for n, e, k in ENGINE_MATRIX if e == "svi"],
+)
+def test_svi_rescoring_never_falls_back_on_supported_models(name, engine, kwargs):
+    """On fused-supported models the mega tier serves SVI rescoring from the
+    compiled pass: the fallback metric family must not move at all."""
+    bench = get_benchmark(name)
+    session = ProgramSession(
+        bench.model_program(), bench.guide_program(),
+        bench.model_entry, bench.guide_entry,
+    )
+    mark = REGISTRY.mark()
+    session.infer(
+        engine,
+        num_particles=300,
+        obs_values=bench.obs_values,
+        seed=5,
+        backend="compiled",
+        jit="mega",
+        rao_blackwellize=True,
+        **kwargs,
+    )
+    moved = {
+        key: change
+        for key, change in REGISTRY.delta(mark).items()
+        if key.startswith("repro_compiled_fallback_total")
+    }
+    assert moved == {}, moved
+
+
+@pytest.mark.parametrize("bench", COMPILABLE, ids=lambda b: b.name)
+def test_mega_rescore_bitwise_matches_interp_replay(bench):
+    """The compiled rescore pass replays recorded groups bit-for-bit —
+    including the per-site score ledgers SVI's Rao-Blackwellized gradients
+    consume — against the interpretive ``rescore_group``."""
+    obs = tuple(tr.ValP(v) for v in bench.obs_values)
+    common = _runner_common(bench, obs)
+    interp = make_particle_runner(backend="interp", **common)
+    mega = make_particle_runner(backend="compiled", jit="mega", **common)
+    run = mega.run(200, np.random.default_rng(11))
+    assert run.backend == "compiled"
+    for leaf in run.leaves:
+        assert getattr(leaf, "mega_path", None) is not None
+        gi = interp.rescore_group(leaf)
+        gm = mega.rescore_group(leaf)
+        assert np.array_equal(gi.log_weights["model"], gm.log_weights["model"]), bench.name
+        assert np.array_equal(gi.log_weights["guide"], gm.log_weights["guide"]), bench.name
+        for side in ("model", "guide"):
+            assert len(gi.site_scores[side]) == len(gm.site_scores[side]), bench.name
+            for (c1, s1), (c2, s2) in zip(gi.site_scores[side], gm.site_scores[side]):
+                assert c1 == c2, bench.name
+                assert np.array_equal(s1, s2), bench.name
+
+
+def test_mega_rescore_delegates_unstamped_leaves():
+    """A leaf without a path stamp (another backend's, or one that crossed a
+    process boundary) must divert to the interpretive replay — counted, not
+    crashed."""
+    bench = get_benchmark("switching")
+    obs = tuple(tr.ValP(v) for v in bench.obs_values)
+    common = _runner_common(bench, obs)
+    interp = make_particle_runner(backend="interp", **common)
+    mega = make_particle_runner(backend="compiled", jit="mega", **common)
+    run = interp.run(100, np.random.default_rng(2))  # interp leaves: no stamps
+    mark = REGISTRY.mark()
+    for leaf in run.leaves:
+        gi = interp.rescore_group(leaf)
+        gm = mega.rescore_group(leaf)
+        assert np.array_equal(gi.log_weights["guide"], gm.log_weights["guide"])
+    moved = REGISTRY.delta(mark)
+    key = 'repro_compiled_fallback_total{reason="rescore-unstamped"}'
+    assert moved.get(key) == float(len(run.leaves)), moved
 
 
 @pytest.mark.parametrize("bench", RECURSIVE, ids=lambda b: b.name)
@@ -177,6 +278,7 @@ def test_recursive_models_fall_back_with_reason(bench):
             backend="compiled",
         )
         assert result.diagnostics()["backend"] == "interp"
+        assert "recursive" in result.diagnostics().get("fallback_reason", "")
     else:
         session.fused_kernel()
     assert session.compiled_backend_supported is False

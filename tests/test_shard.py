@@ -207,3 +207,70 @@ def test_pool_rebuilds_are_capped_then_forgiven_by_shutdown():
         assert shard.ensure_pool(2) is not None, "shutdown_pool forgives the budget"
     finally:
         shard.shutdown_pool()
+
+
+def _sharded_runner(name, backend="interp", jit="none", shards=2):
+    from repro.core.semantics import traces as tr
+    from repro.engine.backend import make_particle_runner
+
+    bench = get_benchmark(name)
+    return make_particle_runner(
+        bench.model_program(),
+        bench.guide_program(),
+        bench.model_entry,
+        bench.guide_entry,
+        obs_trace=tuple(tr.ValP(v) for v in bench.obs_values),
+        guide_args=tuple(bench.guide_param_inits.values()),
+        backend=backend,
+        jit=jit,
+        workers=1,
+        shards=shards,
+    )
+
+
+def test_shard_tasks_carry_the_jit_tier():
+    """Workers must execute the tier the parent resolved, not re-decide."""
+    runner = _sharded_runner("weight", backend="compiled", jit="mega")
+    assert runner.effective_backend == "compiled"
+    assert runner.jit == "mega"
+    wave = runner.prepare(32, np.random.default_rng(0))
+    for task in wave.tasks:
+        assert task.backend == "compiled"
+        assert task.jit == "mega"
+
+
+def test_gate_fallback_freezes_interp_tasks():
+    """A pair outside the fused fragment resolves to interp ONCE, at
+    construction; the frozen task template never re-attempts compilation."""
+    runner = _sharded_runner("marsaglia", backend="compiled", jit="mega")
+    assert runner.requested_backend == "compiled"
+    assert runner.effective_backend == "interp"
+    assert "recursive" in runner.fallback_reason
+    wave = runner.prepare(32, np.random.default_rng(0))
+    for task in wave.tasks:
+        assert task.backend == "interp"
+        assert task.jit == "none"
+    run = runner.run(32, np.random.default_rng(0))
+    assert "recursive" in run.fallback_reason
+
+
+def test_fallback_state_is_consistent_across_threads():
+    """Regression: fallback state used to be *derived* from ``self.local``
+    on every read, so concurrent requests could observe a torn view (one
+    thread seeing ``backend == "compiled"`` while another read a non-None
+    ``fallback_reason``).  It is now resolved once at construction and
+    frozen as plain attributes, so every thread reads one coherent pair."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    for name, expect_backend in [("weight", "compiled"), ("marsaglia", "interp")]:
+        runner = _sharded_runner(name, backend="compiled", jit="mega")
+
+        def observe(_):
+            return (runner.backend, runner.effective_backend, runner.fallback_reason)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            views = set(pool.map(observe, range(64)))
+        assert len(views) == 1, f"{name}: torn fallback state {views}"
+        backend, effective, reason = views.pop()
+        assert backend == effective == expect_backend
+        assert (reason is None) == (expect_backend == "compiled")
